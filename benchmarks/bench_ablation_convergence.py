@@ -1,0 +1,52 @@
+"""Ablations over the convergence/mutation design choices."""
+
+from repro.bench.experiments import ablations
+
+
+def test_ablation_gme_threshold(benchmark, report_sink):
+    result = benchmark.pedantic(
+        ablations.run_gme_threshold, rounds=1, iterations=1
+    )
+    report_sink("ablation_gme_threshold", result.report)
+    # A permissive threshold (0.0) never keeps a worse GME than a
+    # strict one (0.2): minima only get harder to replace.
+    loose = result.rows["threshold=0.0"][0]
+    strict = result.rows["threshold=0.2"][0]
+    assert loose <= strict * 1.05
+
+
+def test_ablation_extra_runs(benchmark, report_sink):
+    result = benchmark.pedantic(ablations.run_extra_runs, rounds=1, iterations=1)
+    report_sink("ablation_extra_runs", result.report)
+    # More extra runs never shortens the search.
+    assert result.rows["extra_runs=2"][2] <= result.rows["extra_runs=16"][2]
+
+
+def test_ablation_outlier_handling(benchmark, report_sink):
+    result = benchmark.pedantic(
+        ablations.run_outlier_handling, rounds=1, iterations=1
+    )
+    report_sink("ablation_outlier_handling", result.report)
+    tolerant = result.rows["outliers tolerated"]
+    strict = result.rows["outliers counted"]
+    # Counting peaks as debits can only shorten the search.
+    assert strict[2] <= tolerant[2]
+
+
+def test_ablation_pack_fanin(benchmark, report_sink):
+    result = benchmark.pedantic(ablations.run_pack_fanin, rounds=1, iterations=1)
+    report_sink("ablation_pack_fanin", result.report)
+    # A tiny cap freezes parallelization early: its best plan is the
+    # smallest; a large cap lets plans grow further.
+    assert result.rows["fanin_limit=3"][1] <= result.rows["fanin_limit=64"][1]
+
+
+def test_ablation_mutations_per_run(benchmark, report_sink):
+    result = benchmark.pedantic(
+        ablations.run_mutations_per_run, rounds=1, iterations=1
+    )
+    report_sink("ablation_mutations_per_run", result.report)
+    # Batched mutation reaches the global minimum in fewer runs
+    # (Section 4.3: the skew from a single new operator needs many runs
+    # to level out; batching levels it out immediately).
+    assert result.rows["batch=4"][1] < result.rows["batch=1"][1]

@@ -1,0 +1,19 @@
+"""Figure 1: HP response times vary non-monotonically with DOP under load."""
+
+from repro.bench.experiments import fig01_dop
+
+
+def test_fig01_dop_variation(benchmark, tpch, report_sink):
+    result = benchmark.pedantic(
+        lambda: fig01_dop.run(tpch, clients=16, horizon=2.0),
+        rounds=1,
+        iterations=1,
+    )
+    report_sink("fig01_dop_variation", result.report)
+    # Shape assertion: the best DOP is not the same for every query, or
+    # at minimum times are non-monotonic in DOP for some query.
+    monotone = all(
+        result.times[(q, 8)] >= result.times[(q, 16)] >= result.times[(q, 32)]
+        for q in fig01_dop.QUERIES
+    )
+    assert not monotone

@@ -1,0 +1,13 @@
+"""Figure 11: the adaptive convergence trace on a noisy join plan."""
+
+from repro.bench.experiments import fig11_trace
+
+
+def test_fig11_convergence_trace(benchmark, report_sink):
+    result = benchmark.pedantic(fig11_trace.run, rounds=1, iterations=1)
+    report_sink("fig11_convergence_trace", result.report)
+    trace = result.trace
+    # Steep descent from serial, and convergence well below serial.
+    assert result.adaptive.gme_time < trace[0] / 4
+    # The trace contains at least one up-hill (local minimum).
+    assert any(b > a for a, b in zip(trace[1:], trace[2:]))

@@ -1,0 +1,25 @@
+"""Figure 12: select on skewed data -- static vs work-stealing vs dynamic."""
+
+from repro.bench.experiments import fig12_skew
+
+
+def test_fig12_skew(benchmark, report_sink):
+    result = benchmark.pedantic(fig12_skew.run, rounds=1, iterations=1)
+    report_sink("fig12_skew", result.report)
+    for skew in fig12_skew.SKEW_LEVELS:
+        static = result.times[(skew, "static8")]
+        dynamic = result.times[(skew, "dynamic")]
+        stealing = result.times[(skew, "ws128")]
+        # Dynamic (adaptive) partitions never lose to static equi-range
+        # partitions and stay competitive with work stealing.
+        assert dynamic <= static * 1.02
+        assert dynamic < 2.0 * stealing
+    # Strict wins at the levels where imbalance dominates (<=40%: the
+    # clustered half is only partially matched, so equal ranges are
+    # maximally unfair).
+    wins = sum(
+        1
+        for skew in fig12_skew.SKEW_LEVELS[:4]
+        if result.times[(skew, "dynamic")] < result.times[(skew, "static8")]
+    )
+    assert wins >= 3

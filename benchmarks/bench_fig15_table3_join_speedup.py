@@ -1,0 +1,16 @@
+"""Figure 15 + Table 3: join-plan speedup and the L3 cache-fit effect."""
+
+from repro.bench.experiments import fig15_join
+
+
+def test_fig15_table3_join_speedup(benchmark, report_sink):
+    result = benchmark.pedantic(fig15_join.run, rounds=1, iterations=1)
+    report_sink("fig15_table3_join_speedup", result.report)
+    ap = result.ap_speedup
+    # Table 3's cache effect: the L3-resident 16 MB inner beats the
+    # spilling 64 MB inner for every outer size.
+    for outer in fig15_join.OUTER_MB:
+        assert ap[(outer, 16)] > ap[(outer, 64)]
+    # Speedups land in the paper's ballpark (roughly 10-20x).
+    assert min(ap.values()) > 6.0
+    assert max(ap.values()) < 30.0

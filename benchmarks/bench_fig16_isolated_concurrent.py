@@ -1,0 +1,40 @@
+"""Figure 16 + Table 4: HP vs AP vs Vectorwise, isolated and concurrent."""
+
+from repro.bench.experiments import fig16_workload
+from repro.workloads.tpch import COMPLEX_QUERIES, SIMPLE_QUERIES
+
+
+def test_fig16_isolated_concurrent(benchmark, tpch, report_sink):
+    result = benchmark.pedantic(
+        lambda: fig16_workload.run(tpch, clients=16, horizon=1.5),
+        rounds=1,
+        iterations=1,
+    )
+    report = result.report
+    report.extra.append(
+        "Table 4 query classes: simple = "
+        f"{SIMPLE_QUERIES}, complex = {COMPLEX_QUERIES}"
+    )
+    report_sink("fig16_isolated_concurrent", report)
+    queries = fig16_workload.QUERIES
+    # Isolated: AP within a small factor of HP on most queries.
+    close = sum(
+        1
+        for q in queries
+        if result.isolated[(q, "AP")] <= 2.0 * result.isolated[(q, "HP")]
+    )
+    assert close >= len(queries) - 2
+    # Concurrent: AP at least matches HP on a clear majority.
+    wins = sum(
+        1
+        for q in queries
+        if result.concurrent[(q, "AP")] <= 1.1 * result.concurrent[(q, "HP")]
+    )
+    assert wins >= len(queries) - 2
+    # Vectorwise's admission control starves the measured client.
+    vw_worse = sum(
+        1
+        for q in queries
+        if result.concurrent[(q, "VW")] >= result.concurrent[(q, "AP")]
+    )
+    assert vw_worse >= len(queries) - 2

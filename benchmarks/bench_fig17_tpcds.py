@@ -1,0 +1,23 @@
+"""Figure 17: TPC-DS isolated, HP vs AP, on the 2- and 4-socket boxes."""
+
+from repro.bench.experiments import fig17_tpcds
+
+
+def test_fig17_tpcds(benchmark, tpcds, report_sink):
+    result = benchmark.pedantic(
+        lambda: fig17_tpcds.run(tpcds), rounds=1, iterations=1
+    )
+    report_sink("fig17_tpcds", result.report)
+    queries = fig17_tpcds.ALL_DS_QUERIES
+    # AP clearly wins on the positionally skewed queries (the Figure 17
+    # mechanism) and never loses badly elsewhere.
+    for query in ("ds1", "ds4", "ds5"):
+        assert result.hp_over_ap(query, "2s") > 1.0
+    for query in queries:
+        assert result.hp_over_ap(query, "2s") > 0.75
+    assert max(result.hp_over_ap(q, "2s") for q in queries) > 1.5
+    # Minimal NUMA effects: 2s and 4s AP times within a small factor.
+    for query in queries:
+        two = result.times_ms[(query, "AP", "2s")]
+        four = result.times_ms[(query, "AP", "4s")]
+        assert 0.3 < two / four < 3.0

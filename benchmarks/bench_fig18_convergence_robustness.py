@@ -1,0 +1,22 @@
+"""Figure 18 (A-D): convergence robustness over repeated invocations."""
+
+from repro.bench.experiments import fig18_robustness
+
+QUERIES = ("q6", "q14", "q22")  # a representative fast subset
+
+
+def test_fig18_convergence_robustness(benchmark, tpch, report_sink):
+    result = benchmark.pedantic(
+        lambda: fig18_robustness.run(tpch, queries=QUERIES),
+        rounds=1,
+        iterations=1,
+    )
+    report_sink("fig18_convergence_robustness", result.report)
+    for query in QUERIES:
+        lo, hi = result.spread(query, "gme_time")
+        # (C) the global minimum time is stable across invocations.
+        assert hi <= lo * 1.8
+        # (B, D) the GME appears well before the total run budget.
+        for i in range(fig18_robustness.INVOCATIONS):
+            run = result.runs[(query, i)]
+            assert run.gme_run < run.total_runs

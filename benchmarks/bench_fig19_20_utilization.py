@@ -1,0 +1,15 @@
+"""Figures 19/20 + Table 5: AP vs HP multi-core utilization on Q14."""
+
+from repro.bench.experiments import fig19_util
+
+
+def test_fig19_20_utilization(benchmark, tpch, report_sink):
+    result = benchmark.pedantic(
+        lambda: fig19_util.run(tpch), rounds=1, iterations=1
+    )
+    report_sink("fig19_20_utilization_table5", result.report)
+    # Table 5's shape: AP runs far fewer operator instances...
+    assert result.ap_stats.select_count < result.hp_stats.select_count
+    assert result.ap_stats.join_count <= result.hp_stats.join_count
+    # ...and uses a much smaller share of the machine.
+    assert result.ap_utilization < result.hp_utilization

@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+paper-vs-measured tables inline; every benchmark also writes its report
+to ``benchmarks/results/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.workloads import TpcdsDataset, TpchDataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def tpch() -> TpchDataset:
+    return TpchDataset(scale_factor=10)
+
+
+@pytest.fixture(scope="session")
+def tpcds() -> TpcdsDataset:
+    return TpcdsDataset(scale_factor=100)
+
+
+@pytest.fixture()
+def report_sink():
+    """Print a report and persist it under benchmarks/results/."""
+
+    def sink(name: str, report) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = report.format()
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return sink

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Concurrent workload: why lean adaptive plans win under load.
+
+Reproduces the Figure 16 story on one TPC-H query: in isolation AP and
+HP run neck and neck, but with 16 clients hammering the machine the
+heuristic plan's 32-way fan-out queues behind everyone else's work,
+while the adaptive plan's modest degree of parallelism slips through.
+The Vectorwise-style baseline shows what admission control does to a
+late client.
+
+Run:  python examples/concurrent_workload.py
+"""
+
+from __future__ import annotations
+
+from repro import AdaptiveParallelizer, HeuristicParallelizer, execute
+from repro.baselines import VectorwiseSystem
+from repro.concurrency import ClientSpec, ConcurrentWorkload
+from repro.workloads import TpchDataset
+
+QUERY = "q22"
+CLIENTS = 16
+
+
+def main() -> None:
+    dataset = TpchDataset(scale_factor=10)
+    config = dataset.sim_config()
+    print(f"simulated machine: {config.machine.describe()}")
+    print(f"workload: TPC-H SF10, query {QUERY}, {CLIENTS} background clients\n")
+
+    serial = dataset.plan(QUERY)
+    hp_plan = HeuristicParallelizer(32).parallelize(serial)
+    adaptive = AdaptiveParallelizer(config).optimize(serial)
+    vectorwise = VectorwiseSystem(config)
+    vw_plan, vw_cap = vectorwise.parallelize(
+        serial, client_rank=CLIENTS - 1, active_clients=CLIENTS
+    )
+
+    iso_hp = execute(hp_plan, config).response_time
+    iso_ap = execute(adaptive.best_plan, config).response_time
+    print(f"isolated:   HP {iso_hp * 1000:7.1f} ms   AP {iso_ap * 1000:7.1f} ms "
+          f"(AP converged in {adaptive.total_runs} runs)")
+
+    background = [
+        HeuristicParallelizer(32).parallelize(dataset.plan(name))
+        for name in ("q6", "q14", "q9", "q19")
+    ]
+
+    def under_load(plan, cap=None):
+        workload = ConcurrentWorkload(
+            config,
+            [ClientSpec(name=f"bg-{i}", plans=background) for i in range(CLIENTS)],
+            horizon=2.0,
+        )
+        return workload.measure_plan(plan, max_threads=cap, warmup=0.5)
+
+    conc_hp = under_load(hp_plan).response_time
+    conc_ap = under_load(adaptive.best_plan).response_time
+    conc_vw = under_load(vw_plan, cap=vw_cap).response_time
+    print(f"concurrent: HP {conc_hp * 1000:7.1f} ms   AP {conc_ap * 1000:7.1f} ms   "
+          f"VW(starved) {conc_vw * 1000:7.1f} ms")
+
+    improvement = (conc_hp - conc_ap) / conc_hp * 100
+    print(
+        f"\nunder load the adaptive plan responds {improvement:.0f}% faster "
+        "than the heuristic plan (the paper reports 50-90% wins; our leaner "
+        "HP baseline narrows the margin -- see EXPERIMENTS.md), and the "
+        "admission-controlled Vectorwise client trails."
+    )
+
+
+if __name__ == "__main__":
+    main()

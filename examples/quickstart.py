@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Quickstart: adaptively parallelize one query and inspect the result.
+
+Builds a tiny column store, writes a query three ways (SQL, plan
+builder), lets adaptive parallelization morph the plan run by run, and
+compares the converged plan against MonetDB-style static heuristic
+parallelization.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AdaptiveParallelizer,
+    Catalog,
+    HeuristicParallelizer,
+    PlanBuilder,
+    SimulationConfig,
+    Table,
+    execute,
+    plan_sql,
+    plan_stats,
+    two_socket_machine,
+)
+from repro.operators import RangePredicate
+from repro.storage import LNG
+
+
+def build_catalog() -> Catalog:
+    """One fact table: 200k rows standing in for 200M (data_scale=1000)."""
+    rng = np.random.default_rng(7)
+    n = 200_000
+    catalog = Catalog()
+    catalog.add(
+        Table.from_arrays(
+            "orders",
+            {
+                "o_status": (LNG, rng.integers(0, 10, n)),
+                "o_total": (LNG, rng.integers(1, 10_000, n)),
+            },
+        )
+    )
+    return catalog
+
+
+def main() -> None:
+    catalog = build_catalog()
+    config = SimulationConfig(machine=two_socket_machine(), data_scale=1000.0)
+    print(f"simulated machine: {config.machine.describe()}\n")
+
+    # --- The same query, via SQL or the plan builder -------------------
+    sql_plan = plan_sql(
+        "SELECT SUM(o_total) FROM orders WHERE o_status < 5", catalog
+    )
+    builder = PlanBuilder(catalog)
+    selected = builder.select(builder.scan("orders", "o_status"), RangePredicate(hi=4))
+    fetched = builder.fetch(selected, builder.scan("orders", "o_total"))
+    built_plan = builder.build(builder.aggregate("sum", fetched))
+
+    serial = execute(sql_plan, config)
+    print(f"serial execution:    {serial.response_time * 1000:8.1f} ms "
+          f"(result = {serial.outputs[0].value})")
+    assert execute(built_plan, config).outputs[0].value == serial.outputs[0].value
+
+    # --- Adaptive parallelization (the paper's contribution) -----------
+    adaptive = AdaptiveParallelizer(config, verify=True).optimize(sql_plan)
+    print(
+        f"adaptive (GME):      {adaptive.gme_time * 1000:8.1f} ms   "
+        f"speedup x{adaptive.speedup:.1f}, found at run {adaptive.gme_run} "
+        f"of {adaptive.total_runs}"
+    )
+    print(f"  best plan: {plan_stats(adaptive.best_plan).format()}")
+    print(f"  first mutations: "
+          f"{[m.scheme for m in adaptive.mutations[:6]]}")
+
+    # --- Static heuristic parallelization (the HP baseline) ------------
+    hp_plan = HeuristicParallelizer(32).parallelize(sql_plan)
+    hp = execute(hp_plan, config)
+    print(f"heuristic (32-way):  {hp.response_time * 1000:8.1f} ms")
+    print(f"  HP plan:   {plan_stats(hp_plan).format()}")
+
+    threads = config.machine.hardware_threads
+    ap_util = execute(adaptive.best_plan, config).profile.multicore_utilization(threads)
+    hp_util = hp.profile.multicore_utilization(threads)
+    print(
+        f"\nmulti-core utilization: adaptive {ap_util * 100:.0f}% vs "
+        f"heuristic {hp_util * 100:.0f}% -- the spare capacity is what "
+        "wins under concurrent load (paper Figure 16)."
+    )
+
+
+if __name__ == "__main__":
+    main()

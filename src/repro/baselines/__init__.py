@@ -1,0 +1,5 @@
+"""Comparator systems: the Vectorwise-style baseline."""
+
+from .vectorwise import AdmissionDecision, VectorwiseSystem
+
+__all__ = ["AdmissionDecision", "VectorwiseSystem"]

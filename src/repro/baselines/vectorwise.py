@@ -1,0 +1,59 @@
+"""Vectorwise-style baseline (paper Section 4.2.4).
+
+Vectorwise 3.5.1 generates cost-model exchange-operator parallel plans
+and allocates resources "based on the number of connected clients and
+the system load": under a heavy concurrent workload the first client's
+query gets all the resources while the remaining clients are admitted
+with ever fewer cores -- the paper hypothesizes the analysed queries
+effectively run serially.  This baseline reproduces exactly that
+behaviour on top of the shared simulator:
+
+* plan generation is static HP-style with DOP chosen by an admission
+  controller from the current number of active clients;
+* client 0 receives the full machine, client ``i`` receives
+  ``max(1, threads // (i + 1))`` hardware threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SimulationConfig
+from ..core.heuristic import HeuristicParallelizer
+from ..plan.graph import Plan
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Resources granted to one client's queries."""
+
+    dop: int
+    max_threads: int
+
+
+class VectorwiseSystem:
+    """Static parallel plans + per-client admission control."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def admission(self, client_rank: int, active_clients: int) -> AdmissionDecision:
+        """Resources for the ``client_rank``-th connected client.
+
+        The first client gets everything; later clients are squeezed and
+        under full load (32 clients) effectively run serially.
+        """
+        threads = self.config.effective_threads
+        if client_rank <= 0:
+            return AdmissionDecision(dop=threads, max_threads=threads)
+        share = max(1, threads // (client_rank + 1))
+        if active_clients >= threads:
+            share = 1
+        return AdmissionDecision(dop=share, max_threads=share)
+
+    def parallelize(self, plan: Plan, *, client_rank: int = 0, active_clients: int = 1) -> tuple[Plan, int]:
+        """A (plan, thread cap) pair for this client's next query."""
+        decision = self.admission(client_rank, active_clients)
+        parallel = HeuristicParallelizer(decision.dop).parallelize(plan)
+        return parallel, decision.max_threads

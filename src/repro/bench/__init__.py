@@ -1,0 +1,5 @@
+"""Benchmark harness: experiment runners and paper-vs-measured reporting."""
+
+from .reporting import ComparisonRow, ExperimentReport
+
+__all__ = ["ComparisonRow", "ExperimentReport"]

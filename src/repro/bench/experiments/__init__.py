@@ -1,0 +1,27 @@
+"""Experiment runners, one per paper table/figure (see DESIGN.md index)."""
+
+from . import (
+    ablations,
+    fig01_dop,
+    fig11_trace,
+    fig12_skew,
+    fig14_select,
+    fig15_join,
+    fig16_workload,
+    fig17_tpcds,
+    fig18_robustness,
+    fig19_util,
+)
+
+__all__ = [
+    "ablations",
+    "fig01_dop",
+    "fig11_trace",
+    "fig12_skew",
+    "fig14_select",
+    "fig15_join",
+    "fig16_workload",
+    "fig17_tpcds",
+    "fig18_robustness",
+    "fig19_util",
+]

@@ -1,0 +1,185 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+Not figures from the paper, but the knobs its Section 3 justifies:
+
+* the GME replacement threshold (5%),
+* ``Extra_Runs`` (8) behind the leaking debit,
+* outlier-peak tolerance on/off in a noisy environment,
+* the exchange-union fan-in cap (15) that stops plan explosion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...config import NoiseConfig
+from ...core.adaptive import AdaptiveParallelizer
+from ...core.convergence import ConvergenceParams
+from ...workloads.micro import JoinMicroWorkload, SelectMicroWorkload
+from ..reporting import ExperimentReport
+
+
+@dataclass
+class AblationResult:
+    """Per-configuration (gme_time, detail, total_runs) triples."""
+
+    rows: dict[str, tuple[float, int, int]] = field(default_factory=dict)
+    report: ExperimentReport | None = None
+
+
+def run_gme_threshold(
+    *, thresholds: tuple[float, ...] = (0.0, 0.05, 0.2)
+) -> AblationResult:
+    """Higher thresholds keep earlier (less partitioned) GME plans."""
+    workload = SelectMicroWorkload(size_gb=10, selectivity_pct=50)
+    config = workload.sim_config()
+    result = AblationResult()
+    report = ExperimentReport(
+        experiment="Ablation: GME replacement threshold",
+        claim="5% discards marginal new minima without losing real ones",
+        machine=config.machine,
+    )
+    cores = config.effective_threads
+    for threshold in thresholds:
+        params = ConvergenceParams(number_of_cores=cores, gme_threshold=threshold)
+        adaptive = AdaptiveParallelizer(config, convergence=params).optimize(
+            workload.plan()
+        )
+        result.rows[f"threshold={threshold}"] = (
+            adaptive.gme_time,
+            adaptive.gme_run,
+            adaptive.total_runs,
+        )
+        report.add(
+            f"threshold={threshold:.2f}",
+            "paper uses 0.05",
+            f"gme={adaptive.gme_time * 1000:.1f}ms @run {adaptive.gme_run} "
+            f"of {adaptive.total_runs}",
+        )
+    result.report = report
+    return result
+
+
+def run_extra_runs(*, extras: tuple[int, ...] = (2, 8, 16)) -> AblationResult:
+    """Extra_Runs trades convergence length against premature stops."""
+    workload = SelectMicroWorkload(size_gb=10, selectivity_pct=50)
+    config = workload.sim_config()
+    result = AblationResult()
+    report = ExperimentReport(
+        experiment="Ablation: Extra_Runs (leaking-debit horizon)",
+        claim="8 avoids premature convergence; larger values extend the search",
+        machine=config.machine,
+    )
+    cores = config.effective_threads
+    for extra in extras:
+        params = ConvergenceParams(number_of_cores=cores, extra_runs=extra)
+        adaptive = AdaptiveParallelizer(config, convergence=params).optimize(
+            workload.plan()
+        )
+        result.rows[f"extra_runs={extra}"] = (
+            adaptive.gme_time,
+            adaptive.gme_run,
+            adaptive.total_runs,
+        )
+        report.add(
+            f"extra_runs={extra}",
+            "paper uses 8",
+            f"gme={adaptive.gme_time * 1000:.1f}ms @run {adaptive.gme_run} "
+            f"of {adaptive.total_runs}",
+        )
+    result.report = report
+    return result
+
+
+def run_outlier_handling(*, seed: int = 99) -> AblationResult:
+    """Without peak forgiveness, one noise spike can halt the search."""
+    workload = JoinMicroWorkload(outer_mb=640, inner_mb=16)
+    noise = NoiseConfig(jitter=0.05, peak_probability=0.06, peak_magnitude=15.0)
+    config = workload.sim_config(noise=noise, seed=seed)
+    result = AblationResult()
+    report = ExperimentReport(
+        experiment="Ablation: outlier-peak tolerance (Section 3.3.3)",
+        claim="ignoring unique peaks prevents premature halt in noisy envs",
+        machine=config.machine,
+    )
+    cores = config.effective_threads
+    for handle in (True, False):
+        params = ConvergenceParams(number_of_cores=cores, handle_outliers=handle)
+        adaptive = AdaptiveParallelizer(config, convergence=params).optimize(
+            workload.plan()
+        )
+        label = "outliers tolerated" if handle else "outliers counted"
+        result.rows[label] = (
+            adaptive.gme_time,
+            adaptive.gme_run,
+            adaptive.total_runs,
+        )
+        report.add(
+            label,
+            "tolerant converges further",
+            f"gme={adaptive.gme_time:.3f}s @run {adaptive.gme_run} "
+            f"of {adaptive.total_runs}",
+        )
+    result.report = report
+    return result
+
+
+def run_pack_fanin(*, limits: tuple[int, ...] = (3, 15, 64)) -> AblationResult:
+    """The union-removal cap bounds plan size at some parallelism cost."""
+    workload = SelectMicroWorkload(size_gb=20, selectivity_pct=0)
+    config = workload.sim_config()
+    result = AblationResult()
+    report = ExperimentReport(
+        experiment="Ablation: exchange-union fan-in cap (plan-explosion guard)",
+        claim="15 balances plan growth against continued parallelization",
+        machine=config.machine,
+    )
+    for limit in limits:
+        adaptive = AdaptiveParallelizer(config, pack_fanin_limit=limit).optimize(
+            workload.plan()
+        )
+        nodes = len(adaptive.best_plan.nodes())
+        result.rows[f"fanin_limit={limit}"] = (
+            adaptive.gme_time,
+            nodes,
+            adaptive.total_runs,
+        )
+        report.add(
+            f"fanin_limit={limit}",
+            "paper uses 15",
+            f"gme={adaptive.gme_time * 1000:.1f}ms, plan={nodes} nodes, "
+            f"{adaptive.total_runs} runs",
+        )
+    result.report = report
+    return result
+
+
+def run_mutations_per_run(*, batch_sizes: tuple[int, ...] = (1, 2, 4)) -> AblationResult:
+    """Paper Section 4.3: more operators per invocation -> fewer runs."""
+    workload = SelectMicroWorkload(size_gb=10, selectivity_pct=50)
+    config = workload.sim_config()
+    result = AblationResult()
+    report = ExperimentReport(
+        experiment="Ablation: mutations per invocation (Section 4.3)",
+        claim="introducing more operators per run lowers convergence runs",
+        machine=config.machine,
+    )
+    from ...core.adaptive import AdaptiveParallelizer
+
+    for batch in batch_sizes:
+        adaptive = AdaptiveParallelizer(config, mutations_per_run=batch).optimize(
+            workload.plan()
+        )
+        result.rows[f"batch={batch}"] = (
+            adaptive.gme_time,
+            adaptive.gme_run,
+            adaptive.total_runs,
+        )
+        report.add(
+            f"mutations_per_run={batch}",
+            "paper uses 1 (to study evolution)",
+            f"gme={adaptive.gme_time * 1000:.1f}ms @run {adaptive.gme_run} "
+            f"of {adaptive.total_runs}",
+        )
+    result.report = report
+    return result

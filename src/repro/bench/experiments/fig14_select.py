@@ -1,0 +1,88 @@
+"""Figure 14 + Table 2: select-plan speedup vs selectivity and size.
+
+The paper sweeps the select micro-plan over data sizes (10/20/100 GB)
+and selectivities (0/50/100%, where 0% means *all* tuples qualify) and
+reports adaptive (AP) and heuristic (HP) speedups over serial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...core.adaptive import AdaptiveParallelizer
+from ...core.heuristic import HeuristicParallelizer
+from ...engine.executor import execute
+from ...viz.ascii_plot import line_plot
+from ...workloads.micro import SelectMicroWorkload
+from ..reporting import ExperimentReport
+
+SIZES_GB = (10, 20, 100)
+SELECTIVITIES = (0, 50, 100)
+
+#: Table 2 of the paper: (size_gb, selectivity) -> (AP, HP) speedups.
+PAPER_TABLE2 = {
+    (100, 0): (10.0, 10.0), (100, 50): (8.5, 10.0), (100, 100): (7.0, 9.0),
+    (20, 0): (10.5, 12.0), (20, 50): (8.5, 12.0), (20, 100): (8.0, 12.0),
+    (10, 0): (16.0, 11.0), (10, 50): (14.5, 11.0), (10, 100): (12.0, 9.5),
+}
+
+
+@dataclass
+class Fig14Result:
+    """AP/HP speedups and AP traces per (size GB, selectivity %)."""
+
+    ap_speedup: dict[tuple[int, int], float] = field(default_factory=dict)
+    hp_speedup: dict[tuple[int, int], float] = field(default_factory=dict)
+    traces: dict[tuple[int, int], list[float]] = field(default_factory=dict)
+    report: ExperimentReport | None = None
+
+
+def run(
+    *,
+    sizes_gb: tuple[int, ...] = SIZES_GB,
+    selectivities: tuple[int, ...] = SELECTIVITIES,
+    hp_partitions: int = 32,
+) -> Fig14Result:
+    """Sweep the select micro-plan over sizes and selectivities."""
+    result = Fig14Result()
+    report = ExperimentReport(
+        experiment="Figure 14 + Table 2: select plan speedup (AP and HP vs serial)",
+        claim="speedup falls as (paper-)selectivity rises and rises as input shrinks",
+        machine=SelectMicroWorkload().sim_config().machine,
+    )
+    for size in sizes_gb:
+        for sel in selectivities:
+            workload = SelectMicroWorkload(size_gb=size, selectivity_pct=sel)
+            config = workload.sim_config()
+            adaptive = AdaptiveParallelizer(config).optimize(workload.plan())
+            hp_plan = HeuristicParallelizer(hp_partitions).parallelize(workload.plan())
+            hp = execute(hp_plan, config)
+            ap_speed = adaptive.best_speedup
+            hp_speed = adaptive.serial_time / hp.response_time
+            key = (size, sel)
+            result.ap_speedup[key] = ap_speed
+            result.hp_speedup[key] = hp_speed
+            result.traces[key] = adaptive.exec_times()
+            paper_ap, paper_hp = PAPER_TABLE2[key]
+            report.add(
+                f"{size} GB / {sel}% sel / AP", paper_ap, round(ap_speed, 2), unit="x"
+            )
+            report.add(
+                f"{size} GB / {sel}% sel / HP", paper_hp, round(hp_speed, 2), unit="x"
+            )
+    # Figure 14 plots the 10/20 GB traces.
+    plot_series = {
+        f"{size}GB-{sel}%": result.traces[(size, sel)]
+        for size in sizes_gb
+        for sel in selectivities
+        if size in (10, 20) and (size, sel) in result.traces
+    }
+    if plot_series:
+        report.extra.append(
+            line_plot(
+                plot_series,
+                title="execution time vs adaptive run (compare Figure 14)",
+            )
+        )
+    result.report = report
+    return result

@@ -1,0 +1,96 @@
+"""Figure 18 (A-D): robustness of the convergence algorithm.
+
+Three independent adaptive-parallelization invocations per TPC-H query;
+report per invocation (A) total convergence runs, (B) the run holding
+the global minimum, (C) the global minimum time, and (D) GME run vs
+total runs.  The paper's claim: all three vary little across
+invocations, and most queries converge quickly after the GME is found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...config import NoiseConfig
+from ...core.adaptive import AdaptiveParallelizer, AdaptiveResult
+from ...workloads.tpch import TpchDataset
+from ..reporting import ExperimentReport
+
+QUERIES = ("q4", "q6", "q8", "q9", "q14", "q19", "q22")
+INVOCATIONS = 3
+
+#: Figure 18 approximate values: query -> (total runs, GME run, GME ms).
+PAPER_FIG18 = {
+    "q4": (45, 25, 780), "q6": (85, 35, 60), "q8": (150, 38, 400),
+    "q9": (60, 42, 720), "q14": (105, 30, 90), "q19": (60, 45, 570),
+    "q22": (115, 35, 250),
+}
+
+
+@dataclass
+class Fig18Result:
+    """Adaptive results per (query, invocation index)."""
+
+    runs: dict[tuple[str, int], AdaptiveResult] = field(default_factory=dict)
+    report: ExperimentReport | None = None
+
+    def spread(self, query: str, attr: str) -> tuple[float, float]:
+        """(min, max) of ``attr`` across the query's invocations."""
+        values = [
+            getattr(result, attr)
+            for (name, __), result in self.runs.items()
+            if name == query
+        ]
+        return min(values), max(values)
+
+
+def run(
+    dataset: TpchDataset | None = None,
+    *,
+    queries: tuple[str, ...] = QUERIES,
+    invocations: int = INVOCATIONS,
+) -> Fig18Result:
+    """Repeat adaptive parallelization per query; record stability."""
+    if dataset is None:
+        dataset = TpchDataset(scale_factor=10)
+    # Mild jitter: the run-to-run variation the robustness claim is about.
+    noise = NoiseConfig(jitter=0.04, peak_probability=0.005, peak_magnitude=6.0)
+    result = Fig18Result()
+    report = ExperimentReport(
+        experiment="Figure 18: convergence robustness over repeated invocations",
+        claim="total runs, GME run, and GME time vary little across invocations",
+        machine=dataset.sim_config().machine,
+    )
+    for query in queries:
+        for invocation in range(invocations):
+            config = dataset.sim_config(
+                noise=noise, seed=20160315 + 1000 * invocation
+            )
+            adaptive = AdaptiveParallelizer(config).optimize(dataset.plan(query))
+            result.runs[(query, invocation)] = adaptive
+        paper_total, paper_gme_run, paper_gme_ms = PAPER_FIG18[query]
+        totals = [result.runs[(query, i)].total_runs for i in range(invocations)]
+        gme_runs = [result.runs[(query, i)].gme_run for i in range(invocations)]
+        gme_ms = [
+            result.runs[(query, i)].gme_time * 1000 for i in range(invocations)
+        ]
+        report.add(
+            f"{query} A: total runs", paper_total, str(totals), note="per invocation"
+        )
+        report.add(
+            f"{query} B: GME run", paper_gme_run, str(gme_runs), note="per invocation"
+        )
+        report.add(
+            f"{query} C: GME time",
+            paper_gme_ms,
+            str([round(v, 1) for v in gme_ms]),
+            unit="ms",
+        )
+        report.add(
+            f"{query} D: GME run / total",
+            f"{paper_gme_run}/{paper_total}",
+            f"{gme_runs[0]}/{totals[0]}",
+            note="quick convergence after GME",
+        )
+    result.report = report
+    return result

@@ -1,0 +1,103 @@
+"""Figures 19/20 + Table 5: multi-core utilization of AP vs HP on Q14.
+
+The paper's tomographs show adaptive parallelization using ~35% of the
+core time HP's plan spreads over 75%, with far fewer operator instances
+(Table 5: 10 vs 65 selects, 16 vs 32 joins) -- the spare capacity is
+what makes AP strong under concurrent load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...core.adaptive import AdaptiveParallelizer
+from ...core.heuristic import HeuristicParallelizer
+from ...engine.executor import execute
+from ...engine.profiler import QueryProfile
+from ...plan.stats import PlanStats, plan_stats
+from ...viz.tomograph import render_tomograph
+from ...workloads.tpch import TpchDataset
+from ..reporting import ExperimentReport
+
+#: Table 5 of the paper.
+PAPER_TABLE5 = {
+    "selects": (10, 65),
+    "joins": (16, 32),
+    "utilization_pct": (35, 75),
+}
+
+
+@dataclass
+class Fig19Result:
+    """Profiles and plan statistics behind Figures 19/20 + Table 5."""
+
+    ap_profile: QueryProfile
+    hp_profile: QueryProfile
+    ap_stats: PlanStats
+    hp_stats: PlanStats
+    threads: int
+    report: ExperimentReport | None = None
+
+    @property
+    def ap_utilization(self) -> float:
+        """Multi-core utilization of the adaptive plan."""
+        return self.ap_profile.multicore_utilization(self.threads)
+
+    @property
+    def hp_utilization(self) -> float:
+        """Multi-core utilization of the heuristic plan."""
+        return self.hp_profile.multicore_utilization(self.threads)
+
+
+def run(dataset: TpchDataset | None = None, *, query: str = "q14") -> Fig19Result:
+    """Compare AP vs HP utilization and operator counts on one query."""
+    if dataset is None:
+        dataset = TpchDataset(scale_factor=10)
+    config = dataset.sim_config()
+    threads = config.machine.hardware_threads
+    serial = dataset.plan(query)
+    adaptive = AdaptiveParallelizer(config).optimize(serial)
+    ap_run = execute(adaptive.best_plan, config)
+    hp_plan = HeuristicParallelizer(threads).parallelize(serial)
+    hp_run = execute(hp_plan, config)
+    result = Fig19Result(
+        ap_profile=ap_run.profile,
+        hp_profile=hp_run.profile,
+        ap_stats=plan_stats(adaptive.best_plan),
+        hp_stats=plan_stats(hp_plan),
+        threads=threads,
+    )
+    report = ExperimentReport(
+        experiment=f"Figures 19/20 + Table 5: multi-core utilization on {query}",
+        claim="AP uses fewer operators and far less core time than HP",
+        machine=config.machine,
+    )
+    ap_sel, hp_sel = PAPER_TABLE5["selects"]
+    ap_join, hp_join = PAPER_TABLE5["joins"]
+    ap_util, hp_util = PAPER_TABLE5["utilization_pct"]
+    report.add("# select operators / AP", ap_sel, result.ap_stats.select_count)
+    report.add("# select operators / HP", hp_sel, result.hp_stats.select_count)
+    report.add("# join operators / AP", ap_join, result.ap_stats.join_count)
+    report.add("# join operators / HP", hp_join, result.hp_stats.join_count)
+    report.add(
+        "multi-core utilization / AP",
+        ap_util,
+        round(result.ap_utilization * 100, 1),
+        unit="%",
+    )
+    report.add(
+        "multi-core utilization / HP",
+        hp_util,
+        round(result.hp_utilization * 100, 1),
+        unit="%",
+    )
+    report.extra.append(
+        "AP tomograph (compare Figure 19):\n"
+        + render_tomograph(result.ap_profile, threads)
+    )
+    report.extra.append(
+        "HP tomograph (compare Figure 20):\n"
+        + render_tomograph(result.hp_profile, threads)
+    )
+    result.report = report
+    return result

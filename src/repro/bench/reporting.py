@@ -1,0 +1,81 @@
+"""Shared formatting for the benchmark harness.
+
+Every benchmark prints (a) the simulated machine it ran on, (b) the
+paper's reported numbers next to the measured ones, and (c) a shape
+verdict.  Absolute times are not expected to match (the substrate is a
+simulator); who-wins and rough factors are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import MachineSpec
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One paper-vs-measured data point."""
+
+    label: str
+    paper: float | str
+    measured: float | str
+    unit: str = ""
+    note: str = ""
+
+
+@dataclass
+class ExperimentReport:
+    """A formatted experiment result ready for printing."""
+
+    experiment: str
+    claim: str
+    machine: MachineSpec
+    rows: list[ComparisonRow] = field(default_factory=list)
+    extra: list[str] = field(default_factory=list)
+
+    def add(
+        self,
+        label: str,
+        paper: float | str,
+        measured: float | str,
+        unit: str = "",
+        note: str = "",
+    ) -> None:
+        """Append one paper-vs-measured row."""
+        self.rows.append(ComparisonRow(label, paper, measured, unit, note))
+
+    def format(self) -> str:
+        """Render the report as a fixed-width text table."""
+        lines = [
+            "=" * 78,
+            f"{self.experiment}",
+            f"paper claim: {self.claim}",
+            f"machine: {self.machine.describe()}",
+            "-" * 78,
+            f"{'case':<34} {'paper':>12} {'measured':>12}  note",
+        ]
+        for row in self.rows:
+            paper = _fmt(row.paper)
+            measured = _fmt(row.measured)
+            unit = f" {row.unit}" if row.unit else ""
+            lines.append(
+                f"{row.label:<34} {paper:>12} {measured:>12}{unit}  {row.note}"
+            )
+        for block in self.extra:
+            lines.append("-" * 78)
+            lines.append(block)
+        lines.append("=" * 78)
+        return "\n".join(lines)
+
+    def print(self) -> None:  # noqa: A003 - mirrors logging API
+        """Print the formatted report to stdout."""
+        print("\n" + self.format())
+
+
+def _fmt(value: float | str) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)

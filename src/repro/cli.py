@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Show version and the simulated machine presets.
+``run SQL``
+    Execute a SQL query against a generated workload dataset, serially
+    or parallelized, optionally printing the plan and a tomograph.
+``adapt (--query NAME | SQL)``
+    Adaptively parallelize a query and report the convergence outcome.
+``bench NAME``
+    Run one of the paper's experiments (``fig11``, ``fig12`` ...) and
+    print its paper-vs-measured report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import __version__
+from .config import SimulationConfig, four_socket_machine, two_socket_machine
+from .core import AdaptiveParallelizer, HeuristicParallelizer
+from .engine import execute
+from .errors import ReproError
+from .plan import format_plan, plan_stats, to_dot
+from .sql import plan_sql
+from .viz import render_convergence_report, render_tomograph
+from .workloads import TpcdsDataset, TpchDataset
+
+_EXPERIMENTS = {
+    "fig01": ("fig01_dop", "run"),
+    "fig11": ("fig11_trace", "run"),
+    "fig12": ("fig12_skew", "run"),
+    "fig14": ("fig14_select", "run"),
+    "fig15": ("fig15_join", "run"),
+    "fig16": ("fig16_workload", "run"),
+    "fig17": ("fig17_tpcds", "run"),
+    "fig18": ("fig18_robustness", "run"),
+    "fig19": ("fig19_util", "run"),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Adaptive query parallelization (EDBT 2016) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="show version and machine presets")
+
+    run = sub.add_parser("run", help="execute a SQL query on a workload dataset")
+    run.add_argument("sql", help="the SQL text")
+    _dataset_args(run)
+    run.add_argument(
+        "--parallelize",
+        choices=("none", "adaptive", "heuristic"),
+        default="none",
+        help="how to parallelize the serial plan (default: none)",
+    )
+    run.add_argument(
+        "--partitions", type=int, default=32, help="heuristic partition count"
+    )
+    run.add_argument("--show-plan", action="store_true", help="print the plan")
+    run.add_argument(
+        "--tomograph", action="store_true", help="print the execution tomograph"
+    )
+    run.add_argument("--dot", metavar="FILE", help="write the plan as Graphviz dot")
+
+    adapt = sub.add_parser("adapt", help="adaptively parallelize a query")
+    group = adapt.add_mutually_exclusive_group(required=True)
+    group.add_argument("--query", help="a named workload query, e.g. q6 or ds1")
+    group.add_argument("--sql", help="ad-hoc SQL text")
+    _dataset_args(adapt)
+    adapt.add_argument(
+        "--trace", action="store_true", help="print the per-run trace"
+    )
+
+    bench = sub.add_parser("bench", help="run one of the paper's experiments")
+    bench.add_argument(
+        "name",
+        choices=sorted(_EXPERIMENTS) + ["list"],
+        help="experiment id (or 'list')",
+    )
+    return parser
+
+
+def _dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload", choices=("tpch", "tpcds"), default="tpch",
+        help="which generated dataset to query (default: tpch)",
+    )
+    parser.add_argument(
+        "--sf", type=int, default=None, help="scale factor (default: paper's)"
+    )
+    parser.add_argument(
+        "--machine", choices=("2socket", "4socket"), default="2socket",
+        help="simulated machine preset",
+    )
+
+
+def _dataset(args) -> TpchDataset | TpcdsDataset:
+    if args.workload == "tpch":
+        return TpchDataset(scale_factor=args.sf if args.sf else 10)
+    return TpcdsDataset(scale_factor=args.sf if args.sf else 100)
+
+
+def _config(args, dataset) -> SimulationConfig:
+    machine = two_socket_machine() if args.machine == "2socket" else four_socket_machine()
+    return dataset.sim_config(machine=machine)
+
+
+def _format_outputs(outputs) -> list[str]:
+    lines = []
+    for i, out in enumerate(outputs):
+        value = getattr(out, "value", None)
+        if value is not None:
+            lines.append(f"  output[{i}] = {value}")
+        elif hasattr(out, "head"):
+            pairs = list(zip(out.head.tolist(), out.tail.tolist()))
+            shown = ", ".join(f"{k}:{v}" for k, v in pairs[:8])
+            more = "" if len(pairs) <= 8 else f" ... ({len(pairs)} groups)"
+            lines.append(f"  output[{i}] = {{{shown}}}{more}")
+        else:
+            lines.append(f"  output[{i}] = {out!r}")
+    return lines
+
+
+def _cmd_info() -> int:
+    print(f"repro {__version__} -- adaptive query parallelization (EDBT 2016)")
+    for preset in (two_socket_machine(), four_socket_machine()):
+        print(f"  {preset.describe()}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    dataset = _dataset(args)
+    config = _config(args, dataset)
+    plan = plan_sql(args.sql, dataset.catalog)
+    label = "serial"
+    if args.parallelize == "heuristic":
+        plan = HeuristicParallelizer(args.partitions).parallelize(plan)
+        label = f"heuristic({args.partitions})"
+    elif args.parallelize == "adaptive":
+        adaptive = AdaptiveParallelizer(config).optimize(plan)
+        plan = adaptive.best_plan
+        label = (
+            f"adaptive (x{adaptive.speedup:.1f} after {adaptive.total_runs} runs)"
+        )
+    if args.show_plan:
+        print(format_plan(plan))
+    if args.dot:
+        with open(args.dot, "w") as handle:
+            handle.write(to_dot(plan))
+        print(f"wrote {args.dot}")
+    result = execute(plan, config)
+    print(f"{label}: {result.response_time * 1000:.2f} ms simulated")
+    print(f"plan: {plan_stats(plan).format()}")
+    for line in _format_outputs(result.outputs):
+        print(line)
+    if args.tomograph:
+        print(render_tomograph(result.profile, config.machine.hardware_threads))
+    return 0
+
+
+def _cmd_adapt(args) -> int:
+    dataset = _dataset(args)
+    config = _config(args, dataset)
+    if args.query:
+        plan = dataset.plan(args.query)
+        name = args.query
+    else:
+        plan = plan_sql(args.sql, dataset.catalog)
+        name = "ad-hoc query"
+    adaptive = AdaptiveParallelizer(config).optimize(plan)
+    print(f"{name}: serial {adaptive.serial_time * 1000:.2f} ms -> "
+          f"GME {adaptive.gme_time * 1000:.2f} ms "
+          f"(x{adaptive.speedup:.1f}) at run {adaptive.gme_run}; "
+          f"converged after {adaptive.total_runs} runs")
+    print(f"best plan: {plan_stats(adaptive.best_plan).format()}")
+    if args.trace:
+        print(render_convergence_report(adaptive))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    if args.name == "list":
+        for name, (module, __) in sorted(_EXPERIMENTS.items()):
+            print(f"  {name}: repro.bench.experiments.{module}")
+        return 0
+    module_name, func_name = _EXPERIMENTS[args.name]
+    import importlib
+
+    module = importlib.import_module(f"repro.bench.experiments.{module_name}")
+    result = getattr(module, func_name)()
+    result.report.print()
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "info":
+            return _cmd_info()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "adapt":
+            return _cmd_adapt(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

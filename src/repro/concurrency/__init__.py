@@ -1,0 +1,6 @@
+"""Concurrent workload simulation: closed-loop clients on one machine."""
+
+from .client import ClientSpec, ClientState
+from .runner import ConcurrentWorkload, WorkloadReport
+
+__all__ = ["ClientSpec", "ClientState", "ConcurrentWorkload", "WorkloadReport"]

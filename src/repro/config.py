@@ -1,0 +1,228 @@
+"""Machine descriptions and simulation configuration.
+
+The paper evaluates on two Xeon boxes (Table 1).  :func:`two_socket_machine`
+and :func:`four_socket_machine` reproduce those configurations.  The
+simulator consumes a :class:`MachineSpec` plus a :class:`SimulationConfig`
+describing noise, scaling, and scheduling knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+#: Logical bytes represented by one actual byte of generated data.  The
+#: workload generators build laptop-sized arrays; the cost model multiplies
+#: sizes by this factor so that cache and bandwidth crossovers land where
+#: they would at paper scale.
+DEFAULT_DATA_SCALE = 1000.0
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A multi-core shared-memory machine as seen by the simulator.
+
+    Attributes mirror the hardware rows of Table 1 in the paper.  Rates are
+    intentionally coarse: the simulator cares about *relative* effects
+    (bandwidth saturation, hyperthread discount, cache fit, NUMA penalty),
+    not nanosecond accuracy.
+    """
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    threads_per_core: int
+    ghz: float
+    l1_kb: int
+    l2_kb: int
+    l3_mb: int  # shared L3, per socket
+    memory_gb: int
+    #: Sustainable memory bandwidth per socket, bytes/second.
+    mem_bandwidth_gbps: float
+    #: Fraction of full bandwidth when accessing a remote socket's memory.
+    numa_remote_factor: float = 0.6
+    #: True (default): memory-mapped, first-touch placement -- operator
+    #: data lands on the socket that executes it, so cross-socket traffic
+    #: is negligible (the paper's NUMA-obliviousness [14], which Figure 17
+    #: relies on).  False: intermediates are homed on the socket of their
+    #: *producing* thread, and consumers scheduled on the other socket pay
+    #: the ``numa_remote_factor`` bandwidth penalty.
+    numa_first_touch: bool = True
+    #: Total throughput of one physical core when both hyperthreads are
+    #: busy, relative to a single thread running alone (e.g. 1.3 means each
+    #: of the two hyperthreads progresses at 0.65x).
+    hyperthread_yield: float = 1.3
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1 or self.cores_per_socket < 1:
+            raise ValueError("machine must have at least one core")
+        if self.threads_per_core < 1:
+            raise ValueError("threads_per_core must be >= 1")
+        if self.hyperthread_yield < 1.0:
+            raise ValueError("hyperthread_yield must be >= 1.0")
+        if not 0.0 < self.numa_remote_factor <= 1.0:
+            raise ValueError("numa_remote_factor must be in (0, 1]")
+
+    @property
+    def physical_cores(self) -> int:
+        """Total physical cores across all sockets."""
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def hardware_threads(self) -> int:
+        """Total schedulable hardware threads (cores x SMT)."""
+        return self.physical_cores * self.threads_per_core
+
+    @property
+    def cycles_per_second(self) -> float:
+        """Single-thread cycle rate in Hz."""
+        return self.ghz * 1e9
+
+    @property
+    def l3_bytes(self) -> int:
+        """Shared L3 size per socket, in bytes."""
+        return self.l3_mb * 1024 * 1024
+
+    def socket_of_core(self, core_id: int) -> int:
+        """Socket that owns physical core ``core_id`` (block layout)."""
+        if not 0 <= core_id < self.physical_cores:
+            raise ValueError(f"core id {core_id} out of range")
+        return core_id // self.cores_per_socket
+
+    def describe(self) -> str:
+        """One-line human-readable summary, used in benchmark headers."""
+        return (
+            f"{self.name}: {self.sockets} socket(s) x {self.cores_per_socket} cores "
+            f"x {self.threads_per_core} HT = {self.hardware_threads} threads @ "
+            f"{self.ghz:.2f} GHz, L3 {self.l3_mb} MB/socket, "
+            f"{self.memory_gb} GB RAM, {self.mem_bandwidth_gbps:.0f} GB/s/socket"
+        )
+
+
+def two_socket_machine() -> MachineSpec:
+    """The paper's 2-socket Intel Xeon E5-2650 box (32 hardware threads)."""
+    return MachineSpec(
+        name="Intel Xeon E5-2650 @ 2.00GHz",
+        sockets=2,
+        cores_per_socket=8,
+        threads_per_core=2,
+        ghz=2.0,
+        l1_kb=32,
+        l2_kb=256,
+        l3_mb=20,
+        memory_gb=256,
+        mem_bandwidth_gbps=40.0,
+    )
+
+
+def four_socket_machine() -> MachineSpec:
+    """The paper's 4-socket Intel Xeon E5-4657Lv2 box (96 hardware threads)."""
+    return MachineSpec(
+        name="Intel Xeon E5-4657Lv2 @ 2.40GHz",
+        sockets=4,
+        cores_per_socket=12,
+        threads_per_core=2,
+        ghz=2.4,
+        l1_kb=32,
+        l2_kb=256,
+        l3_mb=30,
+        memory_gb=1024,
+        mem_bandwidth_gbps=48.0,
+    )
+
+
+def laptop_machine(threads: int = 8) -> MachineSpec:
+    """A small single-socket machine, convenient for unit tests."""
+    if threads % 2:
+        raise ValueError("threads must be even (2 hyperthreads per core)")
+    return MachineSpec(
+        name=f"test-machine-{threads}t",
+        sockets=1,
+        cores_per_socket=threads // 2,
+        threads_per_core=2,
+        ghz=2.0,
+        l1_kb=32,
+        l2_kb=256,
+        l3_mb=8,
+        memory_gb=16,
+        mem_bandwidth_gbps=20.0,
+    )
+
+
+@dataclass(frozen=True)
+class NoiseConfig:
+    """Operating-system interference model (paper Section 3.3.3).
+
+    With probability ``peak_probability`` a dispatched operator suffers a
+    multiplicative slowdown drawn uniformly from
+    ``[1, 1 + peak_magnitude]``; background jitter perturbs every operator
+    by up to ``jitter`` (fraction).
+    """
+
+    jitter: float = 0.0
+    peak_probability: float = 0.0
+    peak_magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.jitter < 0 or self.peak_probability < 0 or self.peak_magnitude < 0:
+            raise ValueError("noise parameters must be non-negative")
+        if self.peak_probability > 1:
+            raise ValueError("peak_probability must be <= 1")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any interference is configured."""
+        return self.jitter > 0 or (self.peak_probability > 0 and self.peak_magnitude > 0)
+
+
+QUIET = NoiseConfig()
+#: A mildly noisy environment: small jitter, rare large peaks, as in Fig 11.
+NOISY = NoiseConfig(jitter=0.03, peak_probability=0.03, peak_magnitude=8.0)
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything the executor needs besides the plan itself."""
+
+    machine: MachineSpec = field(default_factory=two_socket_machine)
+    noise: NoiseConfig = QUIET
+    #: Multiplier from actual numpy bytes to logical (paper-scale) bytes.
+    data_scale: float = DEFAULT_DATA_SCALE
+    #: Cap on hardware threads a single query may occupy (None = machine max).
+    max_threads: int | None = None
+    seed: int = 20160315  # EDBT 2016 opening day
+
+    def __post_init__(self) -> None:
+        if self.data_scale <= 0:
+            raise ValueError("data_scale must be positive")
+        if self.max_threads is not None and self.max_threads < 1:
+            raise ValueError("max_threads must be >= 1")
+
+    @property
+    def effective_threads(self) -> int:
+        """Hardware threads available to one query (respects max_threads)."""
+        limit = self.machine.hardware_threads
+        if self.max_threads is None:
+            return limit
+        return min(self.max_threads, limit)
+
+    def rng(self) -> np.random.Generator:
+        """A fresh deterministic generator for this configuration."""
+        return np.random.default_rng(self.seed)
+
+    def with_threads(self, max_threads: int | None) -> "SimulationConfig":
+        """A copy with a different per-query thread cap."""
+        return replace(self, max_threads=max_threads)
+
+    def with_noise(self, noise: NoiseConfig) -> "SimulationConfig":
+        """A copy with a different interference model."""
+        return replace(self, noise=noise)
+
+    def with_seed(self, seed: int) -> "SimulationConfig":
+        """A copy with a different random seed."""
+        return replace(self, seed=seed)
+
+    def with_machine(self, machine: MachineSpec) -> "SimulationConfig":
+        """A copy targeting a different machine."""
+        return replace(self, machine=machine)

@@ -1,0 +1,193 @@
+"""The adaptive-parallelization convergence algorithm (paper Section 3).
+
+Starting from the serial execution (run 0), every run contributes
+*credit* proportional to its positive rate of improvement (ROI) and
+*debit* for regressions; the search continues while ``credit - debit >
+0``.  After ``Number_Of_Cores`` runs a constant *leaking debit* drains
+the remaining credit over ``Extra_Runs x Number_Of_Cores`` further runs,
+guaranteeing convergence on stable systems.  Unique noise peaks (a run
+slower than the serial plan, between two normal runs) are marked
+outliers and their debit is forgiven, so convergence survives a noisy
+environment (Section 3.3.3).
+
+The global minimum execution (GME) only moves to a new run when that
+run's improvement over serial beats the incumbent's by
+``gme_threshold`` -- small wobbles do not steal the title (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConvergenceError
+
+#: Paper: "Extra_Runs=eight is considered a safe boundary value".
+DEFAULT_EXTRA_RUNS = 8
+#: GME replacement threshold, in percentage points of improvement over
+#: serial.  The paper leaves the value open (its Section 3.1 example uses
+#: 5%, noting that "correct tuning of the threshold parameter is thus
+#: crucial"); 2% keeps the paper's discard-marginal-minima behaviour
+#: while still tracking the slow tail of cumulative improvements.
+DEFAULT_GME_THRESHOLD = 0.02
+
+
+@dataclass(frozen=True)
+class ConvergenceParams:
+    """Tunables of the convergence algorithm."""
+
+    number_of_cores: int
+    extra_runs: int = DEFAULT_EXTRA_RUNS
+    gme_threshold: float = DEFAULT_GME_THRESHOLD
+    initial_credit: float = 1.0
+    #: Hard safety cap on total runs, far above the paper's upper bound.
+    max_runs: int = 500
+    #: Disable the outlier-peak forgiveness (for ablation benchmarks).
+    handle_outliers: bool = True
+
+    def __post_init__(self) -> None:
+        if self.number_of_cores < 1:
+            raise ConvergenceError("number_of_cores must be >= 1")
+        if self.extra_runs < 1:
+            raise ConvergenceError("extra_runs must be >= 1")
+        if not 0 <= self.gme_threshold < 1:
+            raise ConvergenceError("gme_threshold must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Bookkeeping for one adaptive run."""
+
+    index: int
+    exec_time: float
+    roi: float
+    credit: float
+    debit: float
+    is_outlier: bool
+    gme_run: int
+    gme_time: float
+
+    @property
+    def balance(self) -> float:
+        return self.credit - self.debit
+
+
+@dataclass
+class ConvergenceTracker:
+    """Feed execution times in; ask :meth:`should_continue` after each.
+
+    Usage::
+
+        tracker = ConvergenceTracker(ConvergenceParams(number_of_cores=32))
+        tracker.observe(serial_time)            # run 0
+        while tracker.should_continue():
+            tracker.observe(next_run_time)
+    """
+
+    params: ConvergenceParams
+    history: list[RunRecord] = field(default_factory=list)
+    credit: float = 0.0
+    debit: float = 0.0
+    _leaking_debit: float | None = None
+    _serial_time: float | None = None
+    _gme_time: float | None = None
+    _gme_run: int = 0
+
+    def __post_init__(self) -> None:
+        self.credit = self.params.initial_credit
+
+    # ------------------------------------------------------------------
+    @property
+    def runs(self) -> int:
+        return len(self.history)
+
+    @property
+    def serial_time(self) -> float:
+        if self._serial_time is None:
+            raise ConvergenceError("no runs observed yet")
+        return self._serial_time
+
+    @property
+    def gme_time(self) -> float:
+        if self._gme_time is None:
+            raise ConvergenceError("GME undefined before run 1")
+        return self._gme_time
+
+    @property
+    def gme_run(self) -> int:
+        return self._gme_run
+
+    def gme_improvement(self) -> float:
+        return abs(self.serial_time - self.gme_time) / self.serial_time
+
+    # ------------------------------------------------------------------
+    def observe(self, exec_time: float) -> RunRecord:
+        """Record one run's execution time; returns its bookkeeping."""
+        if exec_time <= 0:
+            raise ConvergenceError(f"execution time must be positive, got {exec_time}")
+        index = len(self.history)
+        if index == 0:
+            self._serial_time = exec_time
+            record = RunRecord(0, exec_time, 0.0, self.credit, self.debit, False, 0, exec_time)
+            self.history.append(record)
+            return record
+
+        prev = self.history[-1].exec_time
+        roi = (prev - exec_time) / max(exec_time, prev)
+        is_outlier = self._is_outlier(exec_time, prev)
+        if roi >= 0:
+            self.credit += roi * self.params.number_of_cores
+        elif not is_outlier:
+            self.debit += abs(roi) * self.params.number_of_cores
+
+        # Leaking debit: once past the threshold run, drain the credit
+        # accumulated so far across the remaining budgeted runs.
+        if index >= self.params.number_of_cores:
+            if self._leaking_debit is None:
+                remaining = self.params.extra_runs * self.params.number_of_cores
+                self._leaking_debit = max(self.credit - self.debit, 0.0) / remaining
+            self.debit += self._leaking_debit
+
+        self._update_gme(index, exec_time)
+        record = RunRecord(
+            index=index,
+            exec_time=exec_time,
+            roi=roi,
+            credit=self.credit,
+            debit=self.debit,
+            is_outlier=is_outlier,
+            gme_run=self._gme_run,
+            gme_time=self._gme_time if self._gme_time is not None else exec_time,
+        )
+        self.history.append(record)
+        return record
+
+    def _is_outlier(self, exec_time: float, prev: float) -> bool:
+        """A unique peak: slower than serial, previous run was normal."""
+        if not self.params.handle_outliers or self._serial_time is None:
+            return False
+        return exec_time > self._serial_time and prev <= self._serial_time
+
+    def _update_gme(self, index: int, exec_time: float) -> None:
+        serial = self.serial_time
+        if self._gme_time is None:
+            # The GME is initialized to the first run after serial.
+            self._gme_time = exec_time
+            self._gme_run = index
+            return
+        cur_improv = (serial - exec_time) / serial
+        gme_improv = (serial - self._gme_time) / serial
+        if cur_improv - gme_improv > self.params.gme_threshold:
+            self._gme_time = exec_time
+            self._gme_run = index
+
+    # ------------------------------------------------------------------
+    def should_continue(self) -> bool:
+        """True while the credit/debit balance allows another run."""
+        if not self.history:
+            return True  # nothing observed yet: run the serial plan
+        if self.runs >= self.params.max_runs:
+            return False
+        return (self.credit - self.debit) > 0
+
+    def exec_times(self) -> list[float]:
+        return [record.exec_time for record in self.history]

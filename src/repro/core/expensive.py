@@ -1,0 +1,89 @@
+"""Expensive-operator identification from execution feedback.
+
+Adaptive parallelization's guiding heuristic: "an operator is considered
+expensive if its execution time is the highest amongst all operators"
+(paper Section 2.1).  Not every operator can be mutated, so the chooser
+walks the profile in descending duration and yields candidates together
+with the mutation scheme that applies to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..engine.profiler import QueryProfile
+from ..plan.graph import Plan, PlanNode
+
+#: Operator kinds parallelized by cloning over a split of their
+#: partitioned input (paper's *basic* mutation, plus the join case).
+BASIC_KINDS = frozenset(
+    {"select", "fetch", "calc", "join", "semijoin", "mirror", "heads"}
+)
+#: Blocking operators, parallelized with partials + a combiner
+#: (paper's *advanced* mutation).
+ADVANCED_KINDS = frozenset({"groupby", "aggregate", "sort"})
+#: The exchange union; parallelized by removal (paper's *medium* mutation).
+MEDIUM_KINDS = frozenset({"pack"})
+
+#: Kind -> indices of the inputs that are range-partitioned when the
+#: operator is cloned.  ``None`` marks "all vector inputs" (calc and
+#: grouped aggregation need every vector operand split identically to
+#: preserve head alignment).
+PARTITIONED_INPUTS: dict[str, tuple[int, ...] | None] = {
+    "select": (0,),
+    "fetch": (0,),
+    "join": (0,),
+    "semijoin": (0,),
+    "mirror": (0,),
+    "heads": (0,),
+    "calc": None,
+    "groupby": None,
+    "aggregate": (0,),
+    "sort": (0,),
+}
+
+
+@dataclass(frozen=True)
+class MutationCandidate:
+    """An expensive operator and the mutation scheme that applies."""
+
+    node: PlanNode
+    scheme: str  # "basic" | "advanced" | "medium"
+    duration: float
+
+
+def mutation_scheme(kind: str) -> str | None:
+    if kind in BASIC_KINDS:
+        return "basic"
+    if kind in ADVANCED_KINDS:
+        return "advanced"
+    if kind in MEDIUM_KINDS:
+        return "medium"
+    return None
+
+
+def candidates(
+    plan: Plan,
+    profile: QueryProfile,
+    *,
+    blocked: frozenset[int] | set[int] = frozenset(),
+    min_tuples: int = 2,
+) -> Iterator[MutationCandidate]:
+    """Yield mutable operators, most expensive first.
+
+    ``blocked`` holds node ids whose mutation previously failed or was
+    suppressed (e.g. packs past the fan-in threshold); ``min_tuples``
+    skips operators whose input is already too small to split further.
+    """
+    in_plan = {node.nid for node in plan.nodes()}
+    for record in profile.ranked():
+        node = record.node
+        if node.nid not in in_plan or node.nid in blocked:
+            continue
+        scheme = mutation_scheme(node.kind)
+        if scheme is None:
+            continue
+        if scheme in ("basic", "advanced") and record.tuples_in < min_tuples:
+            continue
+        yield MutationCandidate(node=node, scheme=scheme, duration=record.duration)

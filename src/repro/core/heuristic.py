@@ -1,0 +1,247 @@
+"""Heuristic (static) parallelization -- MonetDB's default, the HP baseline.
+
+HP picks a partition count up front from "the number of threads, physical
+memory size, and the largest table size" (paper Section 4.2.1), range-
+partitions every scan of the largest table into that many slices, and
+propagates the partitions through all data-flow dependent operators:
+every parallelizable operator is cloned per partition, blocking operators
+get partial/merge treatment, and exchange unions are inserted wherever a
+consumer needs the merged stream.  Unlike AP, *all* parallelizable
+operators end up with the same (maximal) degree of parallelism -- which
+is exactly why HP plans burn more cores (Table 5) and suffer under
+concurrent load (Figure 16).
+"""
+
+from __future__ import annotations
+
+from ..errors import PlanError
+from ..operators.exchange import Pack
+from ..operators.groupby import merge_func_for
+from ..operators.aggregate import Aggregate
+from ..operators.groupby import AggrMerge
+from ..operators.slice import FRACTION_UNITS, PartitionSlice
+from ..operators.sort import Sort
+from ..plan.graph import Plan, PlanNode
+from .mutation import produces_scalar
+
+#: Result of rewriting one node: a single node or k partition nodes.
+_Rewritten = "PlanNode | list[PlanNode]"
+
+
+class HeuristicParallelizer:
+    """Static plan re-writer producing a fixed-DOP parallel plan."""
+
+    def __init__(self, partitions: int) -> None:
+        if partitions < 1:
+            raise PlanError("partitions must be >= 1")
+        self.partitions = partitions
+
+    # ------------------------------------------------------------------
+    def parallelize(self, plan: Plan) -> Plan:
+        """A new plan with the largest table's scans partitioned
+        ``self.partitions`` ways and the partitions propagated."""
+        working = plan.copy()
+        if self.partitions == 1:
+            return working
+        target_len = self._largest_scan_length(working)
+        if target_len == 0:
+            return working
+        memo: dict[int, PlanNode | list[PlanNode]] = {}
+        outputs = []
+        for out in working.outputs:
+            rewritten = self._rewrite(working, out, target_len, memo)
+            outputs.append(self._merge(rewritten))
+        working.set_outputs(outputs)
+        return working
+
+    def _largest_scan_length(self, plan: Plan) -> int:
+        lengths = [len(node.op.column) for node in plan.nodes() if node.kind == "scan"]
+        return max(lengths, default=0)
+
+    # ------------------------------------------------------------------
+    def _rewrite(
+        self,
+        plan: Plan,
+        node: PlanNode,
+        target_len: int,
+        memo: dict[int, PlanNode | list[PlanNode]],
+    ):
+        if node.nid in memo:
+            return memo[node.nid]
+        result = self._rewrite_uncached(plan, node, target_len, memo)
+        memo[node.nid] = result
+        return result
+
+    def _rewrite_uncached(self, plan, node, target_len, memo):
+        k = self.partitions
+        kind = node.kind
+        if kind == "scan":
+            if len(node.op.column) != target_len:
+                return node
+            return self._partition_leaf(node)
+        children = [self._rewrite(plan, child, target_len, memo) for child in node.inputs]
+
+        if kind == "select":
+            src = children[0]
+            cands = children[1] if len(children) > 1 else None
+            if isinstance(src, list) and isinstance(cands, list):
+                # Same table, same leaf partitioning: zip slice i with
+                # candidate partition i.
+                return self._clones(node, list(map(list, zip(src, cands))))
+            if isinstance(src, list):
+                extra = [cands] if cands is not None else []
+                return self._clones(node, [[s] + extra for s in src])
+            if isinstance(cands, list):
+                return self._clones(node, [[src, c] for c in cands])
+            return self._rebind(node, children)
+        if kind == "fetch":
+            rowids, view = children
+            if isinstance(rowids, list) and isinstance(view, list):
+                return self._clones(node, list(map(list, zip(rowids, view))))
+            if isinstance(rowids, list):
+                return self._clones(node, [[r, view] for r in rowids])
+            if isinstance(view, list):
+                # Shared rowids; each clone trims to its slice.
+                return self._clones(node, [[rowids, v] for v in view])
+            return self._rebind(node, children)
+        if kind in ("mirror", "heads"):
+            src = children[0]
+            if isinstance(src, list):
+                return self._clones(node, [[s] for s in src])
+            return self._rebind(node, children)
+        if kind in ("join", "semijoin"):
+            outer, inner = children
+            inner_single = self._merge(inner)
+            if isinstance(outer, list):
+                return self._clones(node, [[o, inner_single] for o in outer])
+            return self._rebind(node, [outer, inner_single])
+        if kind == "calc":
+            a, b = children
+            if isinstance(a, list) and isinstance(b, list):
+                return self._clones(node, list(map(list, zip(a, b))))
+            if isinstance(a, list):
+                if produces_scalar(node.inputs[1]):
+                    return self._clones(node, [[x, b] for x in a])
+                return self._rebind(node, [self._merge(a), b])
+            if isinstance(b, list):
+                if produces_scalar(node.inputs[0]):
+                    return self._clones(node, [[a, x] for x in b])
+                return self._rebind(node, [a, self._merge(b)])
+            return self._rebind(node, children)
+        if kind == "groupby":
+            if all(isinstance(c, list) for c in children):
+                clones = self._clones(node, list(map(list, zip(*children))))
+                return self._combine(clones, AggrMerge(merge_func_for(node.op.func)))
+            return self._rebind(node, [self._merge(c) for c in children])
+        if kind == "aggregate":
+            src = children[0]
+            if isinstance(src, list):
+                clones = self._clones(node, [[s] for s in src])
+                return self._combine(clones, Aggregate(merge_func_for(node.op.func)))
+            return self._rebind(node, children)
+        if kind == "sort":
+            src = children[0]
+            if isinstance(src, list):
+                clones = self._clones(node, [[s] for s in src])
+                return self._combine(
+                    clones, Sort(descending=node.op.descending, by=node.op.by)
+                )
+            return self._rebind(node, children)
+        if kind in ("cand_union", "cand_intersect"):
+            if children and all(isinstance(c, list) for c in children):
+                lengths = {len(c) for c in children}
+                if lengths == {k}:
+                    return self._clones(node, list(map(list, zip(*children))))
+            return self._rebind(node, [self._merge(c) for c in children])
+        # topn, literal, anything else: needs single inputs.
+        return self._rebind(node, [self._merge(c) for c in children])
+
+    # ------------------------------------------------------------------
+    def _partition_leaf(self, node: PlanNode) -> list[PlanNode]:
+        k = self.partitions
+        bounds = [(i * FRACTION_UNITS) // k for i in range(k + 1)]
+        return [
+            PlanNode(
+                PartitionSlice(bounds[i], bounds[i + 1]),
+                [node],
+                order_key=bounds[i],
+                label=node.label,
+            )
+            for i in range(k)
+        ]
+
+    def _clones(self, node: PlanNode, input_sets: list[list[PlanNode]]) -> list[PlanNode]:
+        clones = []
+        for i, inputs in enumerate(input_sets):
+            key = inputs[0].order_key if inputs[0].order_key is not None else i
+            clones.append(
+                PlanNode(node.op.clone(), inputs, order_key=key, label=node.label)
+            )
+        return clones
+
+    def _rebind(self, node: PlanNode, children: list) -> PlanNode:
+        resolved = [self._merge(child) for child in children]
+        node.inputs = resolved
+        return node
+
+    def _merge(self, rewritten) -> PlanNode:
+        """Collapse a partition list back to one node.
+
+        Adjacent partition slices of a shared source collapse to the
+        source itself (nothing was materialized); everything else gets an
+        exchange union.
+        """
+        if not isinstance(rewritten, list):
+            return rewritten
+        if all(
+            part.kind == "slice" and part.inputs and part.inputs[0] is rewritten[0].inputs[0]
+            for part in rewritten
+        ):
+            first, last = rewritten[0].op, rewritten[-1].op
+            if first.lo == 0 and last.hi == FRACTION_UNITS:
+                return rewritten[0].inputs[0]
+        return PlanNode(Pack(), rewritten)
+
+    def _combine(self, clones: list[PlanNode], combiner) -> PlanNode:
+        pack = PlanNode(Pack(), clones)
+        return PlanNode(combiner, [pack])
+
+
+def mitosis_partitions(
+    config, table_bytes: float, *, min_partition_mb: float = 64.0
+) -> int:
+    """MonetDB-mitosis-style partition count.
+
+    The paper: HP "uses parameters such as the number of threads,
+    physical memory size, and the largest table size to identify the
+    number of partitions".  This helper reproduces that decision: one
+    partition per hardware thread, but never slicing the table below
+    ``min_partition_mb`` logical megabytes per piece, and never more
+    pieces than fit the machine's memory budget.
+    """
+    import math
+
+    threads = config.effective_threads
+    if table_bytes <= 0:
+        return 1
+    # Upper cap: never slice below min_partition_mb per piece.
+    by_size_cap = max(1, int(table_bytes / (min_partition_mb * 1e6)))
+    # Lower bound: each piece must fit one thread's share of memory
+    # (mitosis creates more pieces than threads for huge tables).
+    per_thread_memory = config.machine.memory_gb * 1e9 / threads
+    needed_by_memory = math.ceil(table_bytes / per_thread_memory)
+    return max(min(threads, by_size_cap), min(needed_by_memory, by_size_cap))
+
+
+def heuristic_for(config, plan: Plan, *, data_scale: float | None = None) -> HeuristicParallelizer:
+    """A :class:`HeuristicParallelizer` sized like MonetDB would size it.
+
+    ``data_scale`` defaults to the config's scale; the largest scanned
+    column's logical bytes stand in for the largest table.
+    """
+    scale = data_scale if data_scale is not None else config.data_scale
+    largest = 0.0
+    for node in plan.nodes():
+        if node.kind == "scan":
+            largest = max(largest, node.op.column.nbytes * scale)
+    return HeuristicParallelizer(mitosis_partitions(config, largest))

@@ -1,0 +1,168 @@
+"""The paper's end-to-end workflow: a session with a query cache.
+
+Figure 2: a query arrives, is compiled to a serial plan and *cached*;
+each further invocation of the same query template executes the current
+plan, records the profile, and mutates the plan for next time -- the
+user never calls the optimizer explicitly.  Once the convergence
+algorithm finishes, every later invocation is served the global-minimum
+plan from the cache.
+
+This is the interface a database front-end would embed::
+
+    session = AdaptiveSession(catalog, config)
+    for _ in range(50):
+        result = session.execute("SELECT SUM(x) FROM t WHERE y < 5")
+    print(session.entry_for("SELECT SUM(x) FROM t WHERE y < 5").state)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..config import SimulationConfig
+from ..engine.executor import execute
+from ..engine.scheduler import ExecutionResult
+from ..errors import ReproError
+from ..plan.graph import Plan
+from ..sql.planner import plan_sql
+from ..storage.catalog import Catalog
+from .convergence import ConvergenceParams, ConvergenceTracker
+from .history import PlanHistory
+from .mutation import DEFAULT_PACK_FANIN_LIMIT, PlanMutator
+
+
+class EntryState(Enum):
+    """Lifecycle of a cached query template."""
+
+    ADAPTING = "adapting"
+    CONVERGED = "converged"
+
+
+@dataclass
+class CacheEntry:
+    """Per-query-template adaptation state."""
+
+    sql: str
+    plan: Plan
+    mutator: PlanMutator
+    tracker: ConvergenceTracker
+    history: PlanHistory
+    state: EntryState = EntryState.ADAPTING
+    invocations: int = 0
+    _last_profile: object = None
+
+    @property
+    def best_time(self) -> float:
+        if self.tracker.runs <= 1:
+            return self.tracker.serial_time
+        return min(self.tracker.gme_time, self.tracker.serial_time)
+
+    def summary(self) -> str:
+        return (
+            f"{self.state.value}: {self.invocations} invocation(s), "
+            f"{self.tracker.runs} adaptive run(s), best "
+            f"{self.best_time * 1000:.1f} ms"
+        )
+
+
+class AdaptiveSession:
+    """Executes SQL, adapting each cached template across invocations."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: SimulationConfig | None = None,
+        *,
+        convergence: ConvergenceParams | None = None,
+        pack_fanin_limit: int = DEFAULT_PACK_FANIN_LIMIT,
+    ) -> None:
+        self.catalog = catalog
+        self.config = config if config is not None else SimulationConfig()
+        if convergence is None:
+            convergence = ConvergenceParams(
+                number_of_cores=self.config.effective_threads
+            )
+        self.convergence = convergence
+        self.pack_fanin_limit = pack_fanin_limit
+        self._cache: dict[str, CacheEntry] = {}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _template_key(sql: str) -> str:
+        return " ".join(sql.split()).lower()
+
+    def entry_for(self, sql: str) -> CacheEntry:
+        key = self._template_key(sql)
+        try:
+            return self._cache[key]
+        except KeyError:
+            raise ReproError(f"query has never been executed: {sql!r}") from None
+
+    def cached_queries(self) -> list[str]:
+        return [entry.sql for entry in self._cache.values()]
+
+    # ------------------------------------------------------------------
+    def execute(self, sql: str) -> ExecutionResult:
+        """Run one invocation of ``sql`` (compiling and caching if new).
+
+        While the entry is adapting, each invocation runs the current
+        morphed plan and feeds the profile back into the mutator; once
+        converged, the stored global-minimum plan is executed directly.
+        """
+        key = self._template_key(sql)
+        entry = self._cache.get(key)
+        if entry is None:
+            entry = self._admit(key, sql)
+        entry.invocations += 1
+        if entry.state is EntryState.CONVERGED:
+            return self._run(entry.history.choose(), entry)
+        return self._adaptive_step(entry)
+
+    def _admit(self, key: str, sql: str) -> CacheEntry:
+        plan = plan_sql(sql, self.catalog)
+        entry = CacheEntry(
+            sql=sql,
+            plan=plan,
+            mutator=PlanMutator(plan, pack_fanin_limit=self.pack_fanin_limit),
+            tracker=ConvergenceTracker(self.convergence),
+            history=PlanHistory(),
+        )
+        entry.history.snapshot_serial(plan)
+        self._cache[key] = entry
+        return entry
+
+    def _run(self, plan: Plan, entry: CacheEntry) -> ExecutionResult:
+        config = self.config.with_seed(self.config.seed + entry.invocations)
+        return execute(plan, config)
+
+    def _adaptive_step(self, entry: CacheEntry) -> ExecutionResult:
+        run_index = entry.tracker.runs  # 0 on the first invocation
+        if run_index > 0:
+            mutation = entry.mutator.mutate(entry._last_profile)
+            if mutation is None:
+                self._converge(entry)
+                return self._run(entry.history.choose(), entry)
+        result = self._run(entry.plan, entry)
+        record = entry.tracker.observe(result.response_time)
+        entry.history.record(result.response_time)
+        if (
+            run_index > 0
+            and record.gme_run == run_index
+            and record.gme_time < entry.tracker.serial_time
+        ):
+            entry.history.snapshot_best(entry.plan, run_index)
+        entry._last_profile = result.profile
+        if not entry.tracker.should_continue():
+            self._converge(entry)
+        return result
+
+    def _converge(self, entry: CacheEntry) -> None:
+        entry.state = EntryState.CONVERGED
+        if entry.history.best_plan is None:
+            entry.history.snapshot_best(entry.history.serial_plan, 0)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, str]:
+        """Per-template summaries, for monitoring dashboards."""
+        return {entry.sql: entry.summary() for entry in self._cache.values()}

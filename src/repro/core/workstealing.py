@@ -1,0 +1,46 @@
+"""Work-stealing-style baseline (paper Section 4.1.1, Figure 12 bar 2).
+
+The paper approximates work stealing by creating many more static
+partitions than threads (128 partitions, 8 threads): threads that finish
+early pick up remaining partitions, so skew hurts less -- at the price of
+per-partition scheduling overhead.  Our data-flow scheduler naturally
+behaves this way when a plan has more ready operators than the query's
+thread cap, so the baseline is: HP-rewrite with ``partitions`` slices,
+execute with ``max_threads`` threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SimulationConfig
+from ..engine.executor import execute
+from ..engine.scheduler import ExecutionResult
+from ..plan.graph import Plan
+from .heuristic import HeuristicParallelizer
+
+
+@dataclass(frozen=True)
+class WorkStealingConfig:
+    """Partition/thread shape of the work-stealing approximation."""
+
+    partitions: int = 128
+    threads: int = 8
+
+
+class WorkStealingExecutor:
+    """Static many-small-partitions execution with a capped thread pool."""
+
+    def __init__(
+        self, config: SimulationConfig, ws: WorkStealingConfig | None = None
+    ) -> None:
+        self.config = config
+        self.ws = ws if ws is not None else WorkStealingConfig()
+
+    def parallelize(self, plan: Plan) -> Plan:
+        return HeuristicParallelizer(self.ws.partitions).parallelize(plan)
+
+    def run(self, plan: Plan) -> ExecutionResult:
+        parallel = self.parallelize(plan)
+        config = self.config.with_threads(self.ws.threads)
+        return execute(parallel, config)

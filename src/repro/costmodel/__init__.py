@@ -1,0 +1,13 @@
+"""Cost model: work profiles -> simulated cycles and memory traffic."""
+
+from .model import CostContext, Work, compute_work, thread_bandwidth_cap
+from .params import DEFAULT_PARAMS, CostParams
+
+__all__ = [
+    "CostContext",
+    "CostParams",
+    "DEFAULT_PARAMS",
+    "Work",
+    "compute_work",
+    "thread_bandwidth_cap",
+]

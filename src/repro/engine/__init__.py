@@ -1,0 +1,18 @@
+"""Discrete-event multi-core execution engine."""
+
+from .executor import execute
+from .machine import HardwareThread, MachineState
+from .noise import NoiseModel
+from .profiler import OpRecord, QueryProfile
+from .scheduler import ExecutionResult, Simulator
+
+__all__ = [
+    "ExecutionResult",
+    "HardwareThread",
+    "MachineState",
+    "NoiseModel",
+    "OpRecord",
+    "QueryProfile",
+    "Simulator",
+    "execute",
+]

@@ -1,0 +1,21 @@
+"""One-shot plan execution facade."""
+
+from __future__ import annotations
+
+from ..config import SimulationConfig
+from ..plan.graph import Plan
+from .scheduler import ExecutionResult, Simulator
+
+
+def execute(plan: Plan, config: SimulationConfig | None = None) -> ExecutionResult:
+    """Run ``plan`` alone on a fresh simulated machine.
+
+    Convenience wrapper used by examples, tests, and the adaptive driver;
+    concurrent workloads build their own :class:`Simulator` instead.
+    """
+    if config is None:
+        config = SimulationConfig()
+    simulator = Simulator(config)
+    sid = simulator.submit(plan)
+    simulator.run()
+    return simulator.result(sid)

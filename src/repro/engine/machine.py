@@ -1,0 +1,105 @@
+"""Runtime hardware state: threads, cores, sockets.
+
+The static description lives in :class:`repro.config.MachineSpec`; this
+module tracks which hardware threads are busy during a simulation and
+implements the placement policy (fill idle physical cores before
+hyperthread siblings, spread across sockets to aggregate bandwidth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import MachineSpec
+from ..errors import SchedulerError
+
+
+@dataclass
+class HardwareThread:
+    """One schedulable hardware thread."""
+
+    thread_id: int
+    core_id: int
+    socket_id: int
+    busy: bool = False
+
+
+@dataclass
+class MachineState:
+    """Mutable occupancy state of a machine during simulation."""
+
+    spec: MachineSpec
+    threads: list[HardwareThread] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.threads:
+            return
+        tid = 0
+        for core in range(self.spec.physical_cores):
+            socket = self.spec.socket_of_core(core)
+            for __ in range(self.spec.threads_per_core):
+                self.threads.append(HardwareThread(tid, core, socket))
+                tid += 1
+
+    # ------------------------------------------------------------------
+    def siblings(self, thread: HardwareThread) -> list[HardwareThread]:
+        return [
+            t
+            for t in self.threads
+            if t.core_id == thread.core_id and t.thread_id != thread.thread_id
+        ]
+
+    def core_occupancy(self, core_id: int) -> int:
+        return sum(1 for t in self.threads if t.core_id == core_id and t.busy)
+
+    def socket_busy_threads(self, socket_id: int) -> int:
+        return sum(1 for t in self.threads if t.socket_id == socket_id and t.busy)
+
+    def idle_threads(self) -> list[HardwareThread]:
+        return [t for t in self.threads if not t.busy]
+
+    def busy_count(self) -> int:
+        return sum(1 for t in self.threads if t.busy)
+
+    # ------------------------------------------------------------------
+    def pick_thread(self) -> HardwareThread | None:
+        """Choose the best idle thread, or None when fully loaded.
+
+        Policy: prefer threads on fully idle physical cores (full compute
+        rate), then spread across the least-loaded socket so concurrent
+        memory-bound operators aggregate bandwidth across sockets.
+        """
+        idle = self.idle_threads()
+        if not idle:
+            return None
+
+        def score(t: HardwareThread) -> tuple[int, int, int]:
+            return (
+                self.core_occupancy(t.core_id),  # 0 = idle physical core
+                self.socket_busy_threads(t.socket_id),
+                t.thread_id,
+            )
+
+        return min(idle, key=score)
+
+    def acquire(self, thread: HardwareThread) -> None:
+        if thread.busy:
+            raise SchedulerError(f"thread {thread.thread_id} already busy")
+        thread.busy = True
+
+    def release(self, thread: HardwareThread) -> None:
+        if not thread.busy:
+            raise SchedulerError(f"thread {thread.thread_id} already idle")
+        thread.busy = False
+
+    # ------------------------------------------------------------------
+    def compute_rate(self, thread: HardwareThread) -> float:
+        """Cycles/second this thread currently delivers.
+
+        A thread alone on its physical core runs at full speed; with a
+        busy hyperthread sibling, the core's total throughput is
+        ``hyperthread_yield`` split evenly.
+        """
+        sibling_busy = any(t.busy for t in self.siblings(thread))
+        factor = self.spec.hyperthread_yield / 2.0 if sibling_busy else 1.0
+        return self.spec.cycles_per_second * factor

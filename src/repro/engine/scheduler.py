@@ -1,0 +1,381 @@
+"""The discrete-event data-flow scheduler.
+
+Operators are dispatched once all their inputs are materialized and a
+hardware thread is free (the paper's "data-flow graph based scheduling
+policy").  Real results are computed eagerly at dispatch; the *duration*
+of the operator is simulated with a roofline model:
+
+* cpu work proceeds at the thread's compute rate (reduced when its
+  hyperthread sibling is busy),
+* memory work proceeds at the thread's bandwidth share -- a per-thread
+  cap, further divided when the socket's sustained bandwidth is
+  oversubscribed by concurrent memory-bound operators.
+
+An operator finishes when *both* works are done.  Rates are recomputed at
+every event, so resource contention from concurrent queries emerges
+naturally -- this is what makes adaptively parallelized plans
+"resource-contention aware" in the reproduction, as on real hardware.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..config import SimulationConfig
+from ..costmodel.model import CostContext, compute_work, thread_bandwidth_cap
+from ..errors import SchedulerError
+from ..plan.graph import Plan, PlanNode
+from ..storage.column import Intermediate
+from .machine import HardwareThread, MachineState
+from .noise import NoiseModel
+from .profiler import OpRecord, QueryProfile
+
+_EPS = 1e-12
+
+
+@dataclass
+class ExecutionResult:
+    """Values of a plan's output nodes plus the execution profile."""
+
+    outputs: list[Intermediate]
+    profile: QueryProfile
+
+    @property
+    def response_time(self) -> float:
+        return self.profile.response_time
+
+
+class _Submission:
+    """One query instance inside the simulator."""
+
+    __slots__ = (
+        "sid",
+        "plan",
+        "client",
+        "max_threads",
+        "on_complete",
+        "profile",
+        "values",
+        "waiting",
+        "pending_consumers",
+        "remaining",
+        "running",
+        "ready",
+        "is_output",
+        "consumers",
+        "live_bytes",
+    )
+
+    def __init__(
+        self,
+        sid: int,
+        plan: Plan,
+        submit_time: float,
+        client: str,
+        max_threads: int,
+        on_complete: Callable[["_Submission"], None] | None,
+    ) -> None:
+        self.sid = sid
+        self.plan = plan
+        self.client = client
+        self.max_threads = max_threads
+        self.on_complete = on_complete
+        self.profile = QueryProfile(submit_time=submit_time)
+        self.values: dict[int, Intermediate] = {}
+        nodes = plan.nodes()
+        self.waiting: dict[int, int] = {}
+        self.pending_consumers: dict[int, int] = {nid: 0 for nid in (n.nid for n in nodes)}
+        for node in nodes:
+            self.waiting[node.nid] = len(node.inputs)
+            for child in node.inputs:
+                self.pending_consumers[child.nid] += 1
+        self.is_output = {out.nid for out in plan.outputs}
+        self.consumers: dict[int, list[PlanNode]] = {}
+        for node in nodes:
+            for child in node.inputs:
+                self.consumers.setdefault(child.nid, []).append(node)
+        self.remaining = len(nodes)
+        self.running = 0
+        self.live_bytes = 0.0
+        self.ready: list[PlanNode] = [n for n in nodes if not n.inputs]
+
+    @property
+    def finished(self) -> bool:
+        return self.remaining == 0
+
+
+class _Task:
+    """A running operator."""
+
+    __slots__ = (
+        "submission",
+        "node",
+        "thread",
+        "cpu_rem",
+        "mem_rem",
+        "cpu_work",
+        "mem_work",
+        "start",
+        "remote",
+    )
+
+    def __init__(
+        self,
+        submission: _Submission,
+        node: PlanNode,
+        thread: HardwareThread,
+        cpu_work: float,
+        mem_work: float,
+        start: float,
+        remote: bool = False,
+    ) -> None:
+        self.submission = submission
+        self.node = node
+        self.thread = thread
+        self.cpu_work = cpu_work
+        self.mem_work = mem_work
+        self.cpu_rem = cpu_work
+        self.mem_rem = mem_work
+        self.start = start
+        self.remote = remote
+
+
+class Simulator:
+    """Shared simulated machine executing one or more plans."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+        self.machine = MachineState(config.machine)
+        self.cost_ctx = CostContext(machine=config.machine, data_scale=config.data_scale)
+        self.noise = NoiseModel(config.noise, config.rng())
+        self.now = 0.0
+        self._sid_counter = itertools.count()
+        self._submissions: dict[int, _Submission] = {}
+        self._queue: list[_Submission] = []  # FIFO across submissions
+        self._tasks: list[_Task] = []
+        self._thread_cap = thread_bandwidth_cap(config.machine, self.cost_ctx.params)
+        self._last_profiles: dict[int, object] = {}
+        # Hash tables are cached on their build input (per submission):
+        # the first join over an inner node pays the build, later clones
+        # probe the shared table.
+        self._hash_built: set[tuple[int, int]] = set()
+        # Home socket of each produced intermediate (strict-NUMA mode).
+        self._home_socket: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        plan: Plan,
+        *,
+        client: str = "client-0",
+        max_threads: int | None = None,
+        on_complete: Callable[[int], None] | None = None,
+    ) -> int:
+        """Register a plan for execution at the current simulated time.
+
+        Returns a submission id usable with :meth:`result`.
+        ``on_complete`` (called with the submission id) may submit
+        follow-up queries -- that is how closed-loop clients are built.
+        """
+        limit = max_threads if max_threads is not None else self.config.effective_threads
+        limit = min(limit, self.config.machine.hardware_threads)
+        sid = next(self._sid_counter)
+        wrapped = None
+        if on_complete is not None:
+            callback = on_complete
+
+            def wrapped(sub: _Submission, _cb=callback) -> None:
+                _cb(sub.sid)
+
+        sub = _Submission(sid, plan, self.now, client, limit, wrapped)
+        self._submissions[sid] = sub
+        self._queue.append(sub)
+        if sub.finished:  # degenerate empty plan
+            sub.profile.finish_time = self.now
+        return sid
+
+    def run(self) -> None:
+        """Advance simulated time until no work remains."""
+        while True:
+            self._dispatch()
+            if not self._tasks:
+                if any(not sub.finished for sub in self._queue):
+                    stuck = [s.sid for s in self._queue if not s.finished]
+                    raise SchedulerError(
+                        f"deadlock: submissions {stuck} have pending work but "
+                        "nothing is runnable"
+                    )
+                return
+            self._advance()
+
+    def result(self, sid: int) -> ExecutionResult:
+        sub = self._submissions[sid]
+        if not sub.finished:
+            raise SchedulerError(f"submission {sid} has not finished")
+        outputs = [sub.values[out.nid] for out in sub.plan.outputs]
+        return ExecutionResult(outputs=outputs, profile=sub.profile)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            for sub in self._queue:
+                if not sub.ready or sub.running >= sub.max_threads:
+                    continue
+                thread = self.machine.pick_thread()
+                if thread is None:
+                    return
+                node = sub.ready.pop(0)
+                self._start_task(sub, node, thread)
+                progress = True
+
+    def _start_task(self, sub: _Submission, node: PlanNode, thread: HardwareThread) -> None:
+        inputs = [sub.values[child.nid] for child in node.inputs]
+        output = node.op.evaluate(inputs)
+        sub.values[node.nid] = output
+        profile = node.op.work_profile(inputs, output)
+        amortize = False
+        if node.kind in ("join", "semijoin") and len(node.inputs) == 2:
+            key = (sub.sid, node.inputs[1].nid)
+            amortize = key in self._hash_built
+            self._hash_built.add(key)
+        work = compute_work(
+            node.kind, profile, self.cost_ctx, amortize_build=amortize
+        )
+        self._last_profiles[(sub.sid, node.nid)] = profile
+        # Memory claims: the new intermediate is now live.
+        from ..storage.column import intermediate_nbytes
+
+        sub.live_bytes += intermediate_nbytes(output) * self.config.data_scale
+        if sub.live_bytes > sub.profile.peak_memory_bytes:
+            sub.profile.peak_memory_bytes = sub.live_bytes
+        factor = self.noise.factor()
+        remote = False
+        if not self.config.machine.numa_first_touch and node.inputs:
+            # Strict NUMA: reading inputs homed on another socket is slow.
+            homes = [
+                self._home_socket.get((sub.sid, child.nid), thread.socket_id)
+                for child in node.inputs
+            ]
+            remote_count = sum(1 for h in homes if h != thread.socket_id)
+            remote = remote_count * 2 > len(homes)
+        self.machine.acquire(thread)
+        task = _Task(
+            sub,
+            node,
+            thread,
+            cpu_work=max(work.cpu_cycles * factor, 1.0),
+            mem_work=max(work.mem_bytes * factor, 0.0),
+            start=self.now,
+            remote=remote,
+        )
+        sub.running += 1
+        self._tasks.append(task)
+
+    # ------------------------------------------------------------------
+    # Time advance
+    # ------------------------------------------------------------------
+    def _rates(self) -> list[tuple[float, float]]:
+        """(cpu_rate, mem_rate) for each running task, given contention."""
+        socket_demand: dict[int, int] = {}
+        for task in self._tasks:
+            if task.mem_rem > _EPS:
+                socket = task.thread.socket_id
+                socket_demand[socket] = socket_demand.get(socket, 0) + 1
+        rates = []
+        for task in self._tasks:
+            cpu_rate = self.machine.compute_rate(task.thread)
+            socket = task.thread.socket_id
+            n_mem = socket_demand.get(socket, 0)
+            socket_bw = self.config.machine.mem_bandwidth_gbps * 1e9
+            if n_mem > 0:
+                mem_rate = min(self._thread_cap, socket_bw / n_mem)
+            else:
+                mem_rate = self._thread_cap
+            if task.remote:
+                mem_rate *= self.config.machine.numa_remote_factor
+            rates.append((cpu_rate, mem_rate))
+        return rates
+
+    def _advance(self) -> None:
+        rates = self._rates()
+        finish_in = []
+        for task, (cpu_rate, mem_rate) in zip(self._tasks, rates):
+            cpu_t = task.cpu_rem / cpu_rate if task.cpu_rem > _EPS else 0.0
+            mem_t = task.mem_rem / mem_rate if task.mem_rem > _EPS else 0.0
+            finish_in.append(max(cpu_t, mem_t))
+        dt = min(finish_in)
+        self.now += dt
+        completed = []
+        for task, (cpu_rate, mem_rate), horizon in zip(self._tasks, rates, finish_in):
+            task.cpu_rem = max(0.0, task.cpu_rem - dt * cpu_rate)
+            task.mem_rem = max(0.0, task.mem_rem - dt * mem_rate)
+            if horizon <= dt + _EPS:
+                task.cpu_rem = 0.0
+                task.mem_rem = 0.0
+                completed.append(task)
+        for task in completed:
+            self._complete(task)
+
+    def _complete(self, task: _Task) -> None:
+        self._tasks.remove(task)
+        self.machine.release(task.thread)
+        sub = task.submission
+        if not self.config.machine.numa_first_touch:
+            self._home_socket[(sub.sid, task.node.nid)] = task.thread.socket_id
+        sub.running -= 1
+        sub.remaining -= 1
+        node = task.node
+        wp = self._last_profiles.pop((sub.sid, node.nid))
+        sub.profile.records.append(
+            OpRecord(
+                node=node,
+                kind=node.kind,
+                describe=node.describe(),
+                start=task.start,
+                end=self.now,
+                thread_id=task.thread.thread_id,
+                socket_id=task.thread.socket_id,
+                cpu_cycles=task.cpu_work,
+                mem_bytes=task.mem_work,
+                tuples_in=wp.tuples_in,
+                tuples_out=wp.tuples_out,
+            )
+        )
+        # Wake up consumers whose inputs are now complete.
+        for consumer in self._consumers_of(sub, node):
+            sub.waiting[consumer.nid] -= 1
+            if sub.waiting[consumer.nid] == 0:
+                sub.ready.append(consumer)
+        self._release_value(sub, node)
+        if sub.finished:
+            sub.profile.finish_time = self.now
+            if sub.on_complete is not None:
+                sub.on_complete(sub)
+
+    def _consumers_of(self, sub: _Submission, node: PlanNode) -> Sequence[PlanNode]:
+        return sub.consumers.get(node.nid, ())
+
+    def _release_value(self, sub: _Submission, node: PlanNode) -> None:
+        # Free input intermediates once their last consumer has finished.
+        from ..storage.column import intermediate_nbytes
+
+        for child in node.inputs:
+            sub.pending_consumers[child.nid] -= 1
+            if (
+                sub.pending_consumers[child.nid] == 0
+                and child.nid not in sub.is_output
+            ):
+                freed = sub.values.pop(child.nid, None)
+                if freed is not None:
+                    sub.live_bytes -= (
+                        intermediate_nbytes(freed) * self.config.data_scale
+                    )
+

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro column store.
+
+All library errors derive from :class:`ReproError` so that callers can catch
+a single base class.  Each subclass corresponds to one layer of the system.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class StorageError(ReproError):
+    """Problems with columns, tables, or the catalog."""
+
+
+class AlignmentError(StorageError):
+    """Partition boundary misalignment during tuple reconstruction.
+
+    Raised when a candidate list refers to row ids outside the slice of the
+    column being projected and the requested alignment policy forbids
+    trimming (paper Section 2.3, Figures 9 and 10).
+    """
+
+
+class PlanError(ReproError):
+    """Malformed plan graphs: cycles, wrong arity, dangling inputs."""
+
+
+class OperatorError(ReproError):
+    """An operator received inputs it cannot evaluate."""
+
+
+class SchedulerError(ReproError):
+    """Inconsistencies detected by the discrete-event scheduler."""
+
+
+class MutationError(ReproError):
+    """A plan mutation could not be applied."""
+
+
+class ConvergenceError(ReproError):
+    """The adaptive convergence driver was misused."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class SqlLexError(SqlError):
+    """Invalid token in a SQL query string."""
+
+
+class SqlParseError(SqlError):
+    """Syntactically invalid SQL for the supported subset."""
+
+
+class SqlPlanError(SqlError):
+    """Semantically invalid SQL (unknown table/column, bad types)."""
+
+
+class WorkloadError(ReproError):
+    """Workload generation or query lookup failed."""

@@ -1,0 +1,88 @@
+"""Scalar (ungrouped) aggregation: MAL ``aggr.sum`` and friends."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import OperatorError
+from ..storage.column import BAT, Candidates, ColumnSlice, Intermediate, Scalar
+from ..storage.dtypes import DBL, LNG
+from .base import Operator, WorkProfile
+from .groupby import AGG_FUNCS
+
+
+class Aggregate(Operator):
+    """Reduce a value vector to a single scalar.
+
+    ``count`` also accepts a candidate list.  When the advanced mutation
+    clones this operator over partitions, the partials are packed into a
+    BAT and combined by another :class:`Aggregate` carrying the merge
+    function (sum-of-sums, min-of-mins, ...).
+    """
+
+    kind = "aggregate"
+    partitionable = True
+    blocking = True
+
+    def __init__(self, func: str) -> None:
+        super().__init__()
+        if func not in AGG_FUNCS:
+            raise OperatorError(f"unknown aggregate {func!r}; known: {sorted(AGG_FUNCS)}")
+        self.func = func
+
+    def evaluate(self, inputs: Sequence[Intermediate]) -> Scalar:
+        if len(inputs) != 1:
+            raise OperatorError(f"aggregate takes 1 input, got {len(inputs)}")
+        source = inputs[0]
+        if isinstance(source, Scalar):
+            # A scalar partial: sum/min/max of one value is the value
+            # itself; a count of one scalar is 1.
+            if self.func == "count":
+                return Scalar(1, LNG)
+            return source
+        if isinstance(source, Candidates):
+            if self.func != "count":
+                raise OperatorError(
+                    f"aggregate {self.func!r} needs values, got a candidate list"
+                )
+            return Scalar(len(source), LNG)
+        if isinstance(source, ColumnSlice):
+            values = source.values
+            dtype = source.column.dtype
+        elif isinstance(source, BAT):
+            values = source.tail
+            dtype = source.dtype
+        else:
+            raise OperatorError(
+                f"aggregate input must be slice/BAT/candidates, got {type(source).__name__}"
+            )
+        if self.func == "count":
+            return Scalar(len(values), LNG)
+        if len(values) == 0:
+            # SQL aggregates over empty input: identity for sum, else 0.
+            return Scalar(0, LNG if dtype is not DBL else DBL)
+        if self.func == "sum":
+            total = values.sum()
+        elif self.func == "min":
+            total = values.min()
+        else:
+            total = values.max()
+        if dtype is DBL:
+            return Scalar(float(total), DBL)
+        return Scalar(int(total), LNG)
+
+    def work_profile(
+        self, inputs: Sequence[Intermediate], output: Intermediate
+    ) -> WorkProfile:
+        n = len(inputs[0])
+        return WorkProfile(
+            tuples_in=n,
+            tuples_out=1,
+            bytes_read=inputs[0].nbytes,
+            bytes_written=8,
+        )
+
+    def describe(self) -> str:
+        return f"aggr({self.func})"

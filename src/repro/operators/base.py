@@ -1,0 +1,154 @@
+"""Operator interface shared by every physical operator.
+
+An operator is a *pure* description of a computation: it owns its
+parameters (predicate, aggregate function, ...) but not its inputs --
+those are edges of the plan graph.  Two methods matter:
+
+``evaluate(inputs)``
+    Compute the real result from real input intermediates (numpy).  This
+    is how correctness of mutated plans is established.
+
+``work_profile(inputs, output)``
+    Report raw work counters (tuples, bytes, hash-build size, access
+    pattern).  The cost model (:mod:`repro.costmodel`) turns these into
+    simulated cpu cycles and memory traffic; the engine turns *those* into
+    simulated time given machine contention.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import OperatorError
+from ..storage.column import BAT, Candidates, ColumnSlice, Intermediate, Scalar
+from ..storage.dtypes import OID_DTYPE
+
+_op_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class WorkProfile:
+    """Raw work counters an operator reports for one evaluation.
+
+    * ``tuples_in`` / ``tuples_out`` -- cardinalities seen and produced.
+    * ``bytes_read`` / ``bytes_written`` -- sequential memory traffic.
+    * ``build_bytes`` -- size of any auxiliary structure probed with a
+      random access pattern (hash table); drives the L3-fit effect.
+    * ``random_reads`` -- number of random (gather) accesses.
+    """
+
+    tuples_in: int = 0
+    tuples_out: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    build_bytes: int = 0
+    random_reads: int = 0
+
+    def __add__(self, other: "WorkProfile") -> "WorkProfile":
+        return WorkProfile(
+            tuples_in=self.tuples_in + other.tuples_in,
+            tuples_out=self.tuples_out + other.tuples_out,
+            bytes_read=self.bytes_read + other.bytes_read,
+            bytes_written=self.bytes_written + other.bytes_written,
+            build_bytes=max(self.build_bytes, other.build_bytes),
+            random_reads=self.random_reads + other.random_reads,
+        )
+
+
+class Operator(ABC):
+    """Base class for all physical operators.
+
+    Class attributes:
+
+    * ``kind`` -- short name used by the cost model and plan statistics.
+    * ``partitionable`` -- True when basic mutation may clone this
+      operator over a split of its partitioned input.
+    * ``blocking`` -- True when the operator must see all of its input at
+      once (group-by, sort, aggregation); these need the *advanced*
+      mutation.
+    """
+
+    kind: str = "op"
+    partitionable: bool = False
+    blocking: bool = False
+
+    def __init__(self) -> None:
+        self.uid = next(_op_counter)
+
+    @abstractmethod
+    def evaluate(self, inputs: Sequence[Intermediate]) -> Intermediate:
+        """Compute the real output of this operator."""
+
+    @abstractmethod
+    def work_profile(
+        self, inputs: Sequence[Intermediate], output: Intermediate
+    ) -> WorkProfile:
+        """Report the work done producing ``output`` from ``inputs``."""
+
+    def clone(self) -> "Operator":
+        """A fresh copy with a new uid (used when mutating plans)."""
+        import copy
+
+        dup = copy.copy(self)
+        dup.uid = next(_op_counter)
+        return dup
+
+    def describe(self) -> str:
+        """Short label for plan printing; subclasses add parameters."""
+        return self.kind
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} #{self.uid} {self.describe()}>"
+
+
+def pairs_of(value: Intermediate, *, what: str = "input") -> tuple[np.ndarray, np.ndarray]:
+    """View an intermediate as (head oids, tail values).
+
+    Column slices have a dense (virtual) head; BATs carry theirs
+    explicitly.  Candidate lists have no values and are rejected.
+    """
+    if isinstance(value, ColumnSlice):
+        return value.oids(), value.values
+    if isinstance(value, BAT):
+        return value.head, value.tail
+    raise OperatorError(f"{what} must be a BAT or column slice, got {type(value).__name__}")
+
+
+def values_of(value: Intermediate, *, what: str = "input") -> np.ndarray:
+    """The value (tail) array of a slice or BAT."""
+    if isinstance(value, ColumnSlice):
+        return value.values
+    if isinstance(value, BAT):
+        return value.tail
+    raise OperatorError(f"{what} must be a BAT or column slice, got {type(value).__name__}")
+
+
+def input_nbytes(inputs: Sequence[Intermediate]) -> int:
+    total = 0
+    for value in inputs:
+        total += value.nbytes
+    return total
+
+
+def as_oid_array(value: Intermediate, *, what: str = "input") -> np.ndarray:
+    """The oid content of a candidate list."""
+    if isinstance(value, Candidates):
+        return value.oids
+    raise OperatorError(
+        f"{what} must be a candidate list, got {type(value).__name__}"
+    )
+
+
+def ensure_scalar(value: Intermediate, *, what: str = "input") -> Scalar:
+    if isinstance(value, Scalar):
+        return value
+    raise OperatorError(f"{what} must be a scalar, got {type(value).__name__}")
+
+
+def dense_head(count: int, start: int = 0) -> np.ndarray:
+    return np.arange(start, start + count, dtype=OID_DTYPE)

@@ -1,0 +1,108 @@
+"""Element-wise computation (MAL ``batcalc``/``calc``).
+
+Binary arithmetic over aligned vectors and scalars, used by the TPC-H
+expressions such as ``l_extendedprice * (1 - l_discount)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import OperatorError
+from ..storage.column import BAT, ColumnSlice, Intermediate, Scalar
+from ..storage.dtypes import DBL, LNG, DataType
+from .base import Operator, WorkProfile, pairs_of
+
+_OPS = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+}
+
+
+def _heads_aligned(a_heads: np.ndarray, b_heads: np.ndarray) -> bool:
+    """Cheap alignment check: lengths and endpoints must match."""
+    if len(a_heads) != len(b_heads):
+        return False
+    if len(a_heads) == 0:
+        return True
+    return bool(a_heads[0] == b_heads[0] and a_heads[-1] == b_heads[-1])
+
+
+class Calc(Operator):
+    """``a <op> b`` where each side is a BAT/slice or a scalar.
+
+    At least one side must be vector-shaped; two vectors must be
+    head-aligned (they come from the same partition lineage).
+    """
+
+    kind = "calc"
+    partitionable = True
+
+    def __init__(self, op: str) -> None:
+        super().__init__()
+        if op not in _OPS:
+            raise OperatorError(f"unknown calc op {op!r}; known: {sorted(_OPS)}")
+        self.op = op
+
+    def evaluate(self, inputs: Sequence[Intermediate]) -> Intermediate:
+        if len(inputs) != 2:
+            raise OperatorError(f"calc takes 2 inputs, got {len(inputs)}")
+        a, b = inputs
+        func = _OPS[self.op]
+        if isinstance(a, Scalar) and isinstance(b, Scalar):
+            value = func(a.value, b.value)
+            if self.op == "/" or a.dtype is DBL or b.dtype is DBL:
+                return Scalar(float(value), DBL)
+            return Scalar(int(value), LNG)
+        if isinstance(a, Scalar):
+            heads, b_values = pairs_of(b, what="calc rhs")
+            result = func(a.value, b_values)
+            return BAT(heads, result, self._result_dtype(a.dtype, _dtype_of(b)))
+        if isinstance(b, Scalar):
+            heads, a_values = pairs_of(a, what="calc lhs")
+            result = func(a_values, b.value)
+            return BAT(heads, result, self._result_dtype(_dtype_of(a), b.dtype))
+        a_heads, a_values = pairs_of(a, what="calc lhs")
+        b_heads, b_values = pairs_of(b, what="calc rhs")
+        if not _heads_aligned(a_heads, b_heads):
+            raise OperatorError(
+                "calc inputs are not head-aligned "
+                f"({len(a_heads)} vs {len(b_heads)} tuples)"
+            )
+        result = func(a_values, b_values)
+        return BAT(a_heads, result, self._result_dtype(_dtype_of(a), _dtype_of(b)))
+
+    def _result_dtype(self, a: DataType, b: DataType) -> DataType:
+        if self.op == "/" or a is DBL or b is DBL:
+            return DBL
+        return LNG
+
+    def work_profile(
+        self, inputs: Sequence[Intermediate], output: Intermediate
+    ) -> WorkProfile:
+        n = len(output)
+        read = sum(v.nbytes for v in inputs)
+        written = output.nbytes if not isinstance(output, Scalar) else 8
+        return WorkProfile(
+            tuples_in=max(len(v) for v in inputs),
+            tuples_out=n,
+            bytes_read=read,
+            bytes_written=written,
+        )
+
+    def describe(self) -> str:
+        return f"calc({self.op})"
+
+
+def _dtype_of(value: Intermediate) -> DataType:
+    if isinstance(value, ColumnSlice):
+        return value.column.dtype
+    if isinstance(value, BAT):
+        return value.dtype
+    if isinstance(value, Scalar):
+        return value.dtype
+    raise OperatorError(f"no dtype for {type(value).__name__}")

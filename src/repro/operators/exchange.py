@@ -1,0 +1,98 @@
+"""The exchange union operator (MAL ``mat.pack``).
+
+``Pack`` concatenates the outputs of cloned operators back into one
+intermediate.  Its cost is pure data copying, which is exactly why the
+paper's *medium mutation* exists: with low-selectivity inputs the pack
+itself becomes the most expensive operator and must be pushed up or
+removed (Section 2.1, Figure 5).
+
+Ordering: inputs must be supplied in mutation-sequence (slice) order so
+the packed result equals the serial operator's output (Section 2.3,
+"the exchange union operator must maintain the correct ordering").
+Candidate packs verify this invariant outright.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import OperatorError
+from ..storage.column import BAT, Candidates, Intermediate, Scalar
+from .base import Operator, WorkProfile, dense_head
+
+
+class Pack(Operator):
+    """Concatenate same-shaped intermediates (the exchange union)."""
+
+    kind = "pack"
+
+    def evaluate(self, inputs: Sequence[Intermediate]) -> Intermediate:
+        if not inputs:
+            raise OperatorError("pack needs at least one input")
+        first = inputs[0]
+        if isinstance(first, Candidates):
+            return self._pack_candidates(inputs)
+        if isinstance(first, BAT):
+            return self._pack_bats(inputs)
+        if isinstance(first, Scalar):
+            return self._pack_scalars(inputs)
+        raise OperatorError(f"cannot pack {type(first).__name__} values")
+
+    def _pack_candidates(self, inputs: Sequence[Intermediate]) -> Candidates:
+        arrays = []
+        for value in inputs:
+            if not isinstance(value, Candidates):
+                raise OperatorError("pack inputs must all be candidate lists")
+            arrays.append(value.oids)
+        merged = np.concatenate(arrays) if arrays else np.empty(0, dtype=np.int64)
+        if len(merged) > 1 and not np.all(merged[1:] >= merged[:-1]):
+            raise OperatorError(
+                "packed candidates are out of order: pack inputs must follow "
+                "the mutation-sequence (slice) order"
+            )
+        return Candidates(merged, check_sorted=False)
+
+    def _pack_bats(self, inputs: Sequence[Intermediate]) -> BAT:
+        heads, tails = [], []
+        dtype = None
+        dictionary = None
+        for value in inputs:
+            if not isinstance(value, BAT):
+                raise OperatorError("pack inputs must all be BATs")
+            if dtype is None:
+                dtype = value.dtype
+                dictionary = value.dictionary
+            elif value.dtype is not dtype:
+                raise OperatorError(
+                    f"pack input dtype mismatch: {value.dtype.name} vs {dtype.name}"
+                )
+            heads.append(value.head)
+            tails.append(value.tail)
+        return BAT(np.concatenate(heads), np.concatenate(tails), dtype, dictionary)
+
+    def _pack_scalars(self, inputs: Sequence[Intermediate]) -> BAT:
+        values = []
+        dtype = None
+        for value in inputs:
+            if not isinstance(value, Scalar):
+                raise OperatorError("pack inputs must all be scalars")
+            dtype = value.dtype if dtype is None else dtype
+            values.append(value.value)
+        array = np.asarray(values, dtype=dtype.numpy_dtype)
+        return BAT(dense_head(len(array)), array, dtype)
+
+    def work_profile(
+        self, inputs: Sequence[Intermediate], output: Intermediate
+    ) -> WorkProfile:
+        moved = sum(v.nbytes for v in inputs)
+        return WorkProfile(
+            tuples_in=sum(len(v) for v in inputs),
+            tuples_out=len(output),
+            bytes_read=moved,
+            bytes_written=moved,
+        )
+
+    def describe(self) -> str:
+        return "pack"

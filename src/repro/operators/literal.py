@@ -1,0 +1,38 @@
+"""Scalar constants as plan leaves (MAL ``calc.lng`` style constants)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import OperatorError
+from ..storage.column import Intermediate, Scalar
+from ..storage.dtypes import DBL, LNG, DataType
+from .base import Operator, WorkProfile
+
+
+class Literal(Operator):
+    """Emit a constant scalar."""
+
+    kind = "literal"
+
+    def __init__(self, value: float | int, dtype: DataType | None = None) -> None:
+        super().__init__()
+        if dtype is None:
+            dtype = DBL if isinstance(value, float) else LNG
+        if not isinstance(value, (int, float)):
+            raise OperatorError(f"literal must be numeric, got {type(value).__name__}")
+        self.value = value
+        self.dtype = dtype
+
+    def evaluate(self, inputs: Sequence[Intermediate]) -> Scalar:
+        if inputs:
+            raise OperatorError("literal takes no inputs")
+        return Scalar(self.value, self.dtype)
+
+    def work_profile(
+        self, inputs: Sequence[Intermediate], output: Intermediate
+    ) -> WorkProfile:
+        return WorkProfile(tuples_out=1)
+
+    def describe(self) -> str:
+        return f"lit({self.value})"

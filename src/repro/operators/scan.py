@@ -1,0 +1,55 @@
+"""Scan: bind a (possibly sliced) base column into the plan.
+
+Equivalent of MAL ``sql.bind``: near-free, because a slice is just a pair
+of boundary marks on the memory-mapped base column.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import OperatorError
+from ..storage.column import Column, ColumnSlice, Intermediate
+from .base import Operator, WorkProfile
+
+
+class Scan(Operator):
+    """Emit a zero-copy slice ``[lo, hi)`` of a base column."""
+
+    kind = "scan"
+    partitionable = True
+
+    def __init__(self, column: Column, lo: int | None = None, hi: int | None = None) -> None:
+        super().__init__()
+        self.column = column
+        self.lo = 0 if lo is None else int(lo)
+        self.hi = len(column) if hi is None else int(hi)
+        if not 0 <= self.lo <= self.hi <= len(column):
+            raise OperatorError(
+                f"scan range [{self.lo}, {self.hi}) invalid for column "
+                f"{column.name!r} of length {len(column)}"
+            )
+
+    def evaluate(self, inputs: Sequence[Intermediate]) -> ColumnSlice:
+        if inputs:
+            raise OperatorError("scan takes no inputs")
+        return self.column.slice(self.lo, self.hi)
+
+    def work_profile(
+        self, inputs: Sequence[Intermediate], output: Intermediate
+    ) -> WorkProfile:
+        # Binding a slice reads no data; consumers pay for the bytes.
+        return WorkProfile(tuples_out=len(output))
+
+    def split(self, at: int | None = None) -> tuple["Scan", "Scan"]:
+        """Two scans covering the halves of this scan's range."""
+        if at is None:
+            at = self.lo + (self.hi - self.lo) // 2
+        if not self.lo < at < self.hi:
+            raise OperatorError(
+                f"cannot split scan [{self.lo}, {self.hi}) at {at}"
+            )
+        return Scan(self.column, self.lo, at), Scan(self.column, at, self.hi)
+
+    def describe(self) -> str:
+        return f"scan({self.column.name}[{self.lo}:{self.hi}])"

@@ -1,0 +1,258 @@
+"""Selection over a column slice, with optional candidate input.
+
+The two MAL flavours the paper mentions (Section 2.2, "the filter
+operator ... can have two representations") map to the two arities here:
+``Select`` over just a slice, or over a slice plus a candidate list from a
+previous selection (conjunction).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import OperatorError
+from ..storage.column import Candidates, ColumnSlice, Intermediate
+from .base import Operator, WorkProfile, as_oid_array
+
+
+class Predicate(ABC):
+    """A unary filter over column values."""
+
+    @abstractmethod
+    def mask(self, values: np.ndarray, dictionary: tuple[str, ...] | None) -> np.ndarray:
+        """Boolean mask of qualifying positions."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Human-readable form for plan printing."""
+
+
+class RangePredicate(Predicate):
+    """``lo <= v <= hi`` with open ends expressed as ``None``."""
+
+    def __init__(
+        self,
+        lo: float | int | None = None,
+        hi: float | int | None = None,
+        *,
+        lo_inclusive: bool = True,
+        hi_inclusive: bool = True,
+    ) -> None:
+        if lo is None and hi is None:
+            raise OperatorError("range predicate needs at least one bound")
+        self.lo = lo
+        self.hi = hi
+        self.lo_inclusive = lo_inclusive
+        self.hi_inclusive = hi_inclusive
+
+    def mask(self, values: np.ndarray, dictionary: tuple[str, ...] | None) -> np.ndarray:
+        result = np.ones(len(values), dtype=bool)
+        if self.lo is not None:
+            result &= values >= self.lo if self.lo_inclusive else values > self.lo
+        if self.hi is not None:
+            result &= values <= self.hi if self.hi_inclusive else values < self.hi
+        return result
+
+    def describe(self) -> str:
+        lo_b = "[" if self.lo_inclusive else "("
+        hi_b = "]" if self.hi_inclusive else ")"
+        return f"{lo_b}{self.lo}:{self.hi}{hi_b}"
+
+
+class EqualsPredicate(Predicate):
+    """``v == value`` (or ``v != value``); strings are raw strings."""
+
+    def __init__(self, value: float | int | str, *, negate: bool = False) -> None:
+        self.value = value
+        self.negate = negate
+
+    def mask(self, values: np.ndarray, dictionary: tuple[str, ...] | None) -> np.ndarray:
+        target = self.value
+        if isinstance(target, str):
+            if dictionary is None:
+                raise OperatorError("string equality on a non-string column")
+            try:
+                target = dictionary.index(target)
+            except ValueError:
+                hit = np.zeros(len(values), dtype=bool)
+                return ~hit if self.negate else hit
+        hit = values == target
+        return ~hit if self.negate else hit
+
+    def describe(self) -> str:
+        op = "!=" if self.negate else "=="
+        return f"{op}{self.value!r}"
+
+
+class InPredicate(Predicate):
+    """``v [not] in values`` (IN-list)."""
+
+    def __init__(
+        self, values: Sequence[float | int | str], *, negate: bool = False
+    ) -> None:
+        if not values:
+            raise OperatorError("IN-list must not be empty")
+        self.values = tuple(values)
+        self.negate = negate
+
+    def mask(self, values: np.ndarray, dictionary: tuple[str, ...] | None) -> np.ndarray:
+        targets = self.values
+        if isinstance(targets[0], str):
+            if dictionary is None:
+                raise OperatorError("string IN-list on a non-string column")
+            wanted = set(targets)
+            targets = tuple(i for i, s in enumerate(dictionary) if s in wanted)
+            if not targets:
+                hit = np.zeros(len(values), dtype=bool)
+                return ~hit if self.negate else hit
+        hit = np.isin(values, np.asarray(targets))
+        return ~hit if self.negate else hit
+
+    def describe(self) -> str:
+        op = "not in" if self.negate else "in"
+        return f"{op} {self.values!r}"
+
+
+class LikePredicate(Predicate):
+    """SQL ``LIKE`` on a dictionary-encoded string column.
+
+    The pattern is matched against the dictionary once, then reduced to a
+    code IN-list -- the classic column-store trick.
+    """
+
+    def __init__(self, pattern: str, *, negate: bool = False) -> None:
+        self.pattern = pattern
+        self.negate = negate
+        self._glob = pattern.replace("%", "*").replace("_", "?")
+
+    def matching_codes(self, dictionary: tuple[str, ...]) -> np.ndarray:
+        codes = [i for i, s in enumerate(dictionary) if fnmatch.fnmatchcase(s, self._glob)]
+        return np.asarray(codes, dtype=np.int64)
+
+    def mask(self, values: np.ndarray, dictionary: tuple[str, ...] | None) -> np.ndarray:
+        if dictionary is None:
+            raise OperatorError("LIKE requires a dictionary-encoded string column")
+        hit = np.isin(values, self.matching_codes(dictionary))
+        return ~hit if self.negate else hit
+
+    def describe(self) -> str:
+        op = "not like" if self.negate else "like"
+        return f"{op} {self.pattern!r}"
+
+
+class Select(Operator):
+    """Filter a column slice, optionally under a candidate list.
+
+    Inputs: ``[slice]`` or ``[slice, candidates]``.  Output: a sorted
+    candidate list of qualifying *global* oids.
+    """
+
+    kind = "select"
+    partitionable = True
+
+    def __init__(self, predicate: Predicate) -> None:
+        super().__init__()
+        self.predicate = predicate
+
+    def evaluate(self, inputs: Sequence[Intermediate]) -> Candidates:
+        if len(inputs) not in (1, 2):
+            raise OperatorError(f"select takes 1 or 2 inputs, got {len(inputs)}")
+        view = inputs[0]
+        if not isinstance(view, ColumnSlice):
+            raise OperatorError(
+                f"select input 0 must be a column slice, got {type(view).__name__}"
+            )
+        if len(inputs) == 2:
+            cands = as_oid_array(inputs[1], what="select candidates")
+            cands = cands[(cands >= view.lo) & (cands < view.hi)]
+            local = cands - view.lo
+            mask = self.predicate.mask(view.values[local], view.column.dictionary)
+            return Candidates(cands[mask], check_sorted=False)
+        mask = self.predicate.mask(view.values, view.column.dictionary)
+        hits = np.flatnonzero(mask).astype(np.int64) + view.lo
+        return Candidates(hits, check_sorted=False)
+
+    def work_profile(
+        self, inputs: Sequence[Intermediate], output: Intermediate
+    ) -> WorkProfile:
+        view = inputs[0]
+        width = view.dtype.width if isinstance(view, ColumnSlice) else 8
+        if len(inputs) == 2:
+            # Only candidates inside this slice are evaluated (the rest
+            # are skipped by a binary search), so a split slice halves
+            # the work -- the property basic mutation relies on.
+            oids = inputs[1].oids
+            start = int(np.searchsorted(oids, view.lo, side="left"))
+            stop = int(np.searchsorted(oids, view.hi, side="left"))
+            scanned = stop - start
+            return WorkProfile(
+                tuples_in=scanned,
+                tuples_out=len(output),
+                bytes_read=scanned * (width + 8),
+                bytes_written=len(output) * 8,
+                random_reads=scanned,
+            )
+        scanned = len(view)
+        return WorkProfile(
+            tuples_in=scanned,
+            tuples_out=len(output),
+            bytes_read=scanned * width,
+            bytes_written=len(output) * 8,
+        )
+
+    def describe(self) -> str:
+        return f"select({self.predicate.describe()})"
+
+
+class CandUnion(Operator):
+    """Union of candidate lists (disjunctive predicates, e.g. TPC-H Q19)."""
+
+    kind = "cand_union"
+
+    def evaluate(self, inputs: Sequence[Intermediate]) -> Candidates:
+        if not inputs:
+            raise OperatorError("cand_union needs at least one input")
+        arrays = [as_oid_array(value, what="cand_union input") for value in inputs]
+        merged = np.unique(np.concatenate(arrays))
+        return Candidates(merged, check_sorted=False)
+
+    def work_profile(
+        self, inputs: Sequence[Intermediate], output: Intermediate
+    ) -> WorkProfile:
+        total_in = sum(len(v) for v in inputs)
+        return WorkProfile(
+            tuples_in=total_in,
+            tuples_out=len(output),
+            bytes_read=total_in * 8,
+            bytes_written=len(output) * 8,
+        )
+
+
+class CandIntersect(Operator):
+    """Intersection of candidate lists (conjunction of independent filters)."""
+
+    kind = "cand_intersect"
+
+    def evaluate(self, inputs: Sequence[Intermediate]) -> Candidates:
+        if not inputs:
+            raise OperatorError("cand_intersect needs at least one input")
+        arrays = [as_oid_array(value, what="cand_intersect input") for value in inputs]
+        result = arrays[0]
+        for arr in arrays[1:]:
+            result = np.intersect1d(result, arr, assume_unique=True)
+        return Candidates(result, check_sorted=False)
+
+    def work_profile(
+        self, inputs: Sequence[Intermediate], output: Intermediate
+    ) -> WorkProfile:
+        total_in = sum(len(v) for v in inputs)
+        return WorkProfile(
+            tuples_in=total_in,
+            tuples_out=len(output),
+            bytes_read=total_in * 8,
+            bytes_written=len(output) * 8,
+        )

@@ -1,0 +1,171 @@
+"""Range-sliced views over base columns and intermediates.
+
+The paper's partitioning "involves creating read only slices on the base
+or the intermediate column ... no data copying involved" (Section 2.3).
+``PartitionSlice`` is that mechanism as an operator: it exposes a
+positional sub-range of its input, expressed as *absolute fractions of
+the original source* so repeated splitting (dynamic partitioning,
+Figure 8) keeps boundaries aligned and nested splits stay ordered.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import OperatorError
+from ..storage.column import BAT, Candidates, ColumnSlice, Intermediate
+from .base import Operator, WorkProfile
+
+#: Denominator used to express fractions as exact integers (order keys).
+FRACTION_UNITS = 1 << 30
+
+
+class PartitionSlice(Operator):
+    """Positional range ``[lo, hi)`` of the input, in fraction units.
+
+    ``lo``/``hi`` are integers in ``[0, FRACTION_UNITS]``; the covered
+    positions are ``[floor(n*lo/U), floor(n*hi/U))`` of the input, which
+    guarantees adjacent slices tile the input exactly.
+    """
+
+    kind = "slice"
+    partitionable = True
+
+    def __init__(self, lo: int, hi: int) -> None:
+        super().__init__()
+        if not 0 <= lo <= hi <= FRACTION_UNITS:
+            raise OperatorError(
+                f"slice fractions [{lo}, {hi}) outside [0, {FRACTION_UNITS}]"
+            )
+        self.lo = lo
+        self.hi = hi
+
+    @classmethod
+    def full(cls) -> "PartitionSlice":
+        return cls(0, FRACTION_UNITS)
+
+    def bounds(self, n: int) -> tuple[int, int]:
+        """Positional bounds inside an input of length ``n``."""
+        return (n * self.lo) // FRACTION_UNITS, (n * self.hi) // FRACTION_UNITS
+
+    def split(self, at: int | None = None) -> tuple["PartitionSlice", "PartitionSlice"]:
+        """Two slices tiling this one (dynamic partitioning step)."""
+        if at is None:
+            at = self.lo + (self.hi - self.lo) // 2
+        if not self.lo < at < self.hi:
+            raise OperatorError(f"cannot split slice [{self.lo}, {self.hi}) at {at}")
+        return PartitionSlice(self.lo, at), PartitionSlice(at, self.hi)
+
+    def evaluate(self, inputs: Sequence[Intermediate]) -> Intermediate:
+        if len(inputs) != 1:
+            raise OperatorError(f"slice takes 1 input, got {len(inputs)}")
+        source = inputs[0]
+        lo, hi = self.bounds(len(source))
+        if isinstance(source, ColumnSlice):
+            return ColumnSlice(source.column, source.lo + lo, source.lo + hi)
+        if isinstance(source, Candidates):
+            return Candidates(source.oids[lo:hi], check_sorted=False)
+        if isinstance(source, BAT):
+            return BAT(
+                source.head[lo:hi], source.tail[lo:hi], source.dtype, source.dictionary
+            )
+        raise OperatorError(f"cannot slice {type(source).__name__} values")
+
+    def work_profile(
+        self, inputs: Sequence[Intermediate], output: Intermediate
+    ) -> WorkProfile:
+        # Boundary marking only -- the view costs (almost) nothing.
+        return WorkProfile(tuples_in=0, tuples_out=len(output))
+
+    def describe(self) -> str:
+        lo_pct = 100.0 * self.lo / FRACTION_UNITS
+        hi_pct = 100.0 * self.hi / FRACTION_UNITS
+        return f"slice[{lo_pct:.1f}%:{hi_pct:.1f}%]"
+
+
+def equal_partitions(parts: int) -> list[PartitionSlice]:
+    """``parts`` adjacent slices tiling the full input (static HP style)."""
+    if parts < 1:
+        raise OperatorError("parts must be >= 1")
+    bounds = [(i * FRACTION_UNITS) // parts for i in range(parts + 1)]
+    return [PartitionSlice(bounds[i], bounds[i + 1]) for i in range(parts)]
+
+
+class ValuePartition(Operator):
+    """Value-based partitioning (paper Section 5, the Vertica use case).
+
+    Unlike :class:`PartitionSlice`, which marks positional boundaries for
+    free, a value-based partition operator must *scan* its input and keep
+    the rows whose value falls in ``[lo, hi)`` -- this is the "partition
+    operator" the paper expects systems like Vertica to insert when
+    adaptively parallelizing value-partitioned stores.  Heads are kept,
+    so downstream operators stay tuple-aligned with the source rows.
+    """
+
+    kind = "vpartition"
+    partitionable = True
+
+    def __init__(
+        self, lo: float | int | None = None, hi: float | int | None = None
+    ) -> None:
+        super().__init__()
+        if lo is None and hi is None:
+            raise OperatorError("value partition needs at least one bound")
+        self.lo = lo
+        self.hi = hi
+
+    def evaluate(self, inputs: Sequence[Intermediate]) -> BAT:
+        if len(inputs) != 1:
+            raise OperatorError(f"vpartition takes 1 input, got {len(inputs)}")
+        from .base import pairs_of
+
+        heads, values = pairs_of(inputs[0], what="vpartition input")
+        mask = values == values  # all true
+        if self.lo is not None:
+            mask &= values >= self.lo
+        if self.hi is not None:
+            mask &= values < self.hi
+        source = inputs[0]
+        dtype = source.dtype if isinstance(source, BAT) else source.column.dtype
+        dictionary = (
+            source.dictionary
+            if isinstance(source, BAT)
+            else source.column.dictionary
+        )
+        return BAT(heads[mask], values[mask], dtype, dictionary)
+
+    def work_profile(
+        self, inputs: Sequence[Intermediate], output: Intermediate
+    ) -> WorkProfile:
+        n = len(inputs[0])
+        return WorkProfile(
+            tuples_in=n,
+            tuples_out=len(output),
+            bytes_read=inputs[0].nbytes,
+            bytes_written=output.nbytes,
+        )
+
+    def describe(self) -> str:
+        return f"vpartition[{self.lo}:{self.hi})"
+
+
+def value_partition_bounds(values, parts: int) -> list[tuple[float | None, float | None]]:
+    """Quantile (lo, hi) bounds splitting ``values`` into ``parts`` ranges.
+
+    The first range is open below and the last open above, so the union
+    of partitions always covers the full domain.
+    """
+    import numpy as np
+
+    if parts < 1:
+        raise OperatorError("parts must be >= 1")
+    if parts == 1:
+        return [(None, None)]
+    quantiles = np.quantile(
+        np.asarray(values), [i / parts for i in range(1, parts)]
+    )
+    cuts = [float(q) for q in quantiles]
+    bounds: list[tuple[float | None, float | None]] = [(None, cuts[0])]
+    bounds.extend((cuts[i - 1], cuts[i]) for i in range(1, len(cuts)))
+    bounds.append((cuts[-1], None))
+    return bounds

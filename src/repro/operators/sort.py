@@ -1,0 +1,128 @@
+"""Sorting and top-N (MAL ``algebra.sort`` / ``algebra.slice``)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import OperatorError
+from ..storage.column import BAT, Intermediate
+from .base import Operator, WorkProfile
+
+
+class Sort(Operator):
+    """Sort a BAT by tail value (stable; ``descending`` reverses)."""
+
+    kind = "sort"
+    partitionable = True
+    blocking = True
+
+    def __init__(self, *, descending: bool = False, by: str = "tail") -> None:
+        super().__init__()
+        if by not in ("tail", "head"):
+            raise OperatorError(f"sort key must be 'tail' or 'head', got {by!r}")
+        self.descending = descending
+        self.by = by
+
+    def evaluate(self, inputs: Sequence[Intermediate]) -> BAT:
+        if len(inputs) != 1:
+            raise OperatorError(f"sort takes 1 input, got {len(inputs)}")
+        bat = inputs[0]
+        if not isinstance(bat, BAT):
+            raise OperatorError(f"sort input must be a BAT, got {type(bat).__name__}")
+        keys = bat.tail if self.by == "tail" else bat.head
+        order = np.argsort(keys, kind="stable")
+        if self.descending:
+            order = order[::-1]
+        return BAT(bat.head[order], bat.tail[order], bat.dtype, bat.dictionary)
+
+    def work_profile(
+        self, inputs: Sequence[Intermediate], output: Intermediate
+    ) -> WorkProfile:
+        n = len(inputs[0])
+        # n log n compare/swap work is folded into the cost model via the
+        # tuples_in count and the sort kind's cycle constant.
+        return WorkProfile(
+            tuples_in=n,
+            tuples_out=n,
+            bytes_read=inputs[0].nbytes,
+            bytes_written=output.nbytes,
+            random_reads=n,
+        )
+
+    def describe(self) -> str:
+        direction = "desc" if self.descending else "asc"
+        return f"sort({self.by} {direction})"
+
+
+class TopN(Operator):
+    """First ``n`` tuples of a (sorted) BAT -- the LIMIT operator."""
+
+    kind = "topn"
+
+    def __init__(self, n: int) -> None:
+        super().__init__()
+        if n < 0:
+            raise OperatorError("topn requires n >= 0")
+        self.n = n
+
+    def evaluate(self, inputs: Sequence[Intermediate]) -> BAT:
+        if len(inputs) != 1:
+            raise OperatorError(f"topn takes 1 input, got {len(inputs)}")
+        bat = inputs[0]
+        if not isinstance(bat, BAT):
+            raise OperatorError(f"topn input must be a BAT, got {type(bat).__name__}")
+        return BAT(bat.head[: self.n], bat.tail[: self.n], bat.dtype, bat.dictionary)
+
+    def work_profile(
+        self, inputs: Sequence[Intermediate], output: Intermediate
+    ) -> WorkProfile:
+        return WorkProfile(
+            tuples_in=len(inputs[0]),
+            tuples_out=len(output),
+            bytes_read=output.nbytes,
+            bytes_written=output.nbytes,
+        )
+
+    def describe(self) -> str:
+        return f"topn({self.n})"
+
+
+class TailFilter(Operator):
+    """Filter a BAT by a predicate over its tail values.
+
+    The HAVING operator: grouped results arrive as (group key, aggregate)
+    BATs, and HAVING keeps the groups whose aggregate qualifies.
+    """
+
+    kind = "tail_filter"
+
+    def __init__(self, predicate) -> None:
+        super().__init__()
+        self.predicate = predicate
+
+    def evaluate(self, inputs: Sequence[Intermediate]) -> BAT:
+        if len(inputs) != 1:
+            raise OperatorError(f"tail_filter takes 1 input, got {len(inputs)}")
+        bat = inputs[0]
+        if not isinstance(bat, BAT):
+            raise OperatorError(
+                f"tail_filter input must be a BAT, got {type(bat).__name__}"
+            )
+        mask = self.predicate.mask(bat.tail, bat.dictionary)
+        return BAT(bat.head[mask], bat.tail[mask], bat.dtype, bat.dictionary)
+
+    def work_profile(
+        self, inputs: Sequence[Intermediate], output: Intermediate
+    ) -> WorkProfile:
+        n = len(inputs[0])
+        return WorkProfile(
+            tuples_in=n,
+            tuples_out=len(output),
+            bytes_read=inputs[0].nbytes,
+            bytes_written=output.nbytes,
+        )
+
+    def describe(self) -> str:
+        return f"having({self.predicate.describe()})"

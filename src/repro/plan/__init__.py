@@ -1,0 +1,27 @@
+"""Plan layer: operator DAGs, builder, validation, printing, statistics."""
+
+from .builder import PlanBuilder
+from .diff import EvolutionLog, PlanDiff, diff_plans
+from .export import plan_from_json, to_dot, to_json
+from .graph import Plan, PlanNode, iter_edges
+from .printer import format_plan, format_tree
+from .stats import PlanStats, plan_stats
+from .validate import validate_plan
+
+__all__ = [
+    "Plan",
+    "PlanBuilder",
+    "PlanNode",
+    "PlanDiff",
+    "PlanStats",
+    "EvolutionLog",
+    "format_plan",
+    "format_tree",
+    "diff_plans",
+    "iter_edges",
+    "plan_from_json",
+    "plan_stats",
+    "to_dot",
+    "to_json",
+    "validate_plan",
+]

@@ -1,0 +1,119 @@
+"""Fluent construction of serial plans against a catalog.
+
+The builder is the programmatic front door for users who skip the SQL
+layer: it resolves table/column names, wires operator arities correctly,
+and returns ordinary :class:`~repro.plan.graph.Plan` objects that the
+adaptive and heuristic parallelizers both accept.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import PlanError
+from ..operators.aggregate import Aggregate
+from ..operators.calc import Calc
+from ..operators.groupby import GroupAggregate
+from ..operators.join import Join, SemiJoin
+from ..operators.literal import Literal
+from ..operators.project import Fetch, Mirror
+from ..operators.scan import Scan
+from ..operators.select import CandIntersect, CandUnion, Predicate, Select
+from ..operators.sort import Sort, TopN
+from ..storage.catalog import Catalog
+from .graph import Plan, PlanNode
+
+
+class PlanBuilder:
+    """Accumulates nodes into one plan; call :meth:`build` with outputs."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self.plan = Plan()
+
+    # -- leaves --------------------------------------------------------
+    def scan(self, table: str, column: str) -> PlanNode:
+        """Bind a base column of ``table`` into the plan."""
+        col = self.catalog.column(table, column)
+        return self.plan.add(Scan(col), label=f"{table}.{column}")
+
+    def literal(self, value: float | int, dtype=None) -> PlanNode:
+        """A scalar constant leaf."""
+        return self.plan.add(Literal(value, dtype))
+
+    # -- filters -------------------------------------------------------
+    def select(
+        self, source: PlanNode, predicate: Predicate, candidates: PlanNode | None = None
+    ) -> PlanNode:
+        """Filter ``source`` by ``predicate`` (optionally under candidates)."""
+        inputs = [source] if candidates is None else [source, candidates]
+        return self.plan.add(Select(predicate), inputs)
+
+    def cand_union(self, parts: Sequence[PlanNode]) -> PlanNode:
+        """Union of candidate branches (OR semantics)."""
+        if not parts:
+            raise PlanError("cand_union needs at least one branch")
+        return self.plan.add(CandUnion(), list(parts))
+
+    def cand_intersect(self, parts: Sequence[PlanNode]) -> PlanNode:
+        """Intersection of candidate branches (AND semantics)."""
+        if not parts:
+            raise PlanError("cand_intersect needs at least one branch")
+        return self.plan.add(CandIntersect(), list(parts))
+
+    # -- tuple reconstruction ------------------------------------------
+    def fetch(self, rowids: PlanNode, source: PlanNode) -> PlanNode:
+        """Tuple reconstruction: values of ``source`` at ``rowids``."""
+        return self.plan.add(Fetch(), [rowids, source])
+
+    def mirror(self, source: PlanNode) -> PlanNode:
+        """Oid-to-oid BAT of ``source`` (MAL ``bat.mirror``)."""
+        return self.plan.add(Mirror(), [source])
+
+    # -- joins -----------------------------------------------------------
+    def join(self, outer: PlanNode, inner: PlanNode) -> PlanNode:
+        """Hash equi-join; the outer side is the partitionable one."""
+        return self.plan.add(Join(), [outer, inner])
+
+    def semijoin(self, outer: PlanNode, inner: PlanNode, *, negate: bool = False) -> PlanNode:
+        """Keep outer tuples with (no) inner matches (EXISTS / NOT IN)."""
+        return self.plan.add(SemiJoin(negate=negate), [outer, inner])
+
+    # -- compute ---------------------------------------------------------
+    def calc(self, op: str, a: PlanNode, b: PlanNode) -> PlanNode:
+        """Element-wise arithmetic ``a <op> b``."""
+        return self.plan.add(Calc(op), [a, b])
+
+    # -- aggregation -----------------------------------------------------
+    def aggregate(self, func: str, source: PlanNode) -> PlanNode:
+        """Scalar aggregation over ``source``."""
+        return self.plan.add(Aggregate(func), [source])
+
+    def group_aggregate(
+        self, func: str, keys: PlanNode, values: PlanNode | None = None
+    ) -> PlanNode:
+        """Grouped aggregation: ``func(values) GROUP BY keys``."""
+        if func == "count":
+            if values is not None:
+                raise PlanError("grouped count takes only the key input")
+            return self.plan.add(GroupAggregate("count"), [keys])
+        if values is None:
+            raise PlanError(f"grouped {func} needs a value input")
+        return self.plan.add(GroupAggregate(func), [keys, values])
+
+    # -- ordering --------------------------------------------------------
+    def sort(self, source: PlanNode, *, descending: bool = False, by: str = "tail") -> PlanNode:
+        """Sort a BAT by its tail (or head)."""
+        return self.plan.add(Sort(descending=descending, by=by), [source])
+
+    def topn(self, source: PlanNode, n: int) -> PlanNode:
+        """Keep the first ``n`` tuples (LIMIT)."""
+        return self.plan.add(TopN(n), [source])
+
+    # -- finish ----------------------------------------------------------
+    def build(self, outputs: PlanNode | Sequence[PlanNode]) -> Plan:
+        """Finalize the plan with the given output node(s)."""
+        if isinstance(outputs, PlanNode):
+            outputs = [outputs]
+        self.plan.set_outputs(list(outputs))
+        return self.plan

@@ -1,0 +1,89 @@
+"""Structural diffs between plans: what one mutation changed.
+
+Adaptive parallelization mutates the plan between runs; `diff_plans`
+summarizes the structural delta (operator counts per kind, pack fan-ins,
+partition counts) so drivers can log plan evolution the way the paper's
+companion tools visualize it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from .graph import Plan
+from .stats import plan_stats
+
+
+@dataclass(frozen=True)
+class PlanDiff:
+    """Summary of the structural change from ``before`` to ``after``."""
+
+    added_by_kind: dict[str, int]
+    removed_by_kind: dict[str, int]
+    node_delta: int
+    depth_delta: int
+    pack_fanin_delta: int
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.added_by_kind and not self.removed_by_kind
+
+    def format(self) -> str:
+        if self.is_noop:
+            return "no structural change"
+        parts = []
+        for kind, count in sorted(self.added_by_kind.items()):
+            parts.append(f"+{count} {kind}")
+        for kind, count in sorted(self.removed_by_kind.items()):
+            parts.append(f"-{count} {kind}")
+        summary = ", ".join(parts)
+        return (
+            f"{summary} (nodes {self.node_delta:+d}, depth "
+            f"{self.depth_delta:+d}, max pack fan-in "
+            f"{self.pack_fanin_delta:+d})"
+        )
+
+
+def diff_plans(before: Plan, after: Plan) -> PlanDiff:
+    """Per-operator-kind structural delta between two plans."""
+    before_counts = Counter(node.kind for node in before.nodes())
+    after_counts = Counter(node.kind for node in after.nodes())
+    added: dict[str, int] = {}
+    removed: dict[str, int] = {}
+    for kind in set(before_counts) | set(after_counts):
+        delta = after_counts[kind] - before_counts[kind]
+        if delta > 0:
+            added[kind] = delta
+        elif delta < 0:
+            removed[kind] = -delta
+    before_stats = plan_stats(before)
+    after_stats = plan_stats(after)
+    return PlanDiff(
+        added_by_kind=added,
+        removed_by_kind=removed,
+        node_delta=after_stats.total_nodes - before_stats.total_nodes,
+        depth_delta=after_stats.depth - before_stats.depth,
+        pack_fanin_delta=after_stats.max_pack_fanin - before_stats.max_pack_fanin,
+    )
+
+
+@dataclass
+class EvolutionLog:
+    """Accumulates per-run diffs over an adaptive instance."""
+
+    snapshots: list[Plan] = field(default_factory=list)
+
+    def observe(self, plan: Plan) -> PlanDiff | None:
+        """Snapshot the plan; returns the diff against the previous one."""
+        snapshot = plan.copy()
+        previous = self.snapshots[-1] if self.snapshots else None
+        self.snapshots.append(snapshot)
+        if previous is None:
+            return None
+        return diff_plans(previous, snapshot)
+
+    def diffs(self) -> list[PlanDiff]:
+        return [
+            diff_plans(a, b) for a, b in zip(self.snapshots, self.snapshots[1:])
+        ]

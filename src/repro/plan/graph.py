@@ -1,0 +1,170 @@
+"""Query plans as operator DAGs.
+
+A :class:`Plan` is a directed acyclic graph of :class:`PlanNode` objects,
+each wrapping one physical operator; edges carry intermediates.  This is
+the structure adaptive parallelization morphs between invocations: nodes
+are replaced by cloned copies over partitioned inputs, packs are inserted
+and removed, and the whole graph stays executable after every step.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Iterator, Sequence
+
+from ..errors import PlanError
+from ..operators.base import Operator
+
+_node_counter = itertools.count(1)
+
+
+class PlanNode:
+    """One operator instance in a plan.
+
+    ``order_key`` records the base-column position of the partition this
+    node works on; packs keep their inputs sorted by it so that packed
+    results follow the serial order (paper Section 2.3).
+    """
+
+    __slots__ = ("nid", "op", "inputs", "order_key", "label")
+
+    def __init__(
+        self,
+        op: Operator,
+        inputs: Sequence["PlanNode"] = (),
+        *,
+        order_key: int | None = None,
+        label: str | None = None,
+    ) -> None:
+        self.nid = next(_node_counter)
+        self.op = op
+        self.inputs: list[PlanNode] = list(inputs)
+        self.order_key = order_key
+        self.label = label
+
+    @property
+    def kind(self) -> str:
+        return self.op.kind
+
+    def describe(self) -> str:
+        text = self.op.describe()
+        if self.label:
+            text = f"{text} <{self.label}>"
+        return text
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PlanNode(#{self.nid} {self.describe()})"
+
+
+class Plan:
+    """An executable operator DAG with named output nodes."""
+
+    def __init__(self, outputs: Sequence[PlanNode] | None = None) -> None:
+        self.outputs: list[PlanNode] = list(outputs) if outputs else []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        op: Operator,
+        inputs: Sequence[PlanNode] = (),
+        *,
+        order_key: int | None = None,
+        label: str | None = None,
+    ) -> PlanNode:
+        """Create a node; it becomes part of the plan once reachable from
+        an output (the graph is defined by reachability)."""
+        return PlanNode(op, inputs, order_key=order_key, label=label)
+
+    def set_outputs(self, outputs: Sequence[PlanNode]) -> None:
+        self.outputs = list(outputs)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def nodes(self) -> list[PlanNode]:
+        """All nodes reachable from the outputs, in topological order
+        (inputs before consumers)."""
+        order: list[PlanNode] = []
+        state: dict[int, int] = {}  # 0 visiting, 1 done
+
+        def visit(node: PlanNode, stack: list[PlanNode]) -> None:
+            mark = state.get(node.nid)
+            if mark == 1:
+                return
+            if mark == 0:
+                cycle = " -> ".join(n.describe() for n in stack[-4:])
+                raise PlanError(f"plan contains a cycle near: {cycle}")
+            state[node.nid] = 0
+            stack.append(node)
+            for child in node.inputs:
+                visit(child, stack)
+            stack.pop()
+            state[node.nid] = 1
+            order.append(node)
+
+        for out in self.outputs:
+            visit(out, [])
+        return order
+
+    def __len__(self) -> int:
+        return len(self.nodes())
+
+    def __iter__(self) -> Iterator[PlanNode]:
+        return iter(self.nodes())
+
+    def consumers(self, target: PlanNode) -> list[PlanNode]:
+        """Nodes that read ``target``'s output."""
+        return [node for node in self.nodes() if target in node.inputs]
+
+    def find(self, predicate: Callable[[PlanNode], bool]) -> list[PlanNode]:
+        return [node for node in self.nodes() if predicate(node)]
+
+    def count_kind(self, kind: str) -> int:
+        return sum(1 for node in self.nodes() if node.kind == kind)
+
+    # ------------------------------------------------------------------
+    # Mutation primitives
+    # ------------------------------------------------------------------
+    def replace_node(self, old: PlanNode, new: PlanNode) -> None:
+        """Redirect every consumer of ``old`` (and the output list) to
+        ``new``; ``old`` drops out of the plan by unreachability."""
+        for node in self.nodes():
+            node.inputs = [new if child is old else child for child in node.inputs]
+        self.outputs = [new if out is old else out for out in self.outputs]
+
+    def splice_input(self, consumer: PlanNode, old: PlanNode, new: PlanNode) -> None:
+        """Replace one input edge of ``consumer``."""
+        if old not in consumer.inputs:
+            raise PlanError(
+                f"node #{consumer.nid} does not read #{old.nid}"
+            )
+        consumer.inputs = [new if child is old else child for child in consumer.inputs]
+
+    # ------------------------------------------------------------------
+    # Copying
+    # ------------------------------------------------------------------
+    def copy(self) -> "Plan":
+        """Deep-copy the graph structure; operators are cloned so the new
+        plan can be mutated independently (plan history administration)."""
+        mapping: dict[int, PlanNode] = {}
+        for node in self.nodes():  # topological: inputs exist before use
+            clone = PlanNode(
+                node.op.clone(),
+                [mapping[child.nid] for child in node.inputs],
+                order_key=node.order_key,
+                label=node.label,
+            )
+            mapping[node.nid] = clone
+        return Plan([mapping[out.nid] for out in self.outputs])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Plan(nodes={len(self)}, outputs={len(self.outputs)})"
+
+
+def iter_edges(plan: Plan) -> Iterable[tuple[PlanNode, PlanNode]]:
+    """All (producer, consumer) edges of a plan."""
+    for node in plan.nodes():
+        for child in node.inputs:
+            yield child, node

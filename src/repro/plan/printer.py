@@ -1,0 +1,47 @@
+"""Text rendering of plans, loosely modelled on MAL listings."""
+
+from __future__ import annotations
+
+from .graph import Plan, PlanNode
+
+
+def format_plan(plan: Plan, *, show_ids: bool = True) -> str:
+    """A topologically ordered, one-line-per-operator listing.
+
+    Every line shows the node, its operator, and the nodes it reads --
+    close enough to a MAL listing (paper Figure 7) to eyeball data-flow
+    dependencies.
+    """
+    lines = []
+    for node in plan.nodes():
+        refs = ",".join(f"X_{child.nid}" for child in node.inputs)
+        prefix = f"X_{node.nid} := " if show_ids else ""
+        suffix = f"({refs})" if refs else "()"
+        marker = "  # output" if node in plan.outputs else ""
+        lines.append(f"{prefix}{node.describe()}{suffix}{marker}")
+    return "\n".join(lines)
+
+
+def format_tree(plan: Plan, *, max_depth: int = 30) -> str:
+    """An indented tree view rooted at each output (shared nodes are
+    repeated with a back-reference marker)."""
+    lines: list[str] = []
+    seen: set[int] = set()
+
+    def walk(node: PlanNode, depth: int) -> None:
+        indent = "  " * depth
+        if node.nid in seen:
+            lines.append(f"{indent}#{node.nid} {node.describe()} (shared)")
+            return
+        seen.add(node.nid)
+        lines.append(f"{indent}#{node.nid} {node.describe()}")
+        if depth >= max_depth:
+            lines.append(f"{indent}  ...")
+            return
+        for child in node.inputs:
+            walk(child, depth + 1)
+
+    for i, out in enumerate(plan.outputs):
+        lines.append(f"output[{i}]:")
+        walk(out, 1)
+    return "\n".join(lines)

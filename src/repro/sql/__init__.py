@@ -1,0 +1,15 @@
+"""Mini SQL front-end: lexer, parser, and serial-plan compiler."""
+
+from .ast import SelectStatement
+from .lexer import Token, tokenize
+from .parser import parse
+from .planner import SqlPlanner, plan_sql
+
+__all__ = [
+    "SelectStatement",
+    "SqlPlanner",
+    "Token",
+    "parse",
+    "plan_sql",
+    "tokenize",
+]

@@ -1,0 +1,157 @@
+"""Abstract syntax for the supported SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+# ---------------------------------------------------------------------------
+# Expressions (SELECT list, aggregate arguments)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """``column`` or ``table.column``."""
+
+    name: str
+    table: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class NumberLit:
+    value: float | int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BinaryExpr:
+    op: str  # + - * /
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class AggExpr:
+    """``SUM(expr)``, ``COUNT(*)``, ``AVG(expr)``, ..."""
+
+    func: str  # sum | count | min | max | avg
+    arg: Union["Expr", None]  # None for COUNT(*)
+
+    def __str__(self) -> str:
+        inner = "*" if self.arg is None else str(self.arg)
+        return f"{self.func}({inner})"
+
+
+Expr = Union[ColumnRef, NumberLit, BinaryExpr, AggExpr]
+
+
+# ---------------------------------------------------------------------------
+# Predicates (WHERE clause)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``col <op> literal`` with op in = < > <= >= <>."""
+
+    column: ColumnRef
+    op: str
+    value: float | int | str
+
+
+@dataclass(frozen=True)
+class Between:
+    column: ColumnRef
+    lo: float | int
+    hi: float | int
+
+
+@dataclass(frozen=True)
+class Like:
+    column: ColumnRef
+    pattern: str
+    negate: bool = False
+
+
+@dataclass(frozen=True)
+class InList:
+    column: ColumnRef
+    values: tuple[float | int | str, ...]
+    negate: bool = False
+
+
+@dataclass(frozen=True)
+class InSubquery:
+    """``col [NOT] IN (SELECT ... )`` -- planned as a (anti-)semijoin."""
+
+    column: ColumnRef
+    subquery: "SelectStatement"
+    negate: bool = False
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """``t1.c1 = t2.c2`` between two different tables."""
+
+    left: ColumnRef
+    right: ColumnRef
+
+
+@dataclass(frozen=True)
+class And:
+    parts: tuple["Condition", ...]
+
+
+@dataclass(frozen=True)
+class Or:
+    parts: tuple["Condition", ...]
+
+
+Condition = Union[Comparison, Between, Like, InList, InSubquery, JoinCondition, And, Or]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HavingCondition:
+    """``HAVING agg <op> literal`` -- filters groups after aggregation."""
+
+    agg: AggExpr
+    op: str
+    value: float | int
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    items: tuple[SelectItem, ...]
+    tables: tuple[str, ...]
+    where: Condition | None = None
+    group_by: ColumnRef | None = None
+    having: tuple[HavingCondition, ...] = field(default=())
+    order_by: tuple[OrderItem, ...] = field(default=())
+    limit: int | None = None
+    distinct: bool = False

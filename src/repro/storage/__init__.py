@@ -1,0 +1,55 @@
+"""Columnar storage substrate: columns, slices, tables, catalog, partitions."""
+
+from .column import (
+    BAT,
+    Candidates,
+    Column,
+    ColumnSlice,
+    Intermediate,
+    Scalar,
+    align_candidates,
+    intermediate_nbytes,
+)
+from .catalog import Catalog
+from .dtypes import (
+    DATE,
+    DBL,
+    INT,
+    LNG,
+    OID,
+    STR,
+    DataType,
+    add_months,
+    date_value,
+    type_by_name,
+)
+from .partition import PartitionRange, PartitionSet
+from .persist import load_catalog, save_catalog
+from .table import Table
+
+__all__ = [
+    "BAT",
+    "Candidates",
+    "Catalog",
+    "Column",
+    "ColumnSlice",
+    "DataType",
+    "DATE",
+    "DBL",
+    "INT",
+    "Intermediate",
+    "LNG",
+    "OID",
+    "PartitionRange",
+    "PartitionSet",
+    "STR",
+    "Scalar",
+    "Table",
+    "add_months",
+    "align_candidates",
+    "date_value",
+    "intermediate_nbytes",
+    "load_catalog",
+    "save_catalog",
+    "type_by_name",
+]

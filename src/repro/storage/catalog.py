@@ -1,0 +1,54 @@
+"""The catalog: a named set of tables (one simulated database instance)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import StorageError
+from .column import Column
+from .table import Table
+
+
+class Catalog:
+    """Registry of tables; the object a query plan binds its scans against."""
+
+    def __init__(self, name: str = "sys") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+
+    def add(self, table: Table) -> Table:
+        if table.name in self._tables:
+            raise StorageError(f"table {table.name!r} already registered")
+        self._tables[table.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise StorageError(
+                f"no table {name!r} in catalog {self.name!r}; "
+                f"available: {sorted(self._tables)}"
+            ) from None
+
+    def column(self, table_name: str, column_name: str) -> Column:
+        return self.table(table_name).column(column_name)
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def tables(self) -> Iterable[Table]:
+        return self._tables.values()
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def largest_table(self) -> Table:
+        """The table with the most bytes -- HP partitions this one."""
+        if not self._tables:
+            raise StorageError(f"catalog {self.name!r} is empty")
+        return max(self._tables.values(), key=lambda t: t.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Catalog({self.name!r}, tables={self.table_names})"

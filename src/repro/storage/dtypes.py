@@ -1,0 +1,68 @@
+"""Logical column types and their physical numpy representation.
+
+The store is deliberately small: 64-bit integers (``lng`` in MonetDB
+terms), 64-bit floats, 32-bit dates (days since epoch), and
+dictionary-encoded strings.  Fixed-point decimals from TPC-H are stored as
+scaled integers, as MonetDB does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Physical type used for object ids (row ids); MonetDB's ``oid``.
+OID_DTYPE = np.int64
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A logical column type.
+
+    ``numpy_dtype`` is the physical representation; ``width`` is the
+    per-value byte width used by the cost model.
+    """
+
+    name: str
+    numpy_dtype: np.dtype
+    width: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+LNG = DataType("lng", np.dtype(np.int64), 8)
+DBL = DataType("dbl", np.dtype(np.float64), 8)
+INT = DataType("int", np.dtype(np.int32), 4)
+DATE = DataType("date", np.dtype(np.int32), 4)  # days since 1970-01-01
+#: Dictionary-encoded string: 4-byte codes into a per-column dictionary.
+STR = DataType("str", np.dtype(np.int32), 4)
+OID = DataType("oid", np.dtype(OID_DTYPE), 8)
+
+_BY_NAME = {t.name: t for t in (LNG, DBL, INT, DATE, STR, OID)}
+
+
+def type_by_name(name: str) -> DataType:
+    """Look up a :class:`DataType` by its logical name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown data type {name!r}; known: {sorted(_BY_NAME)}") from None
+
+
+def date_value(iso: str) -> int:
+    """Convert ``YYYY-MM-DD`` to the store's integer day number."""
+    return int(np.datetime64(iso, "D").astype(np.int64))
+
+
+def add_months(day_number: int, months: int) -> int:
+    """MonetDB ``mtime.addmonths``: calendar-aware month arithmetic."""
+    month = np.datetime64(int(day_number), "D").astype("datetime64[M]")
+    shifted = month + np.timedelta64(months, "M")
+    base = shifted.astype("datetime64[D]").astype(np.int64)
+    day_of_month = int(day_number) - month.astype("datetime64[D]").astype(np.int64)
+    next_month_len = (
+        (shifted + np.timedelta64(1, "M")).astype("datetime64[D]").astype(np.int64) - base
+    )
+    return int(base + min(day_of_month, next_month_len - 1))

@@ -1,0 +1,116 @@
+"""Dynamic range-partition bookkeeping (paper Figure 8).
+
+Adaptive parallelization splits the slice of whichever operator is
+currently the most expensive, so partitions of one column end up with
+*different sizes*, all aligned on the base column.  :class:`PartitionSet`
+records those boundaries and their split lineage so that tests can verify
+the exact evolution shown in Figure 8 (A -> B -> C -> D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import StorageError
+
+
+@dataclass(frozen=True)
+class PartitionRange:
+    """One half-open range ``[lo, hi)`` with its split generation."""
+
+    lo: int
+    hi: int
+    generation: int = 0
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise StorageError(f"invalid range [{self.lo}, {self.hi})")
+
+    def __len__(self) -> int:
+        return self.hi - self.lo
+
+    def midpoint(self) -> int:
+        return self.lo + len(self) // 2
+
+    def split(self, at: int | None = None) -> tuple["PartitionRange", "PartitionRange"]:
+        if at is None:
+            at = self.midpoint()
+        if not self.lo < at < self.hi:
+            raise StorageError(
+                f"split point {at} must fall strictly inside [{self.lo}, {self.hi})"
+            )
+        gen = self.generation + 1
+        return PartitionRange(self.lo, at, gen), PartitionRange(at, self.hi, gen)
+
+
+@dataclass
+class PartitionSet:
+    """The current partitioning of one base range ``[0, total)``.
+
+    Invariants (checked by :meth:`verify`):
+
+    * partitions are disjoint and sorted,
+    * their union covers exactly ``[0, total)`` -- no repetition, no
+      omission of data (the two failure modes the paper warns about).
+    """
+
+    total: int
+    ranges: list[PartitionRange] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.total < 0:
+            raise StorageError("total must be non-negative")
+        if not self.ranges:
+            self.ranges = [PartitionRange(0, self.total)]
+        self.verify()
+
+    def __len__(self) -> int:
+        return len(self.ranges)
+
+    def verify(self) -> None:
+        """Raise :class:`StorageError` unless the cover invariant holds."""
+        expected_lo = 0
+        for rng in self.ranges:
+            if rng.lo != expected_lo:
+                raise StorageError(
+                    f"partition gap/overlap at {expected_lo}: next range "
+                    f"starts at {rng.lo}"
+                )
+            expected_lo = rng.hi
+        if expected_lo != self.total:
+            raise StorageError(
+                f"partitions cover [0, {expected_lo}) but column has {self.total} rows"
+            )
+
+    def find(self, lo: int, hi: int) -> int:
+        """Index of the partition exactly equal to ``[lo, hi)``."""
+        for i, rng in enumerate(self.ranges):
+            if rng.lo == lo and rng.hi == hi:
+                return i
+        raise StorageError(f"no partition [{lo}, {hi}) in {self.boundaries()}")
+
+    def split(self, lo: int, hi: int, at: int | None = None) -> tuple[PartitionRange, PartitionRange]:
+        """Split the partition ``[lo, hi)`` in place; returns the halves."""
+        index = self.find(lo, hi)
+        left, right = self.ranges[index].split(at)
+        self.ranges[index : index + 1] = [left, right]
+        self.verify()
+        return left, right
+
+    def boundaries(self) -> list[tuple[int, int]]:
+        return [(rng.lo, rng.hi) for rng in self.ranges]
+
+    def sizes(self) -> list[int]:
+        return [len(rng) for rng in self.ranges]
+
+    @classmethod
+    def equal(cls, total: int, parts: int) -> "PartitionSet":
+        """Static equi-range partitioning into ``parts`` pieces (HP style)."""
+        if parts < 1:
+            raise StorageError("parts must be >= 1")
+        parts = min(parts, max(total, 1))
+        bounds = [round(i * total / parts) for i in range(parts + 1)]
+        ranges = [
+            PartitionRange(bounds[i], bounds[i + 1]) for i in range(parts)
+        ]
+        return cls(total=total, ranges=ranges)

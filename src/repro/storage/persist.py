@@ -1,0 +1,110 @@
+"""Catalog persistence: a directory-per-database binary columnar format.
+
+Layout (one directory per catalog)::
+
+    <root>/manifest.json              # schema: tables, columns, dtypes
+    <root>/<table>/<column>.npy       # the column values
+    <root>/<table>/<column>.dict.json # dictionary, for string columns
+
+Columns are memory-mapped on load (``mmap_mode="r"``), mirroring
+MonetDB's memory-mapped BAT storage the paper relies on for its
+NUMA-obliviousness argument.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import StorageError
+from .catalog import Catalog
+from .column import Column
+from .dtypes import type_by_name
+from .table import Table
+
+_MANIFEST = "manifest.json"
+_FORMAT_VERSION = 1
+
+
+def save_catalog(catalog: Catalog, root: str | Path) -> Path:
+    """Write ``catalog`` under ``root``; returns the manifest path.
+
+    Refuses to overwrite a directory that already holds a manifest for a
+    *different* catalog name.
+    """
+    root = Path(root)
+    manifest_path = root / _MANIFEST
+    if manifest_path.exists():
+        existing = json.loads(manifest_path.read_text())
+        if existing.get("catalog") != catalog.name:
+            raise StorageError(
+                f"{root} already holds catalog {existing.get('catalog')!r}; "
+                f"refusing to overwrite with {catalog.name!r}"
+            )
+    root.mkdir(parents=True, exist_ok=True)
+    manifest: dict = {
+        "format_version": _FORMAT_VERSION,
+        "catalog": catalog.name,
+        "tables": {},
+    }
+    for table in catalog.tables():
+        table_dir = root / table.name
+        table_dir.mkdir(exist_ok=True)
+        columns = []
+        for column in table.columns():
+            np.save(table_dir / f"{column.name}.npy", column.values)
+            entry = {"name": column.name, "dtype": column.dtype.name}
+            if column.dictionary is not None:
+                dict_path = table_dir / f"{column.name}.dict.json"
+                dict_path.write_text(json.dumps(list(column.dictionary)))
+                entry["dictionary"] = dict_path.name
+            columns.append(entry)
+        manifest["tables"][table.name] = {"rows": len(table), "columns": columns}
+    manifest_path.write_text(json.dumps(manifest, indent=2))
+    return manifest_path
+
+
+def load_catalog(root: str | Path, *, mmap: bool = True) -> Catalog:
+    """Load a catalog previously written by :func:`save_catalog`."""
+    root = Path(root)
+    manifest_path = root / _MANIFEST
+    if not manifest_path.exists():
+        raise StorageError(f"no catalog manifest under {root}")
+    manifest = json.loads(manifest_path.read_text())
+    version = manifest.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported catalog format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    catalog = Catalog(manifest["catalog"])
+    for table_name, spec in manifest["tables"].items():
+        table_dir = root / table_name
+        columns = []
+        for entry in spec["columns"]:
+            values = np.load(
+                table_dir / f"{entry['name']}.npy",
+                mmap_mode="r" if mmap else None,
+            )
+            if len(values) != spec["rows"]:
+                raise StorageError(
+                    f"column {table_name}.{entry['name']} has {len(values)} "
+                    f"rows, manifest says {spec['rows']}"
+                )
+            dictionary = None
+            if "dictionary" in entry:
+                dictionary = json.loads(
+                    (table_dir / entry["dictionary"]).read_text()
+                )
+            columns.append(
+                Column(
+                    entry["name"],
+                    type_by_name(entry["dtype"]),
+                    np.asarray(values),
+                    dictionary=dictionary,
+                )
+            )
+        catalog.add(Table(table_name, columns))
+    return catalog

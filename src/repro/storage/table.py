@@ -1,0 +1,84 @@
+"""Tables: named collections of equal-length columns."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import StorageError
+from .column import Column
+from .dtypes import DataType, STR
+
+
+class Table:
+    """A named, column-oriented table.
+
+    Columns share one global oid space: row ``i`` of every column belongs
+    to the same logical tuple.
+    """
+
+    def __init__(self, name: str, columns: Sequence[Column]) -> None:
+        if not columns:
+            raise StorageError(f"table {name!r} needs at least one column")
+        length = len(columns[0])
+        by_name: dict[str, Column] = {}
+        for col in columns:
+            if len(col) != length:
+                raise StorageError(
+                    f"column {col.name!r} has {len(col)} rows, expected {length}"
+                )
+            if col.name in by_name:
+                raise StorageError(f"duplicate column {col.name!r} in table {name!r}")
+            by_name[col.name] = col
+        self.name = name
+        self._columns = by_name
+        self._length = length
+
+    @classmethod
+    def from_arrays(
+        cls,
+        name: str,
+        data: Mapping[str, tuple[DataType, np.ndarray | Sequence]],
+    ) -> "Table":
+        """Build a table from ``{column_name: (dtype, values)}``.
+
+        String columns (dtype :data:`STR`) are dictionary-encoded from the
+        raw string sequence.
+        """
+        columns = []
+        for col_name, (dtype, values) in data.items():
+            if dtype is STR:
+                columns.append(Column.from_strings(col_name, values))
+            else:
+                columns.append(Column(col_name, dtype, np.asarray(values)))
+        return cls(name, columns)
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def nbytes(self) -> int:
+        return sum(col.nbytes for col in self._columns.values())
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    def columns(self) -> Iterable[Column]:
+        return self._columns.values()
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise StorageError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"available: {sorted(self._columns)}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._columns
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Table({self.name!r}, rows={self._length}, cols={len(self._columns)})"

@@ -1,0 +1,15 @@
+"""Visualization: text tomograph and ASCII figure plots."""
+
+from .ascii_plot import bar_chart, line_plot
+from .convergence import render_convergence_report
+from .tomograph import render_tomograph, utilization_summary
+from .trace import to_chrome_trace
+
+__all__ = [
+    "bar_chart",
+    "line_plot",
+    "render_convergence_report",
+    "render_tomograph",
+    "to_chrome_trace",
+    "utilization_summary",
+]

@@ -1,0 +1,79 @@
+"""Minimal ASCII line/bar plots for benchmark output.
+
+The benchmark harness reproduces the paper's figures as terminal
+plots: execution time vs run number (Figures 11, 14, 15), grouped bars
+(Figures 12, 16, 17, 18).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def line_plot(
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: str = "",
+    height: int = 12,
+    width: int = 72,
+    ylabel: str = "time (s)",
+    xlabel: str = "run",
+) -> str:
+    """Plot one or more numeric series against their index."""
+    if not series:
+        raise ValueError("nothing to plot")
+    marks = "*+xo#@%&"
+    all_values = [v for values in series.values() for v in values]
+    if not all_values:
+        raise ValueError("series are empty")
+    top = max(all_values)
+    bottom = min(0.0, min(all_values))
+    span = max(top - bottom, 1e-12)
+    longest = max(len(values) for values in series.values())
+    grid = [[" "] * width for _ in range(height)]
+    for si, (__, values) in enumerate(series.items()):
+        mark = marks[si % len(marks)]
+        for i, value in enumerate(values):
+            x = int(i / max(longest - 1, 1) * (width - 1))
+            y = height - 1 - int((value - bottom) / span * (height - 1))
+            grid[y][x] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{top:10.3g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{bottom:10.3g} +" + "-" * width)
+    lines.append(" " * 12 + f"{xlabel} 0..{longest - 1}   [{ylabel}]")
+    legend = "   ".join(
+        f"{marks[i % len(marks)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    groups: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: str = "",
+    width: int = 46,
+    unit: str = "s",
+) -> str:
+    """Grouped horizontal bars: one block of bars per group label."""
+    if not series:
+        raise ValueError("nothing to plot")
+    peak = max((v for values in series.values() for v in values), default=0.0)
+    peak = max(peak, 1e-12)
+    name_w = max(len(name) for name in series)
+    lines = []
+    if title:
+        lines.append(title)
+    for gi, group in enumerate(groups):
+        lines.append(f"{group}:")
+        for name, values in series.items():
+            value = values[gi]
+            filled = int(value / peak * width)
+            bar = "#" * filled
+            lines.append(f"  {name:<{name_w}} |{bar:<{width}}| {value:.4g} {unit}")
+    return "\n".join(lines)

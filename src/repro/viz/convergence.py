@@ -1,0 +1,71 @@
+"""Rich text report of one adaptive parallelization instance.
+
+Combines the run trace (Figure 11 style), the credit/debit ledger, a
+mutation-kind histogram, and serial-vs-GME plan statistics into one
+printable document; the CLI's ``adapt --trace`` uses it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..core.adaptive import AdaptiveResult
+from ..plan.stats import plan_stats
+from .ascii_plot import line_plot
+
+
+def render_convergence_report(
+    result: AdaptiveResult, *, max_trace_rows: int = 30
+) -> str:
+    """A multi-section text report for an :class:`AdaptiveResult`."""
+    lines: list[str] = []
+    lines.append(
+        f"adaptive parallelization: serial {result.serial_time * 1000:.2f} ms "
+        f"-> GME {result.gme_time * 1000:.2f} ms (x{result.speedup:.1f}) "
+        f"at run {result.gme_run}; best observed "
+        f"{result.best_time * 1000:.2f} ms; converged after "
+        f"{result.total_runs} runs"
+    )
+
+    # Mutation histogram.
+    schemes = Counter(m.scheme for m in result.mutations)
+    kinds = Counter(m.target_kind for m in result.mutations)
+    if result.mutations:
+        scheme_text = ", ".join(f"{k}: {v}" for k, v in schemes.most_common())
+        kind_text = ", ".join(f"{k}: {v}" for k, v in kinds.most_common())
+        lines.append(f"mutations by scheme: {scheme_text}")
+        lines.append(f"mutations by target: {kind_text}")
+
+    # Plan shape: GME vs final.
+    best = plan_stats(result.best_plan)
+    lines.append(f"GME plan: {best.format()}")
+    if result.final_plan is not None:
+        final = plan_stats(result.final_plan)
+        lines.append(f"final plan: {final.format()}")
+
+    # Ledger table (head of the trace).
+    lines.append("")
+    lines.append("run   time(ms)    roi      credit    debit  note")
+    shown = result.history[: max_trace_rows]
+    for record in shown:
+        note = ""
+        if record.is_outlier:
+            note = "outlier peak (forgiven)"
+        elif record.index == result.gme_run:
+            note = "<- GME"
+        lines.append(
+            f"{record.index:>3} {record.exec_time * 1000:10.2f}  "
+            f"{record.roi:+6.3f}  {record.credit:8.2f} {record.debit:8.2f}  {note}"
+        )
+    if result.total_runs > max_trace_rows:
+        lines.append(f"... ({result.total_runs - max_trace_rows} more runs)")
+
+    # ASCII trace.
+    lines.append("")
+    lines.append(
+        line_plot(
+            {"exec time": result.exec_times()},
+            title="execution time vs run",
+        )
+    )
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Text tomograph: per-thread operator timelines (paper Figures 19/20).
+
+The paper's tomograph tool draws one row per hardware thread and one
+colored box per operator execution; the fraction of colored area is the
+multi-core utilization.  This text version uses one character per time
+bucket: ``S`` select, ``J`` join, ``U`` exchange union (pack), ``F``
+tuple reconstruction, ``G`` group-by, ``A`` aggregation, ``C`` calc,
+``o`` anything else, ``.`` idle.
+"""
+
+from __future__ import annotations
+
+from ..engine.profiler import QueryProfile
+
+_KIND_CHARS = {
+    "select": "S",
+    "join": "J",
+    "semijoin": "J",
+    "pack": "U",
+    "fetch": "F",
+    "heads": "F",
+    "mirror": "F",
+    "groupby": "G",
+    "aggr_merge": "G",
+    "aggregate": "A",
+    "calc": "C",
+    "sort": "s",
+    "topn": "t",
+    "cand_union": "u",
+    "cand_intersect": "u",
+    "scan": "b",
+    "slice": "b",
+    "literal": "b",
+}
+
+
+def render_tomograph(
+    profile: QueryProfile,
+    hardware_threads: int,
+    *,
+    width: int = 100,
+) -> str:
+    """An ASCII per-thread timeline of one query execution."""
+    if profile.finish_time is None:
+        raise ValueError("profile has no finish time; did the query run?")
+    t0 = profile.submit_time
+    span = max(profile.finish_time - t0, 1e-12)
+    rows = {tid: ["."] * width for tid in range(hardware_threads)}
+    for record in profile.records:
+        char = _KIND_CHARS.get(record.kind, "o")
+        start = int((record.start - t0) / span * width)
+        stop = int((record.end - t0) / span * width)
+        stop = max(stop, start + 1)
+        row = rows.setdefault(record.thread_id, ["."] * width)
+        for i in range(start, min(stop, width)):
+            row[i] = char
+    util = profile.multicore_utilization(hardware_threads)
+    peak_gb = profile.peak_memory_bytes / 1e9
+    lines = [
+        f"tomograph: span={span * 1000:.1f} ms, threads={hardware_threads}, "
+        f"parallelism usage {util * 100:.1f}%, peak memory {peak_gb:.2f} GB",
+        "  (S=select J=join U=union F=fetch G=groupby A=aggr C=calc .=idle)",
+    ]
+    for tid in sorted(rows):
+        lines.append(f"  t{tid:>3} |{''.join(rows[tid])}|")
+    legend = profile.time_by_kind()
+    busiest = sorted(legend.items(), key=lambda kv: -kv[1])[:6]
+    detail = ", ".join(f"{kind}: {t * 1000:.1f} ms" for kind, t in busiest)
+    lines.append(f"  core time by operator: {detail}")
+    return "\n".join(lines)
+
+
+def utilization_summary(profile: QueryProfile, hardware_threads: int) -> dict:
+    """Numbers behind Figures 19/20 and Table 5's utilization row."""
+    return {
+        "span_ms": (profile.finish_time - profile.submit_time) * 1000.0,
+        "peak_memory_gb": profile.peak_memory_bytes / 1e9,
+        "busy_core_seconds": profile.busy_core_seconds(),
+        "multicore_utilization": profile.multicore_utilization(hardware_threads),
+        "threads_used": profile.threads_used(),
+        "operators_executed": len(profile.records),
+    }

@@ -1,0 +1,81 @@
+"""Deterministic data generators shared by the workload builders.
+
+Real benchmark data (dbgen/dsdgen) is substituted by scaled-down
+synthetic equivalents; the distributions that matter to the paper's
+evaluation -- uniformity for TPC-H, skew for TPC-DS and the
+micro-benchmarks (Figure 13) -- are preserved, and the ``data_scale``
+knob in :class:`repro.config.SimulationConfig` restores paper-scale
+byte counts for the cost model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def uniform_ints(
+    rng: np.random.Generator, n: int, lo: int, hi: int
+) -> np.ndarray:
+    """Uniform integers in ``[lo, hi)``."""
+    return rng.integers(lo, hi, size=n, dtype=np.int64)
+
+
+def uniform_dates(
+    rng: np.random.Generator, n: int, start_day: int, end_day: int
+) -> np.ndarray:
+    """Uniform day numbers in ``[start_day, end_day)``."""
+    return rng.integers(start_day, end_day, size=n, dtype=np.int64)
+
+
+def zipf_ints(
+    rng: np.random.Generator, n: int, domain: int, *, alpha: float = 1.2
+) -> np.ndarray:
+    """Zipf-skewed integers in ``[0, domain)`` (hot keys first)."""
+    ranks = np.arange(1, domain + 1, dtype=np.float64)
+    weights = ranks**-alpha
+    weights /= weights.sum()
+    return rng.choice(domain, size=n, p=weights).astype(np.int64)
+
+
+def clustered_skew(
+    rng: np.random.Generator,
+    n: int,
+    domain: int,
+    *,
+    clusters: int = 5,
+) -> np.ndarray:
+    """The paper's Figure 13 distribution.
+
+    The first half of the column is uniform random; the second half is
+    ``clusters`` consecutive runs of one identical value each -- the
+    layout that makes equi-range partitions wildly unbalanced for
+    selective predicates.
+    """
+    half = n // 2
+    head = rng.integers(0, domain, size=half, dtype=np.int64)
+    cluster_values = rng.choice(domain, size=clusters, replace=False).astype(np.int64)
+    run = (n - half) // clusters
+    tail_parts = [np.full(run, v, dtype=np.int64) for v in cluster_values]
+    tail = np.concatenate(tail_parts)
+    if len(tail) < n - half:  # remainder goes to the last cluster
+        pad = np.full(n - half - len(tail), cluster_values[-1], dtype=np.int64)
+        tail = np.concatenate([tail, pad])
+    return np.concatenate([head, tail])
+
+
+def choice_strings(
+    rng: np.random.Generator, n: int, values: list[str], weights: list[float] | None = None
+) -> list[str]:
+    """Random draws from a fixed string vocabulary."""
+    if weights is not None:
+        p = np.asarray(weights, dtype=np.float64)
+        p = p / p.sum()
+    else:
+        p = None
+    picks = rng.choice(len(values), size=n, p=p)
+    return [values[int(i)] for i in picks]
+
+
+def sequential_keys(n: int) -> np.ndarray:
+    """A dense primary-key column ``0..n-1``."""
+    return np.arange(n, dtype=np.int64)

@@ -1,0 +1,218 @@
+"""Micro-benchmarks from the paper's operator-level analysis (Section 4.1).
+
+* :func:`skewed_select_workload` -- the Figure 12/13 skewed-column
+  select: half the column uniform random, half five clusters of one
+  repeated value each; the predicate's threshold picks how many clusters
+  match ("% skew" on the x-axis of Figure 12).
+* :func:`join_micro_workload` -- the Figure 15 / Table 3 join: a large
+  random outer input probed against a hash table built on a small inner
+  input whose logical size straddles the shared L3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import MachineSpec, SimulationConfig, two_socket_machine
+from ..errors import WorkloadError
+from ..operators.aggregate import Aggregate
+from ..operators.join import Join
+from ..operators.project import Fetch
+from ..operators.scan import Scan
+from ..operators.select import RangePredicate, Select
+from ..plan.graph import Plan, PlanNode
+from ..storage import LNG, Catalog, Table
+
+#: Actual rows stand for 1000x logical rows, as in the TPC-H dataset.
+MICRO_SHRINK = 1000
+
+
+@dataclass
+class SkewedSelectWorkload:
+    """The Figure 12 skewed column and its select plan factory.
+
+    The paper's column has 1000M tuples: 500M uniform random in the
+    first half, then five clusters of 100M identical tuples.  Cluster
+    values are 0..4 so a predicate ``v < k`` matches exactly ``k``
+    clusters, i.e. ``10k%`` of the column, all positionally packed into
+    the second half -- equi-range partitions become maximally
+    unbalanced.
+    """
+
+    tuples_m: int = 1000  # logical millions of tuples
+    domain: int = 1_000_000
+    seed: int = 13
+    catalog: Catalog = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        n = self.tuples_m * 1_000_000 // MICRO_SHRINK
+        if n < 10:
+            raise WorkloadError("column too small; increase tuples_m")
+        rng = np.random.default_rng(self.seed)
+        half = n // 2
+        head = rng.integers(5, self.domain, size=half, dtype=np.int64)
+        run = (n - half) // 5
+        tail = np.concatenate(
+            [np.full(run, v, dtype=np.int64) for v in range(5)]
+            + [np.full(n - half - 5 * run, 4, dtype=np.int64)]
+        )
+        values = np.concatenate([head, tail])
+        payload = rng.integers(0, 1_000, size=n, dtype=np.int64)
+        self.catalog = Catalog("micro")
+        self.catalog.add(
+            Table.from_arrays("skewed", {"v": (LNG, values), "payload": (LNG, payload)})
+        )
+
+    def sim_config(self, machine: MachineSpec | None = None, **kwargs) -> SimulationConfig:
+        """A config whose ``data_scale`` restores paper-scale bytes."""
+        return SimulationConfig(
+            machine=machine if machine is not None else two_socket_machine(),
+            data_scale=float(MICRO_SHRINK),
+            **kwargs,
+        )
+
+    def plan(self, skew_percent: int) -> Plan:
+        """Select plan matching ``skew_percent`` in {10,20,...,50}.
+
+        ``v < k`` matches ``k`` clusters: 10% of the column per cluster.
+        The plan is select -> count, matching the paper's Figure 12
+        (a parallelized *select operator* plan): the execution skew
+        comes from the match-proportional output-writing cost of the
+        selects over the clustered half.
+        """
+        if skew_percent not in (10, 20, 30, 40, 50):
+            raise WorkloadError("skew_percent must be one of 10..50 step 10")
+        k = skew_percent // 10
+        plan = Plan()
+        scan_v = plan.add(Scan(self.catalog.column("skewed", "v")), label="skewed.v")
+        cands = plan.add(Select(RangePredicate(hi=k, hi_inclusive=False)), [scan_v])
+        total = plan.add(Aggregate("count"), [cands])
+        plan.set_outputs([total])
+        return plan
+
+
+def skewed_select_workload(**kwargs) -> SkewedSelectWorkload:
+    """Convenience constructor mirroring :class:`SkewedSelectWorkload`."""
+    return SkewedSelectWorkload(**kwargs)
+
+
+@dataclass
+class JoinMicroWorkload:
+    """The Figure 15 / Table 3 join micro-benchmark.
+
+    ``outer_mb`` / ``inner_mb`` are the paper's *logical* input sizes in
+    MB of 8-byte tuples (3200/2000/640 x 64/16).  The inner is a dense
+    key column so every outer tuple finds exactly one match, as in the
+    paper's micro-benchmark; the outer is uniform random over the inner
+    domain.
+    """
+
+    outer_mb: int = 3200
+    inner_mb: int = 16
+    seed: int = 17
+    catalog: Catalog = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        outer_n = self.outer_mb * 1_000_000 // 8 // MICRO_SHRINK
+        inner_n = self.inner_mb * 1_000_000 // 8 // MICRO_SHRINK
+        if outer_n < 2 or inner_n < 2:
+            raise WorkloadError("inputs too small for the shrink factor")
+        rng = np.random.default_rng(self.seed)
+        outer = rng.integers(0, inner_n, size=outer_n, dtype=np.int64)
+        inner = np.arange(inner_n, dtype=np.int64)
+        self.catalog = Catalog("join_micro")
+        self.catalog.add(Table.from_arrays("outer", {"o_key": (LNG, outer)}))
+        self.catalog.add(Table.from_arrays("inner", {"i_key": (LNG, inner)}))
+
+    def sim_config(self, machine: MachineSpec | None = None, **kwargs) -> SimulationConfig:
+        return SimulationConfig(
+            machine=machine if machine is not None else two_socket_machine(),
+            data_scale=float(MICRO_SHRINK),
+            **kwargs,
+        )
+
+    def plan(self) -> Plan:
+        """``join(outer, inner)`` capped by a count, as in Figure 4."""
+        plan = Plan()
+        outer = plan.add(Scan(self.catalog.column("outer", "o_key")), label="outer.o_key")
+        inner = plan.add(Scan(self.catalog.column("inner", "i_key")), label="inner.i_key")
+        joined = plan.add(Join(), [outer, inner])
+        count: PlanNode = plan.add(Aggregate("count"), [joined])
+        plan.set_outputs([count])
+        return plan
+
+
+def join_micro_workload(**kwargs) -> JoinMicroWorkload:
+    """Convenience constructor mirroring :class:`JoinMicroWorkload`."""
+    return JoinMicroWorkload(**kwargs)
+
+
+@dataclass
+class SelectMicroWorkload:
+    """The Figure 14 / Table 2 select micro-benchmark.
+
+    One column of ``size_gb`` logical gigabytes (8-byte tuples).  The
+    paper's selectivity convention is inverted relative to common usage:
+    **0% selectivity means every tuple qualifies** (maximum output,
+    maximum serial write cost, hence the largest speedups in Table 2)
+    and 100% means no tuple qualifies.
+
+    Actual rows are fixed at ``actual_rows`` so experiment wall time is
+    size-independent; the per-workload ``data_scale`` restores the
+    logical size for the cost model.
+    """
+
+    size_gb: float = 10.0
+    selectivity_pct: int = 0
+    actual_rows: int = 250_000
+    seed: int = 29
+    domain: int = 100
+    catalog: Catalog = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.selectivity_pct <= 100:
+            raise WorkloadError("selectivity_pct must be within [0, 100]")
+        if self.size_gb <= 0:
+            raise WorkloadError("size_gb must be positive")
+        rng = np.random.default_rng(self.seed)
+        values = rng.integers(0, self.domain, size=self.actual_rows, dtype=np.int64)
+        payload = rng.integers(0, 1_000, size=self.actual_rows, dtype=np.int64)
+        self.catalog = Catalog("select_micro")
+        self.catalog.add(
+            Table.from_arrays("data", {"v": (LNG, values), "payload": (LNG, payload)})
+        )
+
+    @property
+    def data_scale(self) -> float:
+        logical_rows = self.size_gb * 1e9 / 8.0
+        return logical_rows / self.actual_rows
+
+    def sim_config(self, machine: MachineSpec | None = None, **kwargs) -> SimulationConfig:
+        return SimulationConfig(
+            machine=machine if machine is not None else two_socket_machine(),
+            data_scale=self.data_scale,
+            **kwargs,
+        )
+
+    def plan(self) -> Plan:
+        """select -> fetch -> sum with the requested (paper) selectivity."""
+        # paper 0% selectivity = all output: threshold at the top of the
+        # domain; 100% = nothing qualifies.
+        threshold = round(self.domain * (100 - self.selectivity_pct) / 100)
+        plan = Plan()
+        scan_v = plan.add(Scan(self.catalog.column("data", "v")), label="data.v")
+        scan_p = plan.add(Scan(self.catalog.column("data", "payload")), label="data.payload")
+        cands = plan.add(
+            Select(RangePredicate(hi=threshold, hi_inclusive=False)), [scan_v]
+        )
+        fetched = plan.add(Fetch(), [cands, scan_p])
+        total = plan.add(Aggregate("sum"), [fetched])
+        plan.set_outputs([total])
+        return plan
+
+
+def select_micro_workload(**kwargs) -> SelectMicroWorkload:
+    """Convenience constructor mirroring :class:`SelectMicroWorkload`."""
+    return SelectMicroWorkload(**kwargs)

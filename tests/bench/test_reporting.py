@@ -1,0 +1,41 @@
+"""Benchmark reporting helpers."""
+
+from __future__ import annotations
+
+from repro.bench import ExperimentReport
+from repro.config import two_socket_machine
+
+
+class TestExperimentReport:
+    def make(self) -> ExperimentReport:
+        report = ExperimentReport(
+            experiment="Figure X: something",
+            claim="things hold",
+            machine=two_socket_machine(),
+        )
+        report.add("case a", 1.5, 1.621, unit="s", note="close")
+        report.add("case b", "~35", 33)
+        report.extra.append("free-form footnote")
+        return report
+
+    def test_format_contains_all_rows(self):
+        text = self.make().format()
+        assert "Figure X" in text
+        assert "case a" in text and "case b" in text
+        assert "1.62" in text
+        assert "~35" in text
+        assert "free-form footnote" in text
+
+    def test_format_mentions_machine(self):
+        assert "Xeon" in self.make().format()
+
+    def test_numbers_formatted_compactly(self):
+        report = ExperimentReport("e", "c", two_socket_machine())
+        report.add("x", 0.123456789, 12345.6789)
+        text = report.format()
+        assert "0.123" in text
+        assert "1.23e+04" in text or "12345" in text
+
+    def test_print_smoke(self, capsys):
+        self.make().print()
+        assert "Figure X" in capsys.readouterr().out

@@ -1,0 +1,197 @@
+"""The convergence algorithm (paper Section 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ConvergenceParams, ConvergenceTracker
+from repro.errors import ConvergenceError
+
+
+def params(**kwargs) -> ConvergenceParams:
+    defaults = dict(number_of_cores=8)
+    defaults.update(kwargs)
+    return ConvergenceParams(**defaults)
+
+
+def drive(tracker: ConvergenceTracker, times: list[float]) -> int:
+    """Feed times until the tracker stops; return runs consumed."""
+    for i, t in enumerate(times):
+        tracker.observe(t)
+        if not tracker.should_continue():
+            return i + 1
+    return len(times)
+
+
+class TestBookkeeping:
+    def test_initial_state(self):
+        tracker = ConvergenceTracker(params())
+        assert tracker.should_continue()
+        assert tracker.credit == 1.0
+        assert tracker.debit == 0.0
+
+    def test_serial_run_recorded(self):
+        tracker = ConvergenceTracker(params())
+        record = tracker.observe(10.0)
+        assert record.index == 0
+        assert tracker.serial_time == 10.0
+
+    def test_nonpositive_time_rejected(self):
+        tracker = ConvergenceTracker(params())
+        with pytest.raises(ConvergenceError):
+            tracker.observe(0.0)
+
+    def test_serial_time_before_observation_rejected(self):
+        with pytest.raises(ConvergenceError):
+            ConvergenceTracker(params()).serial_time
+
+    def test_roi_formula(self):
+        """ROI = (prev - cur) / max(cur, prev)."""
+        tracker = ConvergenceTracker(params())
+        tracker.observe(10.0)
+        record = tracker.observe(5.0)
+        assert record.roi == pytest.approx(0.5)
+        record = tracker.observe(10.0)
+        assert record.roi == pytest.approx(-0.5)
+
+    def test_positive_roi_accumulates_credit(self):
+        tracker = ConvergenceTracker(params(number_of_cores=8))
+        tracker.observe(10.0)
+        tracker.observe(5.0)  # roi 0.5 -> +4 credit
+        assert tracker.credit == pytest.approx(1.0 + 4.0)
+
+    def test_first_run_credit_bounded_by_cores_plus_one(self):
+        """Paper Section 3.3.1: upper limit Number_Of_Cores + 1."""
+        tracker = ConvergenceTracker(params(number_of_cores=8))
+        tracker.observe(1000.0)
+        tracker.observe(0.0001)  # roi -> ~1.0
+        assert tracker.credit <= 8 + 1
+
+
+class TestGme:
+    def test_gme_initialized_to_first_parallel_run(self):
+        tracker = ConvergenceTracker(params())
+        tracker.observe(10.0)
+        tracker.observe(8.0)
+        assert tracker.gme_time == 8.0
+        assert tracker.gme_run == 1
+
+    def test_gme_requires_threshold_improvement(self):
+        tracker = ConvergenceTracker(params(gme_threshold=0.05))
+        tracker.observe(10.0)
+        tracker.observe(8.0)  # improvement 20%
+        tracker.observe(7.9)  # +1 point: below threshold -> not new GME
+        assert tracker.gme_time == 8.0
+        tracker.observe(7.0)  # +10 points -> new GME
+        assert tracker.gme_time == 7.0
+        assert tracker.gme_run == 3
+
+    def test_paper_worked_example(self):
+        """Section 3.1: GMEimprv 90% at run 3, CurExecImprv 96% at run 8,
+        threshold 5% -> run 8 becomes the new GME."""
+        tracker = ConvergenceTracker(params(gme_threshold=0.05, number_of_cores=32))
+        tracker.observe(100.0)  # serial
+        tracker.observe(10.0)  # 90% improvement (becomes GME)
+        for __ in range(5):
+            tracker.observe(10.0)
+        tracker.observe(9.0)
+        record = tracker.observe(4.0)  # 96% improvement
+        assert record.gme_run == record.index
+        assert tracker.gme_time == 4.0
+
+    def test_gme_undefined_before_run1(self):
+        tracker = ConvergenceTracker(params())
+        tracker.observe(10.0)
+        with pytest.raises(ConvergenceError):
+            tracker.gme_time
+
+
+class TestConvergenceScenarios:
+    def test_no_premature_convergence_over_plateau(self):
+        """Section 3.3.1: early credit carries the search across flats."""
+        tracker = ConvergenceTracker(params(number_of_cores=8))
+        times = [10.0, 5.0] + [5.0] * 6  # big first win, then plateau
+        consumed = drive(tracker, times)
+        assert consumed == len(times)  # still going after the plateau
+
+    def test_terminates_on_stable_system(self):
+        """Section 3.3.2: leaking debit drains an otherwise stable run."""
+        tracker = ConvergenceTracker(params(number_of_cores=4, extra_runs=2))
+        tracker.observe(10.0)
+        tracker.observe(5.0)
+        runs = 0
+        while tracker.should_continue() and runs < 1000:
+            tracker.observe(5.0)
+            runs += 1
+        assert runs < 1000  # converged
+        # Bounded roughly by cores * (1 + extra_runs).
+        assert tracker.runs <= 4 * (1 + 2) + 3
+
+    def test_stop_when_parallelism_keeps_hurting(self):
+        tracker = ConvergenceTracker(params(number_of_cores=8))
+        tracker.observe(10.0)
+        # The first regression above serial is indistinguishable from a
+        # noise peak, so it gets one free pass (Section 3.3.3)...
+        tracker.observe(30.0)
+        assert tracker.should_continue()
+        # ...but a second consecutive bad run is counted and stops the
+        # search (debit 8 * |roi| exceeds the initial credit).
+        tracker.observe(35.0)
+        assert not tracker.should_continue()
+
+    def test_outlier_peak_tolerated(self):
+        """Section 3.3.3: a unique peak above serial must not halt."""
+        tracker = ConvergenceTracker(params(number_of_cores=8))
+        tracker.observe(10.0)
+        tracker.observe(5.0)
+        record = tracker.observe(50.0)  # noise peak above serial
+        assert record.is_outlier
+        assert tracker.should_continue()
+        tracker.observe(5.0)  # descent restores credit
+        assert tracker.should_continue()
+
+    def test_outlier_handling_can_be_disabled(self):
+        tracker = ConvergenceTracker(params(number_of_cores=8, handle_outliers=False))
+        tracker.observe(10.0)
+        tracker.observe(5.0)
+        record = tracker.observe(50.0)
+        assert not record.is_outlier
+        assert tracker.debit > 0
+
+    def test_consecutive_regressions_are_not_outliers(self):
+        tracker = ConvergenceTracker(params(number_of_cores=8))
+        tracker.observe(10.0)
+        tracker.observe(5.0)
+        tracker.observe(50.0)  # peak (forgiven)
+        record = tracker.observe(60.0)  # still above serial: counted
+        assert not record.is_outlier
+
+    def test_max_runs_hard_stop(self):
+        tracker = ConvergenceTracker(params(number_of_cores=4, max_runs=10))
+        tracker.observe(100.0)
+        # Endless large improvements would keep credit positive forever.
+        value = 50.0
+        while tracker.should_continue():
+            tracker.observe(value)
+            value *= 0.7
+        assert tracker.runs == 10
+
+    def test_history_exec_times(self):
+        tracker = ConvergenceTracker(params())
+        for t in (10.0, 8.0, 6.0):
+            tracker.observe(t)
+        assert tracker.exec_times() == [10.0, 8.0, 6.0]
+
+
+class TestParamValidation:
+    def test_bad_cores(self):
+        with pytest.raises(ConvergenceError):
+            ConvergenceParams(number_of_cores=0)
+
+    def test_bad_extra_runs(self):
+        with pytest.raises(ConvergenceError):
+            ConvergenceParams(number_of_cores=4, extra_runs=0)
+
+    def test_bad_threshold(self):
+        with pytest.raises(ConvergenceError):
+            ConvergenceParams(number_of_cores=4, gme_threshold=1.5)

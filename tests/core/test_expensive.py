@@ -1,0 +1,75 @@
+"""Expensive-operator identification and mutation-scheme dispatch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import candidates, mutation_scheme
+from repro.engine import execute
+from repro.operators import RangePredicate
+from repro.plan import PlanBuilder
+
+
+class TestMutationScheme:
+    @pytest.mark.parametrize(
+        "kind", ["select", "fetch", "calc", "join", "semijoin", "mirror", "heads"]
+    )
+    def test_basic_kinds(self, kind):
+        assert mutation_scheme(kind) == "basic"
+
+    @pytest.mark.parametrize("kind", ["groupby", "aggregate", "sort"])
+    def test_advanced_kinds(self, kind):
+        assert mutation_scheme(kind) == "advanced"
+
+    def test_medium_kind(self):
+        assert mutation_scheme("pack") == "medium"
+
+    @pytest.mark.parametrize(
+        "kind", ["scan", "slice", "literal", "topn", "aggr_merge", "cand_union"]
+    )
+    def test_unmutable_kinds(self, kind):
+        assert mutation_scheme(kind) is None
+
+
+class TestCandidateOrdering:
+    def _profile(self, small_catalog, sim_config):
+        b = PlanBuilder(small_catalog)
+        sel = b.select(b.scan("facts", "val"), RangePredicate(hi=500))
+        proj = b.fetch(sel, b.scan("facts", "qty"))
+        plan = b.build(b.aggregate("sum", proj))
+        return plan, execute(plan, sim_config).profile
+
+    def test_most_expensive_first(self, small_catalog, sim_config):
+        plan, profile = self._profile(small_catalog, sim_config)
+        found = list(candidates(plan, profile))
+        durations = [c.duration for c in found]
+        assert durations == sorted(durations, reverse=True)
+
+    def test_only_mutable_kinds_returned(self, small_catalog, sim_config):
+        plan, profile = self._profile(small_catalog, sim_config)
+        kinds = {c.node.kind for c in candidates(plan, profile)}
+        assert "scan" not in kinds
+        assert kinds <= {"select", "fetch", "aggregate"}
+
+    def test_blocked_nodes_excluded(self, small_catalog, sim_config):
+        plan, profile = self._profile(small_catalog, sim_config)
+        first = next(candidates(plan, profile))
+        remaining = {
+            c.node.nid for c in candidates(plan, profile, blocked={first.node.nid})
+        }
+        assert first.node.nid not in remaining
+
+    def test_min_tuples_filters_small_operators(self, small_catalog, sim_config):
+        plan, profile = self._profile(small_catalog, sim_config)
+        everything = list(candidates(plan, profile, min_tuples=0))
+        big_only = list(candidates(plan, profile, min_tuples=10**9))
+        assert len(big_only) < len(everything)
+
+    def test_stale_profile_nodes_ignored(self, small_catalog, sim_config):
+        """Nodes no longer reachable in the plan must not be proposed."""
+        plan, profile = self._profile(small_catalog, sim_config)
+        target = plan.find(lambda n: n.kind == "fetch")[0]
+        replacement = plan.add(target.op.clone(), list(target.inputs))
+        plan.replace_node(target, replacement)
+        nids = {c.node.nid for c in candidates(plan, profile)}
+        assert target.nid not in nids

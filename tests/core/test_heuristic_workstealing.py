@@ -1,0 +1,199 @@
+"""Heuristic (static) parallelization and the work-stealing baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig, laptop_machine
+from repro.core import HeuristicParallelizer, WorkStealingConfig, WorkStealingExecutor
+from repro.core.adaptive import intermediates_equal
+from repro.engine import execute
+from repro.errors import PlanError
+from repro.operators import RangePredicate
+from repro.plan import PlanBuilder, plan_stats, validate_plan
+from repro.storage import Catalog, LNG, Table
+
+
+@pytest.fixture()
+def catalog(rng) -> Catalog:
+    n, m = 8_000, 64
+    cat = Catalog()
+    cat.add(
+        Table.from_arrays(
+            "facts",
+            {
+                "fk": (LNG, rng.integers(0, m, n)),
+                "val": (LNG, rng.integers(0, 1_000, n)),
+                "qty": (LNG, rng.integers(1, 50, n)),
+            },
+        )
+    )
+    cat.add(
+        Table.from_arrays(
+            "dims",
+            {"pk": (LNG, np.arange(m)), "size": (LNG, rng.integers(0, 9, m))},
+        )
+    )
+    return cat
+
+
+@pytest.fixture()
+def config() -> SimulationConfig:
+    return SimulationConfig(machine=laptop_machine(8), data_scale=500.0)
+
+
+def scan_select_sum(catalog):
+    b = PlanBuilder(catalog)
+    sel = b.select(b.scan("facts", "val"), RangePredicate(hi=500))
+    proj = b.fetch(sel, b.scan("facts", "qty"))
+    return b.build(b.aggregate("sum", proj))
+
+
+def join_groupby(catalog):
+    b = PlanBuilder(catalog)
+    sel = b.select(b.scan("facts", "val"), RangePredicate(hi=700))
+    fk = b.fetch(sel, b.scan("facts", "fk"))
+    joined = b.join(fk, b.scan("dims", "pk"))
+    sizes = b.fetch(joined, b.scan("dims", "size"))
+    qty = b.fetch(sel, b.scan("facts", "qty"))
+    return b.build(b.group_aggregate("sum", sizes, qty))
+
+
+class TestHeuristicParallelizer:
+    def test_partition_count_propagates(self, catalog):
+        plan = HeuristicParallelizer(4).parallelize(scan_select_sum(catalog))
+        validate_plan(plan)
+        stats = plan_stats(plan)
+        assert stats.select_count == 4
+        assert stats.by_kind.get("fetch", 0) == 4
+        assert stats.by_kind.get("aggregate", 0) == 5  # 4 partials + merge
+
+    def test_correctness_select_sum(self, catalog, config):
+        serial = execute(scan_select_sum(catalog), config)
+        parallel = execute(
+            HeuristicParallelizer(8).parallelize(scan_select_sum(catalog)), config
+        )
+        assert intermediates_equal(parallel.outputs[0], serial.outputs[0])
+
+    def test_correctness_join_groupby(self, catalog, config):
+        serial = execute(join_groupby(catalog), config)
+        parallel = execute(
+            HeuristicParallelizer(8).parallelize(join_groupby(catalog)), config
+        )
+        assert intermediates_equal(parallel.outputs[0], serial.outputs[0])
+
+    def test_only_largest_table_partitioned(self, catalog):
+        plan = HeuristicParallelizer(4).parallelize(join_groupby(catalog))
+        # The dims-side scans stay unsliced; joins are cloned on the
+        # (facts) outer side only.
+        stats = plan_stats(plan)
+        assert stats.join_count == 4
+
+    def test_partitions_one_is_identity(self, catalog):
+        original = scan_select_sum(catalog)
+        plan = HeuristicParallelizer(1).parallelize(original)
+        assert len(plan.nodes()) == len(original.nodes())
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(PlanError):
+            HeuristicParallelizer(0)
+
+    def test_parallelizing_literal_only_plan(self, catalog, config):
+        b = PlanBuilder(catalog)
+        plan = b.build(b.calc("*", b.literal(6), b.literal(7)))
+        parallel = HeuristicParallelizer(8).parallelize(plan)
+        result = execute(parallel, config)
+        assert result.outputs[0].value == 42
+
+    def test_faster_than_serial(self, catalog, config):
+        serial = execute(scan_select_sum(catalog), config)
+        parallel = execute(
+            HeuristicParallelizer(8).parallelize(scan_select_sum(catalog)), config
+        )
+        assert parallel.response_time < serial.response_time
+
+
+class TestWorkStealing:
+    def test_many_small_partitions_with_capped_threads(self, catalog, config):
+        executor = WorkStealingExecutor(
+            config, WorkStealingConfig(partitions=32, threads=4)
+        )
+        result = executor.run(scan_select_sum(catalog))
+        assert result.profile.threads_used() <= 4
+        serial = execute(scan_select_sum(catalog), config)
+        assert intermediates_equal(result.outputs[0], serial.outputs[0])
+
+    def test_parallelize_produces_requested_partitions(self, catalog, config):
+        executor = WorkStealingExecutor(
+            config, WorkStealingConfig(partitions=16, threads=4)
+        )
+        plan = executor.parallelize(scan_select_sum(catalog))
+        assert plan_stats(plan).select_count == 16
+
+    def test_default_config_matches_paper(self, config):
+        ws = WorkStealingConfig()
+        assert ws.partitions == 128
+        assert ws.threads == 8
+
+
+class TestMitosisSizing:
+    def test_big_table_gets_thread_count(self, config):
+        from repro.core.heuristic import mitosis_partitions
+
+        assert mitosis_partitions(config, 10e9) == config.effective_threads
+
+    def test_small_table_limited_by_min_partition(self, config):
+        from repro.core.heuristic import mitosis_partitions
+
+        # 100 MB table with 64 MB minimum pieces -> 1 partition.
+        assert mitosis_partitions(config, 100e6) == 1
+        # 300 MB -> 4 pieces.
+        assert mitosis_partitions(config, 300e6) == 4
+
+    def test_empty_table(self, config):
+        from repro.core.heuristic import mitosis_partitions
+
+        assert mitosis_partitions(config, 0) == 1
+
+    def test_huge_table_gets_extra_pieces_for_memory(self, config):
+        from repro.core.heuristic import mitosis_partitions
+
+        # 64 GB table on a 16 GB / 8-thread box: pieces must fit one
+        # thread's memory share (2 GB) -> 32 pieces, beyond threads.
+        assert mitosis_partitions(config, 64e9) == 32
+
+    def test_heuristic_for_uses_largest_scan(self, catalog, config):
+        from repro.core.heuristic import heuristic_for
+
+        plan = scan_select_sum(catalog)
+        # 8000 rows x 8 B x 1e5 = 6.4 GB: thread count wins.
+        hp = heuristic_for(config, plan, data_scale=1e5)
+        assert hp.partitions == config.effective_threads
+        tiny = heuristic_for(config, plan, data_scale=1.0)
+        assert tiny.partitions == 1
+
+
+class TestHeuristicWithHavingDistinct:
+    def test_having_plan_parallelizes_correctly(self, catalog, config):
+        from repro.sql import plan_sql
+
+        sql = (
+            "SELECT fk, SUM(val) FROM facts GROUP BY fk "
+            "HAVING SUM(val) > 50000 ORDER BY fk"
+        )
+        serial = execute(plan_sql(sql, catalog), config)
+        parallel = execute(
+            HeuristicParallelizer(8).parallelize(plan_sql(sql, catalog)), config
+        )
+        assert intermediates_equal(parallel.outputs[0], serial.outputs[0])
+
+    def test_distinct_plan_parallelizes_correctly(self, catalog, config):
+        from repro.sql import plan_sql
+
+        sql = "SELECT DISTINCT fk FROM facts WHERE val < 500"
+        serial = execute(plan_sql(sql, catalog), config)
+        parallel = execute(
+            HeuristicParallelizer(8).parallelize(plan_sql(sql, catalog)), config
+        )
+        assert intermediates_equal(parallel.outputs[0], serial.outputs[0])

@@ -1,0 +1,68 @@
+"""The Section 4.3 knob: more mutations per invocation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig, laptop_machine
+from repro.core import AdaptiveParallelizer
+from repro.errors import ConvergenceError
+from repro.operators import RangePredicate
+from repro.plan import PlanBuilder, validate_plan
+from repro.storage import Catalog, LNG, Table
+
+
+@pytest.fixture()
+def catalog(rng) -> Catalog:
+    cat = Catalog()
+    cat.add(
+        Table.from_arrays(
+            "t",
+            {
+                "a": (LNG, rng.integers(0, 1000, 30_000)),
+                "b": (LNG, rng.integers(0, 100, 30_000)),
+            },
+        )
+    )
+    return cat
+
+
+def make_plan(catalog):
+    b = PlanBuilder(catalog)
+    sel = b.select(b.scan("t", "a"), RangePredicate(hi=500))
+    return b.build(b.aggregate("sum", b.fetch(sel, b.scan("t", "b"))))
+
+
+@pytest.fixture()
+def config() -> SimulationConfig:
+    return SimulationConfig(machine=laptop_machine(8), data_scale=1000.0)
+
+
+class TestMutationsPerRun:
+    def test_rejects_zero(self, config):
+        with pytest.raises(ConvergenceError):
+            AdaptiveParallelizer(config, mutations_per_run=0)
+
+    def test_fewer_runs_with_batched_mutations(self, catalog, config):
+        """Paper 4.3: "The number of runs could be made much lower if
+        more ... operators are introduced per invocation"."""
+        single = AdaptiveParallelizer(config).optimize(make_plan(catalog))
+        batched = AdaptiveParallelizer(config, mutations_per_run=4).optimize(
+            make_plan(catalog)
+        )
+        assert batched.total_runs < single.total_runs
+
+    def test_batched_still_correct_and_competitive(self, catalog, config):
+        batched = AdaptiveParallelizer(
+            config, mutations_per_run=3, verify=True
+        ).optimize(make_plan(catalog))
+        validate_plan(batched.best_plan)
+        single = AdaptiveParallelizer(config).optimize(make_plan(catalog))
+        assert batched.gme_time <= single.gme_time * 1.5
+
+    def test_mutation_count_exceeds_run_count(self, catalog, config):
+        batched = AdaptiveParallelizer(config, mutations_per_run=4).optimize(
+            make_plan(catalog)
+        )
+        assert len(batched.mutations) > batched.total_runs - 1

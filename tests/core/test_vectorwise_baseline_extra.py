@@ -1,0 +1,39 @@
+"""Additional Vectorwise-baseline coverage: admission curves.
+
+The Figure 16 hypothesis depends on the admission controller's exact
+shape: full machine for the first client, roughly fair shares for a few
+clients, serial under saturation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import VectorwiseSystem
+from repro.config import SimulationConfig, two_socket_machine
+
+
+@pytest.fixture()
+def system() -> VectorwiseSystem:
+    return VectorwiseSystem(SimulationConfig(machine=two_socket_machine()))
+
+
+class TestAdmissionCurve:
+    def test_monotone_nonincreasing_in_rank(self, system):
+        dops = [system.admission(rank, 8).dop for rank in range(8)]
+        assert dops == sorted(dops, reverse=True)
+        assert dops[0] == 32
+
+    def test_fair_share_midway(self, system):
+        assert system.admission(1, 4).dop == 16
+        assert system.admission(3, 4).dop == 8
+
+    def test_saturation_serializes_everyone_late(self, system):
+        decision = system.admission(10, 32)
+        assert decision.dop == 1
+        assert decision.max_threads == 1
+
+    def test_respects_configured_thread_cap(self):
+        config = SimulationConfig(machine=two_socket_machine(), max_threads=8)
+        system = VectorwiseSystem(config)
+        assert system.admission(0, 1).dop == 8

@@ -1,0 +1,103 @@
+"""Failure injection: broken operators and malformed plans must fail
+loudly and leave the system usable."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig, laptop_machine
+from repro.engine import Simulator, execute
+from repro.errors import OperatorError, ReproError
+from repro.operators import Aggregate, RangePredicate, Scan, Select
+from repro.operators.base import Operator, WorkProfile
+from repro.plan import Plan, PlanBuilder
+from repro.storage import Catalog, Column, LNG, Scalar, Table
+
+
+class ExplodingOperator(Operator):
+    """Evaluates fine ``countdown`` times, then raises."""
+
+    kind = "exploding"
+
+    def __init__(self, countdown: int = 0) -> None:
+        super().__init__()
+        self.countdown = countdown
+
+    def evaluate(self, inputs):
+        if self.countdown <= 0:
+            raise OperatorError("injected operator failure")
+        self.countdown -= 1
+        return Scalar(1, LNG)
+
+    def work_profile(self, inputs, output) -> WorkProfile:
+        return WorkProfile(tuples_out=1)
+
+
+@pytest.fixture()
+def config() -> SimulationConfig:
+    return SimulationConfig(machine=laptop_machine(4), data_scale=10.0)
+
+
+def failing_plan() -> Plan:
+    plan = Plan()
+    boom = plan.add(ExplodingOperator())
+    plan.set_outputs([boom])
+    return plan
+
+
+class TestOperatorFailures:
+    def test_failure_propagates_with_message(self, config):
+        with pytest.raises(OperatorError, match="injected"):
+            execute(failing_plan(), config)
+
+    def test_failure_mid_plan(self, config, small_catalog):
+        builder = PlanBuilder(small_catalog)
+        sel = builder.select(builder.scan("facts", "val"), RangePredicate(hi=500))
+        plan = builder.build(builder.aggregate("count", sel))
+        boom = plan.add(ExplodingOperator())
+        plan.set_outputs([plan.outputs[0], boom])
+        with pytest.raises(OperatorError):
+            execute(plan, config)
+
+    def test_simulator_usable_after_failed_submission(self, config, small_catalog):
+        simulator = Simulator(config)
+        simulator.submit(failing_plan())
+        with pytest.raises(OperatorError):
+            simulator.run()
+        # A fresh simulator on the same config is unaffected.
+        builder = PlanBuilder(small_catalog)
+        plan = builder.build(
+            builder.aggregate("count", builder.scan("facts", "val"))
+        )
+        result = execute(plan, config)
+        assert result.outputs[0].value == len(small_catalog.table("facts"))
+
+    def test_adaptive_driver_surfaces_operator_failure(self, config):
+        from repro.core import AdaptiveParallelizer
+
+        with pytest.raises(OperatorError):
+            AdaptiveParallelizer(config).optimize(failing_plan())
+
+
+class TestMalformedPlans:
+    def test_missing_value_input_is_an_operator_error(self, config):
+        col = Column("v", LNG, np.arange(10))
+        plan = Plan()
+        scan = plan.add(Scan(col))
+        # Aggregate over a select would be fine; aggregate over the raw
+        # candidates of a sum is not.
+        sel = plan.add(Select(RangePredicate(hi=5)), [scan])
+        bad = plan.add(Aggregate("sum"), [sel])  # sum needs values
+        plan.set_outputs([bad])
+        with pytest.raises(ReproError):
+            execute(plan, config)
+
+    def test_arity_violation_detected_at_execute(self, config):
+        col = Column("v", LNG, np.arange(10))
+        plan = Plan()
+        scan = plan.add(Scan(col))
+        bad = plan.add(Select(RangePredicate(hi=5)), [scan, scan, scan])
+        plan.set_outputs([bad])
+        with pytest.raises(ReproError):
+            execute(plan, config)

@@ -1,0 +1,48 @@
+"""The noise model in isolation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import NOISY, QUIET, NoiseConfig
+from repro.engine import NoiseModel
+
+
+class TestNoiseModel:
+    def test_quiet_always_one(self):
+        model = NoiseModel(QUIET, np.random.default_rng(0))
+        assert all(model.factor() == 1.0 for __ in range(100))
+        assert model.peaks_injected == 0
+
+    def test_jitter_bounded(self):
+        model = NoiseModel(NoiseConfig(jitter=0.1), np.random.default_rng(0))
+        factors = [model.factor() for __ in range(500)]
+        assert all(0.9 <= f <= 1.1 for f in factors)
+        assert len(set(factors)) > 100  # actually varies
+
+    def test_peaks_counted(self):
+        config = NoiseConfig(peak_probability=0.5, peak_magnitude=5.0)
+        model = NoiseModel(config, np.random.default_rng(1))
+        factors = [model.factor() for __ in range(200)]
+        assert model.peaks_injected > 50
+        assert max(factors) > 2.0
+
+    def test_peak_magnitude_bounded(self):
+        config = NoiseConfig(peak_probability=1.0, peak_magnitude=3.0)
+        model = NoiseModel(config, np.random.default_rng(2))
+        assert all(model.factor() <= 4.0 + 1e-9 for __ in range(200))
+
+    def test_factor_never_collapses_to_zero(self):
+        # Extreme jitter could drive 1 + jitter*U(-1,1) negative; the
+        # model floors the factor at a small positive bound.
+        model = NoiseModel(NoiseConfig(jitter=5.0), np.random.default_rng(3))
+        assert all(model.factor() >= 0.05 for __ in range(500))
+
+    def test_noisy_preset_sane(self):
+        model = NoiseModel(NOISY, np.random.default_rng(4))
+        factors = [model.factor() for __ in range(1_000)]
+        # Mostly near 1, occasionally large.
+        near_one = sum(1 for f in factors if 0.9 < f < 1.1)
+        assert near_one > 900
+        assert max(factors) > 1.5

@@ -1,0 +1,87 @@
+"""NUMA placement modes: first-touch vs strict producer locality."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig, two_socket_machine
+from repro.core import HeuristicParallelizer
+from repro.engine import execute
+from repro.operators import RangePredicate
+from repro.plan import PlanBuilder
+from repro.storage import Catalog, LNG, Table
+
+
+@pytest.fixture()
+def catalog(rng) -> Catalog:
+    cat = Catalog()
+    cat.add(
+        Table.from_arrays(
+            "t",
+            {
+                "a": (LNG, rng.integers(0, 1000, 50_000)),
+                "b": (LNG, rng.integers(0, 100, 50_000)),
+            },
+        )
+    )
+    return cat
+
+
+def make_plan(catalog):
+    b = PlanBuilder(catalog)
+    sel = b.select(b.scan("t", "a"), RangePredicate(hi=500))
+    return b.build(b.aggregate("sum", b.fetch(sel, b.scan("t", "b"))))
+
+
+def config_with(machine) -> SimulationConfig:
+    return SimulationConfig(machine=machine, data_scale=1000.0)
+
+
+class TestNumaModes:
+    def test_first_touch_is_default(self):
+        assert two_socket_machine().numa_first_touch
+
+    def test_strict_numa_never_faster(self, catalog):
+        """Remote-socket reads can only slow a parallel plan down."""
+        plan = HeuristicParallelizer(32).parallelize(make_plan(catalog))
+        oblivious = execute(plan, config_with(two_socket_machine()))
+        strict_machine = replace(
+            two_socket_machine(), numa_first_touch=False, numa_remote_factor=0.5
+        )
+        strict = execute(plan, config_with(strict_machine))
+        assert strict.response_time >= oblivious.response_time
+
+    def test_strict_numa_changes_times_not_results(self, catalog):
+        plan = HeuristicParallelizer(16).parallelize(make_plan(catalog))
+        oblivious = execute(plan, config_with(two_socket_machine()))
+        strict_machine = replace(
+            two_socket_machine(), numa_first_touch=False, numa_remote_factor=0.3
+        )
+        strict = execute(plan, config_with(strict_machine))
+        assert strict.outputs[0].value == oblivious.outputs[0].value
+
+    def test_remote_factor_one_equals_oblivious(self, catalog):
+        """With no bandwidth penalty the placement mode is irrelevant."""
+        plan = HeuristicParallelizer(16).parallelize(make_plan(catalog))
+        oblivious = execute(plan, config_with(two_socket_machine()))
+        neutral = replace(
+            two_socket_machine(), numa_first_touch=False, numa_remote_factor=1.0
+        )
+        strict = execute(plan, config_with(neutral))
+        assert strict.response_time == pytest.approx(
+            oblivious.response_time, rel=1e-9
+        )
+
+    def test_single_socket_unaffected_by_mode(self, catalog):
+        from repro.config import laptop_machine
+
+        plan = HeuristicParallelizer(8).parallelize(make_plan(catalog))
+        base = execute(plan, config_with(laptop_machine(8)))
+        strict_machine = replace(
+            laptop_machine(8), numa_first_touch=False, numa_remote_factor=0.3
+        )
+        strict = execute(plan, config_with(strict_machine))
+        assert strict.response_time == pytest.approx(base.response_time, rel=1e-9)

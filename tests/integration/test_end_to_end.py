@@ -1,0 +1,147 @@
+"""End-to-end integration: the full AP pipeline over real workloads.
+
+These are the tests the paper's correctness rests on: for a set of
+TPC-H / TPC-DS queries, the adaptively parallelized plan, the heuristic
+plan, and the work-stealing configuration must all produce byte-exact
+serial results, while exhibiting the paper's qualitative behaviours.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import VectorwiseSystem
+from repro.core import (
+    AdaptiveParallelizer,
+    ConvergenceParams,
+    HeuristicParallelizer,
+    WorkStealingConfig,
+    WorkStealingExecutor,
+    intermediates_equal,
+)
+from repro.engine import execute
+from repro.plan import plan_stats, validate_plan
+from repro.workloads import SkewedSelectWorkload, TpcdsDataset, TpchDataset
+
+_tpch = TpchDataset(scale_factor=10)
+_tpcds = TpcdsDataset(scale_factor=50)
+
+#: Queries light enough for per-test adaptive convergence.
+AP_QUERIES = ("q6", "q14", "q17")
+
+
+def ap_params(config, max_runs: int = 120) -> ConvergenceParams:
+    return ConvergenceParams(
+        number_of_cores=config.effective_threads, max_runs=max_runs
+    )
+
+
+class TestTpchCorrectness:
+    @pytest.mark.parametrize("query", _tpch.query_names())
+    def test_hp_matches_serial(self, query):
+        config = _tpch.sim_config()
+        serial = execute(_tpch.plan(query), config)
+        plan = HeuristicParallelizer(32).parallelize(_tpch.plan(query))
+        validate_plan(plan)
+        parallel = execute(plan, config)
+        assert len(parallel.outputs) == len(serial.outputs)
+        for a, b in zip(parallel.outputs, serial.outputs):
+            assert intermediates_equal(a, b), query
+
+    @pytest.mark.parametrize("query", AP_QUERIES)
+    def test_ap_verifies_and_improves(self, query):
+        config = _tpch.sim_config()
+        adaptive = AdaptiveParallelizer(
+            config, convergence=ap_params(config), verify=True
+        ).optimize(_tpch.plan(query))
+        validate_plan(adaptive.best_plan)
+        assert adaptive.speedup > 2.0
+
+    def test_ap_plan_smaller_than_hp_plan(self):
+        config = _tpch.sim_config()
+        adaptive = AdaptiveParallelizer(
+            config, convergence=ap_params(config)
+        ).optimize(_tpch.plan("q14"))
+        hp_plan = HeuristicParallelizer(32).parallelize(_tpch.plan("q14"))
+        ap_stats = plan_stats(adaptive.best_plan)
+        hp_stats = plan_stats(hp_plan)
+        # Table 5's shape: AP uses fewer select and join instances.
+        assert ap_stats.select_count < hp_stats.select_count
+        assert ap_stats.join_count <= hp_stats.join_count
+
+    def test_ap_uses_fewer_cores_than_hp(self):
+        config = _tpch.sim_config()
+        adaptive = AdaptiveParallelizer(
+            config, convergence=ap_params(config)
+        ).optimize(_tpch.plan("q14"))
+        ap_run = execute(adaptive.best_plan, config)
+        hp_run = execute(
+            HeuristicParallelizer(32).parallelize(_tpch.plan("q14")), config
+        )
+        threads = config.machine.hardware_threads
+        ap_util = ap_run.profile.multicore_utilization(threads)
+        hp_util = hp_run.profile.multicore_utilization(threads)
+        assert ap_util < hp_util
+
+
+class TestTpcdsCorrectness:
+    @pytest.mark.parametrize("query", _tpcds.query_names())
+    def test_hp_matches_serial(self, query):
+        config = _tpcds.sim_config()
+        serial = execute(_tpcds.plan(query), config)
+        plan = HeuristicParallelizer(32).parallelize(_tpcds.plan(query))
+        parallel = execute(plan, config)
+        for a, b in zip(parallel.outputs, serial.outputs):
+            assert intermediates_equal(a, b), query
+
+    def test_ap_beats_hp_on_positionally_skewed_query(self):
+        """The Figure 17 mechanism: a date filter touches a contiguous
+        hot region, so HP's equal partitions sit mostly idle while AP
+        splits inside the hot region."""
+        config = _tpcds.sim_config()
+        adaptive = AdaptiveParallelizer(
+            config, convergence=ap_params(config, max_runs=300), verify=True
+        ).optimize(_tpcds.plan("ds4"))
+        hp = execute(
+            HeuristicParallelizer(32).parallelize(_tpcds.plan("ds4")), config
+        )
+        assert adaptive.gme_time < hp.response_time
+
+
+class TestSkewHandling:
+    def test_dynamic_partitions_beat_static_on_skew(self):
+        """Figure 12's claim at one skew level."""
+        workload = SkewedSelectWorkload(tuples_m=200)
+        config = workload.sim_config(max_threads=8)
+        plan = workload.plan(30)
+        static = execute(HeuristicParallelizer(8).parallelize(plan), config)
+        adaptive = AdaptiveParallelizer(
+            config,
+            convergence=ConvergenceParams(number_of_cores=8, max_runs=100),
+        ).optimize(plan)
+        dynamic = execute(adaptive.best_plan, config)
+        assert dynamic.response_time < static.response_time
+
+    def test_work_stealing_competitive_with_dynamic(self):
+        workload = SkewedSelectWorkload(tuples_m=200)
+        plan = workload.plan(30)
+        stealing = WorkStealingExecutor(
+            workload.sim_config(), WorkStealingConfig(partitions=64, threads=8)
+        ).run(plan)
+        static = execute(
+            HeuristicParallelizer(8).parallelize(plan),
+            workload.sim_config(max_threads=8),
+        )
+        assert stealing.response_time < static.response_time
+
+
+class TestVectorwiseUnderLoad:
+    def test_starved_vectorwise_slower_than_hp(self):
+        config = _tpch.sim_config()
+        system = VectorwiseSystem(config)
+        plan, cap = system.parallelize(
+            _tpch.plan("q6"), client_rank=31, active_clients=32
+        )
+        starved = execute(plan, config.with_threads(cap))
+        hp = execute(HeuristicParallelizer(32).parallelize(_tpch.plan("q6")), config)
+        assert starved.response_time > hp.response_time

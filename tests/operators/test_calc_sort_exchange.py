@@ -1,0 +1,224 @@
+"""Calc, sort/topn, pack (exchange union), slices, scans, literals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import OperatorError
+from repro.operators import (
+    Calc,
+    FRACTION_UNITS,
+    Literal,
+    Pack,
+    PartitionSlice,
+    Scan,
+    Sort,
+    TopN,
+    equal_partitions,
+)
+from repro.storage import BAT, Candidates, Column, DBL, LNG, Scalar
+
+
+def bat(heads, tails, dtype=LNG) -> BAT:
+    return BAT(np.asarray(heads), np.asarray(tails), dtype)
+
+
+class TestCalc:
+    def test_vector_vector(self):
+        out = Calc("*").evaluate([bat([0, 1], [2, 3]), bat([0, 1], [10, 20])])
+        np.testing.assert_array_equal(out.tail, [20, 60])
+        np.testing.assert_array_equal(out.head, [0, 1])
+
+    def test_scalar_vector(self):
+        out = Calc("-").evaluate([Scalar(100, LNG), bat([0, 1], [1, 2])])
+        np.testing.assert_array_equal(out.tail, [99, 98])
+
+    def test_vector_scalar(self):
+        out = Calc("+").evaluate([bat([5, 6], [1, 2]), Scalar(10, LNG)])
+        np.testing.assert_array_equal(out.tail, [11, 12])
+        np.testing.assert_array_equal(out.head, [5, 6])
+
+    def test_scalar_scalar(self):
+        out = Calc("/").evaluate([Scalar(7, LNG), Scalar(2, LNG)])
+        assert isinstance(out, Scalar)
+        assert out.value == pytest.approx(3.5)
+        assert out.dtype is DBL
+
+    def test_division_promotes_to_double(self):
+        out = Calc("/").evaluate([bat([0], [7]), Scalar(2, LNG)])
+        assert out.dtype is DBL
+
+    def test_misaligned_heads_rejected(self):
+        with pytest.raises(OperatorError):
+            Calc("+").evaluate([bat([0, 1], [1, 2]), bat([5, 6, 7], [1, 2, 3])])
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(OperatorError):
+            Calc("%")
+
+    def test_slice_inputs(self):
+        col = Column("v", LNG, np.array([1, 2, 3]))
+        out = Calc("*").evaluate([col.full_slice(), col.full_slice()])
+        np.testing.assert_array_equal(out.tail, [1, 4, 9])
+
+
+class TestSortTopN:
+    def test_sort_ascending_stable(self):
+        out = Sort().evaluate([bat([0, 1, 2, 3], [3, 1, 3, 2])])
+        np.testing.assert_array_equal(out.tail, [1, 2, 3, 3])
+        np.testing.assert_array_equal(out.head, [1, 3, 0, 2])
+
+    def test_sort_descending(self):
+        out = Sort(descending=True).evaluate([bat([0, 1, 2], [1, 3, 2])])
+        np.testing.assert_array_equal(out.tail, [3, 2, 1])
+
+    def test_sort_by_head(self):
+        out = Sort(by="head").evaluate([bat([5, 2, 9], [1, 2, 3])])
+        np.testing.assert_array_equal(out.head, [2, 5, 9])
+
+    def test_sort_rejects_candidates(self):
+        with pytest.raises(OperatorError):
+            Sort().evaluate([Candidates(np.array([1]))])
+
+    def test_topn(self):
+        out = TopN(2).evaluate([bat([0, 1, 2], [9, 8, 7])])
+        assert len(out) == 2
+        np.testing.assert_array_equal(out.tail, [9, 8])
+
+    def test_topn_larger_than_input(self):
+        out = TopN(10).evaluate([bat([0], [1])])
+        assert len(out) == 1
+
+    def test_topn_rejects_negative(self):
+        with pytest.raises(OperatorError):
+            TopN(-1)
+
+
+class TestPack:
+    def test_pack_candidates_in_order(self):
+        out = Pack().evaluate(
+            [Candidates(np.array([1, 3])), Candidates(np.array([5, 7]))]
+        )
+        np.testing.assert_array_equal(out.oids, [1, 3, 5, 7])
+
+    def test_pack_candidates_out_of_order_rejected(self):
+        """The ordering invariant of Section 2.3."""
+        with pytest.raises(OperatorError, match="order"):
+            Pack().evaluate(
+                [Candidates(np.array([5, 7])), Candidates(np.array([1, 3]))]
+            )
+
+    def test_pack_bats(self):
+        out = Pack().evaluate([bat([0, 1], [10, 11]), bat([2], [12])])
+        np.testing.assert_array_equal(out.head, [0, 1, 2])
+        np.testing.assert_array_equal(out.tail, [10, 11, 12])
+
+    def test_pack_bat_dtype_mismatch_rejected(self):
+        with pytest.raises(OperatorError):
+            Pack().evaluate([bat([0], [1], LNG), bat([1], [1.5], DBL)])
+
+    def test_pack_scalars_to_bat(self):
+        out = Pack().evaluate([Scalar(3, LNG), Scalar(4, LNG)])
+        np.testing.assert_array_equal(out.tail, [3, 4])
+
+    def test_pack_mixed_types_rejected(self):
+        with pytest.raises(OperatorError):
+            Pack().evaluate([Scalar(3, LNG), bat([0], [1])])
+
+    def test_pack_needs_input(self):
+        with pytest.raises(OperatorError):
+            Pack().evaluate([])
+
+    def test_pack_work_is_copy_bound(self):
+        a, b = bat([0], [1]), bat([1], [2])
+        out = Pack().evaluate([a, b])
+        profile = Pack().work_profile([a, b], out)
+        assert profile.bytes_read == profile.bytes_written == a.nbytes + b.nbytes
+
+
+class TestPartitionSlice:
+    def test_slice_column_slice(self):
+        col = Column("v", LNG, np.arange(100))
+        out = PartitionSlice(0, FRACTION_UNITS // 2).evaluate([col.full_slice()])
+        assert (out.lo, out.hi) == (0, 50)
+
+    def test_slice_candidates(self):
+        cands = Candidates(np.array([1, 5, 9, 12]))
+        out = PartitionSlice(FRACTION_UNITS // 2, FRACTION_UNITS).evaluate([cands])
+        np.testing.assert_array_equal(out.oids, [9, 12])
+
+    def test_slice_bat(self):
+        out = PartitionSlice(0, FRACTION_UNITS // 4).evaluate(
+            [bat([0, 1, 2, 3], [9, 8, 7, 6])]
+        )
+        np.testing.assert_array_equal(out.head, [0])
+
+    def test_adjacent_slices_tile_exactly(self):
+        col = Column("v", LNG, np.arange(101))  # odd length
+        parts = equal_partitions(8)
+        covered = []
+        for part in parts:
+            view = part.evaluate([col.full_slice()])
+            covered.extend(range(view.lo, view.hi))
+        assert covered == list(range(101))
+
+    def test_split_preserves_bounds(self):
+        parent = PartitionSlice(100, 200)
+        left, right = parent.split()
+        assert left.lo == 100 and right.hi == 200 and left.hi == right.lo
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(OperatorError):
+            PartitionSlice(-1, 10)
+        with pytest.raises(OperatorError):
+            PartitionSlice(10, 5)
+
+    def test_scalar_input_rejected(self):
+        with pytest.raises(OperatorError):
+            PartitionSlice.full().evaluate([Scalar(1, LNG)])
+
+
+class TestScanLiteral:
+    def test_scan_emits_slice(self):
+        col = Column("v", LNG, np.arange(10))
+        out = Scan(col).evaluate([])
+        assert (out.lo, out.hi) == (0, 10)
+
+    def test_scan_subrange(self):
+        col = Column("v", LNG, np.arange(10))
+        out = Scan(col, 2, 6).evaluate([])
+        assert (out.lo, out.hi) == (2, 6)
+
+    def test_scan_split(self):
+        col = Column("v", LNG, np.arange(10))
+        left, right = Scan(col).split()
+        assert left.hi == right.lo == 5
+
+    def test_scan_rejects_inputs(self):
+        col = Column("v", LNG, np.arange(3))
+        with pytest.raises(OperatorError):
+            Scan(col).evaluate([col.full_slice()])
+
+    def test_scan_bad_range(self):
+        col = Column("v", LNG, np.arange(3))
+        with pytest.raises(OperatorError):
+            Scan(col, 0, 9)
+
+    def test_literal(self):
+        out = Literal(42).evaluate([])
+        assert out.value == 42
+        assert out.dtype is LNG
+
+    def test_literal_float_dtype(self):
+        assert Literal(1.5).dtype is DBL
+
+    def test_literal_rejects_strings(self):
+        with pytest.raises(OperatorError):
+            Literal("x")  # type: ignore[arg-type]
+
+    def test_clone_gets_fresh_uid(self):
+        op = Literal(1)
+        dup = op.clone()
+        assert dup.uid != op.uid
+        assert dup.value == op.value

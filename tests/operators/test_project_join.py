@@ -1,0 +1,192 @@
+"""Tuple reconstruction (fetch/mirror/heads) and joins."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AlignmentError, OperatorError
+from repro.operators import Fetch, HeadsOf, Join, Mirror, SemiJoin, hash_join_pairs
+from repro.storage import BAT, Candidates, Column, LNG, OID
+
+
+@pytest.fixture()
+def column() -> Column:
+    return Column("v", LNG, np.array([10, 11, 12, 13, 14, 15, 16, 17]))
+
+
+class TestFetch:
+    def test_fetch_by_candidates(self, column):
+        cands = Candidates(np.array([1, 3, 6]))
+        out = Fetch().evaluate([cands, column.full_slice()])
+        np.testing.assert_array_equal(out.head, [1, 3, 6])
+        np.testing.assert_array_equal(out.tail, [11, 13, 16])
+
+    def test_fetch_trims_misaligned_candidates(self, column):
+        """Figure 9D: overshooting boundaries are adjusted."""
+        cands = Candidates(np.array([1, 3, 6]))
+        out = Fetch(alignment="trim").evaluate([cands, column.slice(0, 5)])
+        np.testing.assert_array_equal(out.head, [1, 3])
+
+    def test_fetch_strict_raises_on_misalignment(self, column):
+        cands = Candidates(np.array([1, 3, 6]))
+        with pytest.raises(AlignmentError):
+            Fetch(alignment="strict").evaluate([cands, column.slice(0, 5)])
+
+    def test_fetch_via_join_bat(self, column):
+        mapping = BAT(np.array([100, 101]), np.array([2, 7]), OID)
+        out = Fetch().evaluate([mapping, column.full_slice()])
+        np.testing.assert_array_equal(out.head, [100, 101])
+        np.testing.assert_array_equal(out.tail, [12, 17])
+
+    def test_fetch_bat_trims_out_of_slice_oids(self, column):
+        mapping = BAT(np.array([100, 101]), np.array([2, 7]), OID)
+        out = Fetch(alignment="trim").evaluate([mapping, column.slice(0, 5)])
+        np.testing.assert_array_equal(out.head, [100])
+        np.testing.assert_array_equal(out.tail, [12])
+
+    def test_fetch_bat_strict_raises(self, column):
+        mapping = BAT(np.array([100]), np.array([7]), OID)
+        with pytest.raises(AlignmentError):
+            Fetch(alignment="strict").evaluate([mapping, column.slice(0, 5)])
+
+    def test_split_fetch_pack_equals_serial(self, column):
+        """Value-column split + trim reproduces the serial projection."""
+        cands = Candidates(np.array([0, 2, 4, 6]))
+        serial = Fetch().evaluate([cands, column.full_slice()])
+        left = Fetch().evaluate([cands, column.slice(0, 4)])
+        right = Fetch().evaluate([cands, column.slice(4, 8)])
+        np.testing.assert_array_equal(
+            np.concatenate([left.head, right.head]), serial.head
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([left.tail, right.tail]), serial.tail
+        )
+
+    def test_dictionary_travels(self):
+        col = Column.from_strings("s", ["a", "b", "c"])
+        out = Fetch().evaluate([Candidates(np.array([0, 2])), col.full_slice()])
+        assert out.dictionary == col.dictionary
+
+    def test_unknown_alignment_policy(self):
+        with pytest.raises(OperatorError):
+            Fetch(alignment="whatever")
+
+    def test_work_profile_counts_trimmed_gathers(self, column):
+        cands = Candidates(np.array([1, 3, 6]))
+        op = Fetch()
+        view = column.slice(0, 5)
+        out = op.evaluate([cands, view])
+        profile = op.work_profile([cands, view], out)
+        assert profile.random_reads == 2
+
+
+class TestMirrorHeads:
+    def test_mirror_candidates(self):
+        out = Mirror().evaluate([Candidates(np.array([2, 5]))])
+        np.testing.assert_array_equal(out.head, [2, 5])
+        np.testing.assert_array_equal(out.tail, [2, 5])
+
+    def test_mirror_slice(self, column):
+        out = Mirror().evaluate([column.slice(2, 4)])
+        np.testing.assert_array_equal(out.head, [2, 3])
+
+    def test_heads_of_bat(self):
+        bat = BAT(np.array([3, 7]), np.array([30, 70]), LNG)
+        out = HeadsOf().evaluate([bat])
+        np.testing.assert_array_equal(out.oids, [3, 7])
+
+    def test_heads_rejects_candidates(self):
+        with pytest.raises(OperatorError):
+            HeadsOf().evaluate([Candidates(np.array([1]))])
+
+
+class TestHashJoinPairs:
+    def test_all_pairs_in_outer_order(self):
+        left, right = hash_join_pairs(
+            np.array([100, 101, 102]),
+            np.array([1, 2, 1]),
+            np.array([200, 201, 202]),
+            np.array([1, 1, 3]),
+        )
+        np.testing.assert_array_equal(left, [100, 100, 102, 102])
+        np.testing.assert_array_equal(right, [200, 201, 200, 201])
+
+    def test_empty_inputs(self):
+        left, right = hash_join_pairs(
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64),
+            np.array([1]),
+            np.array([1]),
+        )
+        assert len(left) == len(right) == 0
+
+    def test_no_matches(self):
+        left, __ = hash_join_pairs(
+            np.array([1]), np.array([10]), np.array([2]), np.array([20])
+        )
+        assert len(left) == 0
+
+
+class TestJoin:
+    def test_join_slices(self):
+        outer = Column("o", LNG, np.array([5, 6, 5, 7]))
+        inner = Column("i", LNG, np.array([7, 5]))
+        out = Join().evaluate([outer.full_slice(), inner.full_slice()])
+        # outer oids 0,2 match inner oid 1 (value 5); outer oid 3 matches 0.
+        np.testing.assert_array_equal(out.head, [0, 2, 3])
+        np.testing.assert_array_equal(out.tail, [1, 1, 0])
+
+    def test_join_outer_split_pack_equals_serial(self):
+        rng = np.random.default_rng(5)
+        outer = Column("o", LNG, rng.integers(0, 20, 200))
+        inner = Column("i", LNG, np.arange(20))
+        serial = Join().evaluate([outer.full_slice(), inner.full_slice()])
+        left = Join().evaluate([outer.slice(0, 100), inner.full_slice()])
+        right = Join().evaluate([outer.slice(100, 200), inner.full_slice()])
+        np.testing.assert_array_equal(
+            np.concatenate([left.head, right.head]), serial.head
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([left.tail, right.tail]), serial.tail
+        )
+
+    def test_join_reports_build_bytes(self):
+        outer = Column("o", LNG, np.array([1, 2]))
+        inner = Column("i", LNG, np.array([1, 2, 3]))
+        op = Join()
+        out = op.evaluate([outer.full_slice(), inner.full_slice()])
+        profile = op.work_profile([outer.full_slice(), inner.full_slice()], out)
+        assert profile.build_bytes == 3 * 8  # the inner column's bytes
+        assert profile.random_reads == 2
+
+    def test_join_rejects_candidates(self):
+        with pytest.raises(OperatorError):
+            Join().evaluate([Candidates(np.array([1])), Candidates(np.array([1]))])
+
+
+class TestSemiJoin:
+    def test_semijoin_keeps_matching_outer(self):
+        outer = Column("o", LNG, np.array([5, 6, 7, 8]))
+        inner = Column("i", LNG, np.array([6, 8]))
+        out = SemiJoin().evaluate([outer.full_slice(), inner.full_slice()])
+        np.testing.assert_array_equal(out.head, [1, 3])
+        np.testing.assert_array_equal(out.tail, [6, 8])
+
+    def test_antijoin(self):
+        outer = Column("o", LNG, np.array([5, 6, 7, 8]))
+        inner = Column("i", LNG, np.array([6, 8]))
+        out = SemiJoin(negate=True).evaluate([outer.full_slice(), inner.full_slice()])
+        np.testing.assert_array_equal(out.head, [0, 2])
+
+    def test_semijoin_duplicate_outer_kept(self):
+        outer = Column("o", LNG, np.array([6, 6, 7]))
+        inner = Column("i", LNG, np.array([6]))
+        out = SemiJoin().evaluate([outer.full_slice(), inner.full_slice()])
+        assert len(out) == 2
+
+    def test_semijoin_over_bats(self):
+        outer = BAT(np.array([10, 11]), np.array([1, 2]), LNG)
+        inner = BAT(np.array([0]), np.array([2]), LNG)
+        out = SemiJoin().evaluate([outer, inner])
+        np.testing.assert_array_equal(out.head, [11])

@@ -1,0 +1,48 @@
+"""The HAVING operator (tail filter over grouped BATs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import OperatorError
+from repro.operators import RangePredicate, TailFilter
+from repro.storage import BAT, Candidates, LNG
+
+
+def grouped(keys, aggs) -> BAT:
+    return BAT(np.asarray(keys), np.asarray(aggs), LNG)
+
+
+class TestTailFilter:
+    def test_keeps_qualifying_groups(self):
+        out = TailFilter(RangePredicate(lo=10)).evaluate(
+            [grouped([1, 2, 3], [5, 10, 20])]
+        )
+        np.testing.assert_array_equal(out.head, [2, 3])
+        np.testing.assert_array_equal(out.tail, [10, 20])
+
+    def test_empty_result(self):
+        out = TailFilter(RangePredicate(lo=100)).evaluate(
+            [grouped([1, 2], [5, 10])]
+        )
+        assert len(out) == 0
+
+    def test_rejects_candidates(self):
+        with pytest.raises(OperatorError):
+            TailFilter(RangePredicate(lo=1)).evaluate([Candidates(np.array([1]))])
+
+    def test_arity(self):
+        with pytest.raises(OperatorError):
+            TailFilter(RangePredicate(lo=1)).evaluate([])
+
+    def test_work_is_linear_in_input(self):
+        op = TailFilter(RangePredicate(lo=10))
+        bat = grouped(range(100), range(100))
+        out = op.evaluate([bat])
+        profile = op.work_profile([bat], out)
+        assert profile.tuples_in == 100
+        assert profile.tuples_out == 90
+
+    def test_describe_mentions_having(self):
+        assert "having" in TailFilter(RangePredicate(lo=1)).describe()

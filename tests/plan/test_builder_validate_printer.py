@@ -1,0 +1,132 @@
+"""Plan builder, validation, printing, and statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlanError
+from repro.operators import Pack, RangePredicate
+from repro.plan import (
+    Plan,
+    PlanBuilder,
+    format_plan,
+    format_tree,
+    plan_stats,
+    validate_plan,
+)
+from repro.plan.graph import PlanNode
+
+
+@pytest.fixture()
+def builder(small_catalog) -> PlanBuilder:
+    return PlanBuilder(small_catalog)
+
+
+class TestBuilder:
+    def test_quickstart_pipeline(self, builder):
+        sel = builder.select(builder.scan("facts", "val"), RangePredicate(hi=100))
+        proj = builder.fetch(sel, builder.scan("facts", "qty"))
+        agg = builder.aggregate("sum", proj)
+        plan = builder.build(agg)
+        validate_plan(plan)
+        assert plan.count_kind("select") == 1
+        assert plan.outputs == [agg]
+
+    def test_group_aggregate_arity_checks(self, builder):
+        keys = builder.scan("facts", "fk")
+        vals = builder.scan("facts", "val")
+        with pytest.raises(PlanError):
+            builder.group_aggregate("count", keys, vals)
+        with pytest.raises(PlanError):
+            builder.group_aggregate("sum", keys)
+
+    def test_join_and_semijoin(self, builder):
+        outer = builder.scan("facts", "fk")
+        inner = builder.scan("dims", "pk")
+        plan = builder.build(builder.join(outer, inner))
+        validate_plan(plan)
+        plan2 = PlanBuilder(builder.catalog)
+        node = plan2.semijoin(
+            plan2.scan("facts", "fk"), plan2.scan("dims", "pk"), negate=True
+        )
+        validate_plan(plan2.build(node))
+
+    def test_cand_union_requires_branches(self, builder):
+        with pytest.raises(PlanError):
+            builder.cand_union([])
+
+    def test_literal_and_calc(self, builder):
+        node = builder.calc(
+            "*", builder.literal(100), builder.scan("facts", "val")
+        )
+        plan = builder.build(node)
+        validate_plan(plan)
+
+    def test_multiple_outputs(self, builder):
+        a = builder.aggregate("sum", builder.scan("facts", "val"))
+        b = builder.aggregate("count", builder.scan("facts", "val"))
+        plan = builder.build([a, b])
+        assert len(plan.outputs) == 2
+
+
+class TestValidate:
+    def test_empty_outputs_rejected(self):
+        with pytest.raises(PlanError, match="outputs"):
+            validate_plan(Plan())
+
+    def test_bad_arity_rejected(self, builder):
+        sel = builder.select(builder.scan("facts", "val"), RangePredicate(hi=1))
+        sel.inputs.append(sel.inputs[0])
+        sel.inputs.append(sel.inputs[0])
+        with pytest.raises(PlanError, match="inputs"):
+            validate_plan(builder.build(sel))
+
+    def test_pack_order_keys_checked(self, builder):
+        a = builder.select(builder.scan("facts", "val"), RangePredicate(hi=1))
+        b = builder.select(builder.scan("facts", "val"), RangePredicate(hi=2))
+        a.order_key, b.order_key = 10, 5
+        pack = builder.plan.add(Pack(), [a, b])
+        with pytest.raises(PlanError, match="order"):
+            validate_plan(builder.build(pack))
+
+    def test_pack_with_unordered_none_keys_allowed(self, builder):
+        a = builder.select(builder.scan("facts", "val"), RangePredicate(hi=1))
+        b = builder.select(builder.scan("facts", "val"), RangePredicate(hi=2))
+        pack = builder.plan.add(Pack(), [a, b])
+        validate_plan(builder.build(pack))
+
+
+class TestPrinterStats:
+    def _plan(self, builder) -> Plan:
+        sel = builder.select(builder.scan("facts", "val"), RangePredicate(hi=100))
+        proj = builder.fetch(sel, builder.scan("facts", "qty"))
+        return builder.build(builder.aggregate("sum", proj))
+
+    def test_format_plan_lists_all_nodes(self, builder):
+        plan = self._plan(builder)
+        text = format_plan(plan)
+        assert text.count("\n") + 1 == len(plan)
+        assert "# output" in text
+
+    def test_format_tree_marks_shared(self, builder):
+        scan = builder.scan("facts", "val")
+        a = builder.select(scan, RangePredicate(hi=1))
+        b = builder.fetch(a, scan)
+        text = format_tree(builder.build(b))
+        assert "(shared)" not in text or "scan" in text
+
+    def test_stats_counts(self, builder):
+        plan = self._plan(builder)
+        stats = plan_stats(plan)
+        assert stats.select_count == 1
+        assert stats.total_nodes == 5
+        assert stats.depth == 4
+        assert stats.max_pack_fanin == 0
+
+    def test_stats_pack_fanin(self, builder):
+        a = builder.select(builder.scan("facts", "val"), RangePredicate(hi=1))
+        b = builder.select(builder.scan("facts", "qty"), RangePredicate(hi=2))
+        pack = builder.plan.add(Pack(), [a, b])
+        stats = plan_stats(builder.build(pack))
+        assert stats.max_pack_fanin == 2
+        assert stats.pack_count == 1

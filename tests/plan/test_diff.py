@@ -1,0 +1,72 @@
+"""Plan diffs across mutations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PlanMutator
+from repro.engine import execute
+from repro.operators import RangePredicate
+from repro.plan import PlanBuilder
+from repro.plan.diff import EvolutionLog, diff_plans
+
+
+@pytest.fixture()
+def plan(small_catalog):
+    b = PlanBuilder(small_catalog)
+    sel = b.select(b.scan("facts", "val"), RangePredicate(hi=500))
+    proj = b.fetch(sel, b.scan("facts", "qty"))
+    return b.build(b.aggregate("sum", proj))
+
+
+class TestDiffPlans:
+    def test_identical_plans_are_noop(self, plan):
+        diff = diff_plans(plan, plan.copy())
+        assert diff.is_noop
+        assert diff.format() == "no structural change"
+
+    def test_basic_mutation_diff(self, plan, sim_config):
+        before = plan.copy()
+        mutator = PlanMutator(plan)
+        profile = execute(plan, sim_config).profile
+        assert mutator.mutate(profile) is not None
+        diff = diff_plans(before, plan)
+        assert not diff.is_noop
+        assert diff.node_delta > 0
+        # A basic split adds clones + slices + a pack.
+        assert "pack" in diff.added_by_kind or "slice" in diff.added_by_kind
+
+    def test_format_mentions_kinds(self, plan, sim_config):
+        before = plan.copy()
+        mutator = PlanMutator(plan)
+        profile = execute(plan, sim_config).profile
+        mutator.mutate(profile)
+        text = diff_plans(before, plan).format()
+        assert "+" in text and "nodes" in text
+
+
+class TestEvolutionLog:
+    def test_tracks_every_step(self, plan, sim_config):
+        log = EvolutionLog()
+        assert log.observe(plan) is None
+        mutator = PlanMutator(plan)
+        profile = execute(plan, sim_config).profile
+        steps = 0
+        for __ in range(4):
+            if mutator.mutate(profile) is None:
+                break
+            diff = log.observe(plan)
+            assert diff is not None and not diff.is_noop
+            profile = execute(plan, sim_config).profile
+            steps += 1
+        assert steps >= 2
+        assert len(log.diffs()) == steps
+
+    def test_snapshots_are_independent_copies(self, plan, sim_config):
+        log = EvolutionLog()
+        log.observe(plan)
+        mutator = PlanMutator(plan)
+        profile = execute(plan, sim_config).profile
+        mutator.mutate(profile)
+        # The first snapshot must not reflect the later mutation.
+        assert len(log.snapshots[0].nodes()) < len(plan.nodes())

@@ -1,0 +1,99 @@
+"""Plan export: JSON round-trips and Graphviz dot."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import AdaptiveParallelizer, ConvergenceParams, intermediates_equal
+from repro.engine import execute
+from repro.errors import PlanError
+from repro.operators import LikePredicate, RangePredicate
+from repro.plan import PlanBuilder, validate_plan
+from repro.plan.export import plan_from_json, to_dot, to_json
+
+
+def build_plan(catalog):
+    b = PlanBuilder(catalog)
+    sel = b.select(b.scan("facts", "val"), RangePredicate(hi=500))
+    keys = b.fetch(sel, b.scan("facts", "fk"))
+    joined = b.join(keys, b.scan("dims", "pk"))  # FK join: all rows match
+    sizes = b.fetch(joined, b.scan("dims", "size"))
+    qty = b.fetch(sel, b.scan("facts", "qty"))
+    grouped = b.group_aggregate("sum", sizes, qty)
+    named = b.select(b.scan("dims", "name"), LikePredicate("name-1%"))
+    return b.build([grouped, b.aggregate("count", named)])
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_results(self, small_catalog, sim_config):
+        plan = build_plan(small_catalog)
+        text = to_json(plan)
+        restored = plan_from_json(text, small_catalog)
+        validate_plan(restored)
+        a = execute(plan, sim_config)
+        b = execute(restored, sim_config)
+        assert intermediates_equal(a.outputs[0], b.outputs[0])
+
+    def test_round_trip_preserves_structure(self, small_catalog):
+        plan = build_plan(small_catalog)
+        restored = plan_from_json(to_json(plan), small_catalog)
+        assert [n.kind for n in restored.nodes()] == [n.kind for n in plan.nodes()]
+
+    def test_mutated_plan_round_trips(self, small_catalog, sim_config):
+        """The point of the format: persisting *morphed* plans."""
+        plan = build_plan(small_catalog)
+        adaptive = AdaptiveParallelizer(
+            sim_config,
+            convergence=ConvergenceParams(number_of_cores=8, max_runs=25),
+        ).optimize(plan)
+        text = to_json(adaptive.best_plan)
+        restored = plan_from_json(text, small_catalog)
+        validate_plan(restored)
+        a = execute(adaptive.best_plan, sim_config)
+        b = execute(restored, sim_config)
+        assert intermediates_equal(a.outputs[0], b.outputs[0])
+        # order keys survive (pack ordering correctness)
+        originals = [n.order_key for n in adaptive.best_plan.nodes()]
+        copies = [n.order_key for n in restored.nodes()]
+        assert originals == copies
+
+    def test_json_is_valid_and_versioned(self, small_catalog):
+        document = json.loads(to_json(build_plan(small_catalog)))
+        assert document["version"] == 1
+        assert document["outputs"]
+        assert all("op" in node for node in document["nodes"])
+
+    def test_unknown_version_rejected(self, small_catalog):
+        with pytest.raises(PlanError, match="version"):
+            plan_from_json('{"version": 9, "nodes": [], "outputs": []}', small_catalog)
+
+    def test_unlabelled_scan_rejected(self, small_catalog):
+        from repro.operators import Scan
+        from repro.plan import Plan
+
+        plan = Plan()
+        scan = plan.add(Scan(small_catalog.column("facts", "val")))  # no label
+        plan.set_outputs([scan])
+        with pytest.raises(PlanError, match="label"):
+            to_json(plan)
+
+
+class TestDot:
+    def test_dot_contains_every_node_and_edge(self, small_catalog):
+        plan = build_plan(small_catalog)
+        dot = to_dot(plan)
+        nodes = plan.nodes()
+        for node in nodes:
+            assert f"n{node.nid} [" in dot
+        edge_count = sum(len(n.inputs) for n in nodes)
+        assert dot.count("->") == edge_count
+
+    def test_dot_colors_by_kind(self, small_catalog):
+        dot = to_dot(build_plan(small_catalog))
+        assert "palegreen" in dot  # selects
+        assert "lightblue" in dot  # join
+
+    def test_dot_is_digraph(self, small_catalog):
+        assert to_dot(build_plan(small_catalog)).startswith("digraph")

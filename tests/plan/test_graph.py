@@ -1,0 +1,113 @@
+"""Plan graph structure, traversal, mutation primitives, copying."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.operators import Aggregate, Fetch, Literal, RangePredicate, Scan, Select
+from repro.plan import Plan, PlanNode, iter_edges
+from repro.storage import Column, LNG
+
+
+def simple_plan() -> tuple[Plan, PlanNode, PlanNode, PlanNode]:
+    col = Column("v", LNG, np.arange(50))
+    plan = Plan()
+    scan = plan.add(Scan(col))
+    sel = plan.add(Select(RangePredicate(hi=10)), [scan])
+    fetch = plan.add(Fetch(), [sel, scan])
+    agg = plan.add(Aggregate("sum"), [fetch])
+    plan.set_outputs([agg])
+    return plan, scan, sel, agg
+
+
+class TestTraversal:
+    def test_topological_order(self):
+        plan, scan, sel, agg = simple_plan()
+        nodes = plan.nodes()
+        order = {node.nid: i for i, node in enumerate(nodes)}
+        for producer, consumer in iter_edges(plan):
+            assert order[producer.nid] < order[consumer.nid]
+
+    def test_len_counts_reachable_only(self):
+        plan, *_ = simple_plan()
+        plan.add(Literal(5))  # unreachable
+        assert len(plan) == 4
+
+    def test_cycle_detection(self):
+        plan, scan, sel, agg = simple_plan()
+        sel.inputs.append(agg)
+        with pytest.raises(PlanError, match="cycle"):
+            plan.nodes()
+
+    def test_consumers(self):
+        plan, scan, sel, agg = simple_plan()
+        consumers = plan.consumers(scan)
+        kinds = sorted(node.kind for node in consumers)
+        assert kinds == ["fetch", "select"]
+
+    def test_find_and_count(self):
+        plan, *_ = simple_plan()
+        assert plan.count_kind("select") == 1
+        assert len(plan.find(lambda n: n.kind == "scan")) == 1
+
+    def test_shared_node_visited_once(self):
+        plan, scan, *_ = simple_plan()
+        assert sum(1 for node in plan.nodes() if node is scan) == 1
+
+
+class TestMutationPrimitives:
+    def test_replace_node_redirects_consumers_and_outputs(self):
+        plan, scan, sel, agg = simple_plan()
+        replacement = plan.add(Aggregate("count"), list(agg.inputs))
+        plan.replace_node(agg, replacement)
+        assert plan.outputs == [replacement]
+        assert agg not in (node for node in plan.nodes())
+
+    def test_splice_input(self):
+        plan, scan, sel, agg = simple_plan()
+        other = plan.add(Select(RangePredicate(hi=20)), [scan])
+        fetch = plan.consumers(sel)[0]
+        plan.splice_input(fetch, sel, other)
+        assert other in fetch.inputs and sel not in fetch.inputs
+
+    def test_splice_missing_edge_rejected(self):
+        plan, scan, sel, agg = simple_plan()
+        with pytest.raises(PlanError):
+            plan.splice_input(agg, scan, sel)
+
+
+class TestCopy:
+    def test_copy_is_structurally_identical(self):
+        plan, *_ = simple_plan()
+        dup = plan.copy()
+        assert len(dup) == len(plan)
+        assert [node.kind for node in dup.nodes()] == [
+            node.kind for node in plan.nodes()
+        ]
+
+    def test_copy_has_fresh_nodes_and_ops(self):
+        plan, *_ = simple_plan()
+        dup = plan.copy()
+        original_ids = {node.nid for node in plan.nodes()}
+        for node in dup.nodes():
+            assert node.nid not in original_ids
+        original_ops = {id(node.op) for node in plan.nodes()}
+        for node in dup.nodes():
+            assert id(node.op) not in original_ops
+
+    def test_copy_preserves_order_keys_and_labels(self):
+        plan, scan, sel, agg = simple_plan()
+        sel.order_key = 17
+        sel.label = "marked"
+        dup = plan.copy()
+        copied_sel = dup.find(lambda n: n.kind == "select")[0]
+        assert copied_sel.order_key == 17
+        assert copied_sel.label == "marked"
+
+    def test_mutating_copy_leaves_original(self):
+        plan, *_ = simple_plan()
+        dup = plan.copy()
+        dup.outputs[0].inputs.clear()
+        assert len(plan) == 4

@@ -1,0 +1,158 @@
+"""Property-based tests on plan mutation and convergence.
+
+Random mutation sequences over randomly generated query shapes must
+never change query results and must always leave a valid plan -- this is
+the "no matter how the plan is morphed" guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import SimulationConfig, laptop_machine
+from repro.core import ConvergenceParams, ConvergenceTracker, PlanMutator
+from repro.core.adaptive import intermediates_equal
+from repro.engine import execute
+from repro.operators import RangePredicate
+from repro.plan import PlanBuilder, validate_plan
+from repro.storage import Catalog, LNG, Table
+
+_CONFIG = SimulationConfig(machine=laptop_machine(8), data_scale=200.0)
+
+
+def make_catalog(seed: int) -> Catalog:
+    rng = np.random.default_rng(seed)
+    n, m = 3_000, 40
+    catalog = Catalog()
+    catalog.add(
+        Table.from_arrays(
+            "facts",
+            {
+                "fk": (LNG, rng.integers(0, m, n)),
+                "val": (LNG, rng.integers(0, 1_000, n)),
+                "qty": (LNG, rng.integers(1, 50, n)),
+            },
+        )
+    )
+    catalog.add(Table.from_arrays("dims", {"pk": (LNG, np.arange(m))}))
+    return catalog
+
+
+def build_random_plan(catalog: Catalog, shape: int, threshold: int):
+    """A small family of query shapes driven by hypothesis."""
+    b = PlanBuilder(catalog)
+    sel = b.select(b.scan("facts", "val"), RangePredicate(hi=threshold))
+    if shape == 0:  # select -> fetch -> sum
+        out = b.aggregate("sum", b.fetch(sel, b.scan("facts", "qty")))
+    elif shape == 1:  # chained selects -> count
+        sel2 = b.select(b.scan("facts", "qty"), RangePredicate(hi=30), candidates=sel)
+        out = b.aggregate("count", sel2)
+    elif shape == 2:  # join -> count
+        fk = b.fetch(sel, b.scan("facts", "fk"))
+        out = b.aggregate("count", b.join(fk, b.scan("dims", "pk")))
+    else:  # group-by
+        keys = b.fetch(sel, b.scan("facts", "fk"))
+        vals = b.fetch(sel, b.scan("facts", "qty"))
+        out = b.group_aggregate("sum", keys, vals)
+    return b.build(out)
+
+
+class TestMutationInvariance:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(0, 10),
+        shape=st.integers(0, 3),
+        threshold=st.integers(0, 1_000),
+        steps=st.integers(1, 10),
+    )
+    def test_mutations_preserve_results_and_validity(
+        self, seed, shape, threshold, steps
+    ):
+        catalog = make_catalog(seed)
+        plan = build_random_plan(catalog, shape, threshold)
+        serial = execute(plan, _CONFIG)
+        mutator = PlanMutator(plan)
+        profile = serial.profile
+        for __ in range(steps):
+            result = mutator.mutate(profile)
+            if result is None:
+                break
+            validate_plan(plan)
+            run = execute(plan, _CONFIG)
+            for a, b in zip(run.outputs, serial.outputs):
+                assert intermediates_equal(a, b)
+            profile = run.profile
+
+
+class TestConvergenceProperties:
+    @settings(max_examples=100)
+    @given(
+        st.lists(
+            st.floats(min_value=0.001, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=60,
+        ),
+        st.integers(1, 64),
+    )
+    def test_gme_never_worse_than_best_seen_by_threshold(self, times, cores):
+        """GME is within (threshold * serial) of the true minimum of the
+        observed runs, and always one of the observed values."""
+        tracker = ConvergenceTracker(ConvergenceParams(number_of_cores=cores))
+        for t in times:
+            tracker.observe(t)
+            if not tracker.should_continue():
+                break
+        observed = tracker.exec_times()
+        if len(observed) < 2:
+            return
+        serial = observed[0]
+        best = min(observed[1:])
+        assert tracker.gme_time in observed[1:]
+        assert tracker.gme_time <= best + tracker.params.gme_threshold * serial + 1e-12
+
+    @settings(max_examples=60)
+    @given(st.integers(1, 16), st.integers(1, 4))
+    def test_convergence_always_terminates_on_flat_traces(self, cores, extra):
+        tracker = ConvergenceTracker(
+            ConvergenceParams(number_of_cores=cores, extra_runs=extra)
+        )
+        tracker.observe(10.0)
+        guard = 0
+        while tracker.should_continue():
+            tracker.observe(5.0)
+            guard += 1
+            assert guard < 5_000
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+            min_size=2,
+            max_size=200,
+        )
+    )
+    def test_credit_and_debit_never_negative(self, times):
+        tracker = ConvergenceTracker(ConvergenceParams(number_of_cores=8))
+        for t in times:
+            tracker.observe(t)
+            assert tracker.credit >= 0
+            assert tracker.debit >= 0
+            if not tracker.should_continue():
+                break
+
+
+@pytest.mark.parametrize("shape", [0, 1, 2, 3])
+def test_each_shape_serial_baseline_is_deterministic(shape):
+    catalog = make_catalog(1)
+    plan = build_random_plan(catalog, shape, 500)
+    a = execute(plan, _CONFIG)
+    b = execute(plan, _CONFIG)
+    for x, y in zip(a.outputs, b.outputs):
+        assert intermediates_equal(x, y)

@@ -1,0 +1,170 @@
+"""Property-based tests on operator identities.
+
+The central invariant of the whole system: for every operator, running
+it per-partition and packing the partition outputs equals running it
+serially (candidates keep their order; aggregates merge exactly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.operators import (
+    Aggregate,
+    AggrMerge,
+    Fetch,
+    GroupAggregate,
+    Join,
+    Pack,
+    RangePredicate,
+    Select,
+    SemiJoin,
+    merge_func_for,
+)
+from repro.storage import Candidates, Column, LNG
+
+small_ints = st.integers(min_value=-1000, max_value=1000)
+arrays = st.lists(small_ints, min_size=1, max_size=250)
+
+
+def as_column(values: list[int], name: str = "c") -> Column:
+    return Column(name, LNG, np.asarray(values, dtype=np.int64))
+
+
+@st.composite
+def column_with_cuts(draw, parts: int = 3):
+    values = draw(arrays)
+    col = as_column(values)
+    cuts = sorted(draw(st.lists(st.integers(0, len(col)), min_size=parts - 1, max_size=parts - 1)))
+    bounds = [0, *cuts, len(col)]
+    return col, bounds
+
+
+class TestSelectPartitionIdentity:
+    @settings(max_examples=60)
+    @given(column_with_cuts(), st.integers(-1000, 1000))
+    def test_packed_partition_selects_equal_serial(self, data, threshold):
+        col, bounds = data
+        op = Select(RangePredicate(hi=threshold))
+        serial = op.evaluate([col.full_slice()])
+        parts = [
+            op.evaluate([col.slice(bounds[i], bounds[i + 1])])
+            for i in range(len(bounds) - 1)
+        ]
+        packed = Pack().evaluate(parts)
+        np.testing.assert_array_equal(packed.oids, serial.oids)
+
+    @settings(max_examples=60)
+    @given(column_with_cuts(), st.integers(-1000, 1000), st.data())
+    def test_candidate_partitioning_identity(self, data, threshold, rnd):
+        """Splitting the *candidate* input (what chained selects do)."""
+        col, __ = data
+        universe = np.flatnonzero(col.values % 2 == 0).astype(np.int64)
+        cands = Candidates(universe)
+        cut = rnd.draw(st.integers(0, len(universe)))
+        op = Select(RangePredicate(hi=threshold))
+        serial = op.evaluate([col.full_slice(), cands])
+        left = op.evaluate([col.full_slice(), Candidates(universe[:cut])])
+        right = op.evaluate([col.full_slice(), Candidates(universe[cut:])])
+        packed = Pack().evaluate([left, right])
+        np.testing.assert_array_equal(packed.oids, serial.oids)
+
+
+class TestFetchPartitionIdentity:
+    @settings(max_examples=60)
+    @given(column_with_cuts())
+    def test_value_column_split_with_trim(self, data):
+        col, bounds = data
+        universe = np.arange(0, len(col), 2, dtype=np.int64)
+        cands = Candidates(universe)
+        serial = Fetch().evaluate([cands, col.full_slice()])
+        parts = [
+            Fetch().evaluate([cands, col.slice(bounds[i], bounds[i + 1])])
+            for i in range(len(bounds) - 1)
+        ]
+        packed = Pack().evaluate(parts)
+        np.testing.assert_array_equal(packed.head, serial.head)
+        np.testing.assert_array_equal(packed.tail, serial.tail)
+
+
+class TestJoinPartitionIdentity:
+    @settings(max_examples=40)
+    @given(arrays, st.lists(small_ints, min_size=1, max_size=60), st.data())
+    def test_outer_split_identity(self, outer_vals, inner_vals, rnd):
+        outer = as_column(outer_vals, "outer")
+        inner = as_column(list(dict.fromkeys(inner_vals)), "inner")
+        cut = rnd.draw(st.integers(0, len(outer)))
+        serial = Join().evaluate([outer.full_slice(), inner.full_slice()])
+        left = Join().evaluate([outer.slice(0, cut), inner.full_slice()])
+        right = Join().evaluate([outer.slice(cut, len(outer)), inner.full_slice()])
+        packed = Pack().evaluate([left, right])
+        np.testing.assert_array_equal(packed.head, serial.head)
+        np.testing.assert_array_equal(packed.tail, serial.tail)
+
+    @settings(max_examples=40)
+    @given(arrays, st.lists(small_ints, min_size=1, max_size=60), st.data())
+    def test_semijoin_outer_split_identity(self, outer_vals, inner_vals, rnd):
+        outer = as_column(outer_vals, "outer")
+        inner = as_column(inner_vals, "inner")
+        cut = rnd.draw(st.integers(0, len(outer)))
+        serial = SemiJoin().evaluate([outer.full_slice(), inner.full_slice()])
+        left = SemiJoin().evaluate([outer.slice(0, cut), inner.full_slice()])
+        right = SemiJoin().evaluate(
+            [outer.slice(cut, len(outer)), inner.full_slice()]
+        )
+        packed = Pack().evaluate([left, right])
+        np.testing.assert_array_equal(packed.head, serial.head)
+
+
+class TestAggregationIdentities:
+    @settings(max_examples=60)
+    @given(column_with_cuts(), st.sampled_from(["sum", "count", "min", "max"]))
+    def test_scalar_partials_merge(self, data, func):
+        col, bounds = data
+        op = Aggregate(func)
+        serial = op.evaluate([col.full_slice()])
+        parts = [
+            op.evaluate([col.slice(bounds[i], bounds[i + 1])])
+            for i in range(len(bounds) - 1)
+            if bounds[i] < bounds[i + 1]  # skip empty: SQL identity only holds
+        ]
+        if not parts:
+            return
+        merged = Aggregate(merge_func_for(func)).evaluate([Pack().evaluate(parts)])
+        assert merged.value == serial.value
+
+    @settings(max_examples=60)
+    @given(column_with_cuts(), st.sampled_from(["sum", "min", "max"]))
+    def test_grouped_partials_merge(self, data, func):
+        keys_col, bounds = data
+        rng = np.random.default_rng(0)
+        values_col = Column(
+            "v", LNG, rng.integers(-50, 50, len(keys_col)).astype(np.int64)
+        )
+        op = GroupAggregate(func)
+        serial = op.evaluate([keys_col.full_slice(), values_col.full_slice()])
+        parts = []
+        for i in range(len(bounds) - 1):
+            lo, hi = bounds[i], bounds[i + 1]
+            if lo < hi:
+                parts.append(op.evaluate([keys_col.slice(lo, hi), values_col.slice(lo, hi)]))
+        merged = AggrMerge(merge_func_for(func)).evaluate([Pack().evaluate(parts)])
+        np.testing.assert_array_equal(merged.head, serial.head)
+        np.testing.assert_array_equal(merged.tail, serial.tail)
+
+    @settings(max_examples=60)
+    @given(column_with_cuts())
+    def test_grouped_count_partials(self, data):
+        keys_col, bounds = data
+        op = GroupAggregate("count")
+        serial = op.evaluate([keys_col.full_slice()])
+        parts = [
+            op.evaluate([keys_col.slice(bounds[i], bounds[i + 1])])
+            for i in range(len(bounds) - 1)
+            if bounds[i] < bounds[i + 1]
+        ]
+        merged = AggrMerge("sum").evaluate([Pack().evaluate(parts)])
+        np.testing.assert_array_equal(merged.head, serial.head)
+        np.testing.assert_array_equal(merged.tail, serial.tail)

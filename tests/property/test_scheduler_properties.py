@@ -1,0 +1,107 @@
+"""Property-based tests on the discrete-event scheduler.
+
+Whatever plan shape and DOP we throw at the simulator, physical
+invariants must hold: a hardware thread never runs two operators at
+once, data-flow ordering is respected, the DOP cap is never exceeded,
+and busy time never exceeds span x threads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import SimulationConfig, laptop_machine
+from repro.core import HeuristicParallelizer
+from repro.engine import execute
+from repro.operators import RangePredicate
+from repro.plan import PlanBuilder
+from repro.storage import Catalog, LNG, Table
+
+
+def build_catalog(seed: int) -> Catalog:
+    rng = np.random.default_rng(seed)
+    n, m = 4_000, 64
+    catalog = Catalog()
+    catalog.add(
+        Table.from_arrays(
+            "facts",
+            {
+                "fk": (LNG, rng.integers(0, m, n)),
+                "val": (LNG, rng.integers(0, 1_000, n)),
+                "qty": (LNG, rng.integers(1, 50, n)),
+            },
+        )
+    )
+    catalog.add(Table.from_arrays("dims", {"pk": (LNG, np.arange(m))}))
+    return catalog
+
+
+def build_plan(catalog: Catalog, shape: int, threshold: int):
+    b = PlanBuilder(catalog)
+    sel = b.select(b.scan("facts", "val"), RangePredicate(hi=threshold))
+    if shape == 0:
+        out = b.aggregate("sum", b.fetch(sel, b.scan("facts", "qty")))
+    elif shape == 1:
+        fk = b.fetch(sel, b.scan("facts", "fk"))
+        out = b.aggregate("count", b.join(fk, b.scan("dims", "pk")))
+    else:
+        keys = b.fetch(sel, b.scan("facts", "fk"))
+        vals = b.fetch(sel, b.scan("facts", "qty"))
+        out = b.group_aggregate("sum", keys, vals)
+    return b.build(out)
+
+
+@settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(
+    seed=st.integers(0, 5),
+    shape=st.integers(0, 2),
+    threshold=st.integers(0, 1_000),
+    partitions=st.integers(1, 12),
+    dop_cap=st.integers(1, 8),
+)
+def test_scheduler_invariants(seed, shape, threshold, partitions, dop_cap):
+    catalog = build_catalog(seed)
+    plan = HeuristicParallelizer(partitions).parallelize(
+        build_plan(catalog, shape, threshold)
+    )
+    config = SimulationConfig(
+        machine=laptop_machine(8), data_scale=200.0, max_threads=dop_cap
+    )
+    result = execute(plan, config)
+    profile = result.profile
+
+    # 1. One operator record per plan node.
+    assert len(profile.records) == len(plan.nodes())
+
+    # 2. A hardware thread never overlaps two operators.
+    for records in profile.records_by_thread().values():
+        for a, b in zip(records, records[1:]):
+            assert b.start >= a.end - 1e-9
+
+    # 3. Data-flow ordering: consumers start after their producers end.
+    finish = {r.node.nid: r.end for r in profile.records}
+    start = {r.node.nid: r.start for r in profile.records}
+    for node in plan.nodes():
+        for child in node.inputs:
+            assert start[node.nid] >= finish[child.nid] - 1e-9
+
+    # 4. The DOP cap holds at every operator start.
+    events = sorted(
+        [(r.start, 1) for r in profile.records]
+        + [(r.end, -1) for r in profile.records]
+    )
+    running = 0
+    for __, delta in events:
+        running += delta
+        assert running <= dop_cap
+
+    # 5. Busy core time fits inside span x threads.
+    span = profile.finish_time - profile.submit_time
+    assert profile.busy_core_seconds() <= span * dop_cap + 1e-9
+
+    # 6. Peak memory is positive and finite.
+    assert 0 < profile.peak_memory_bytes < 1e18

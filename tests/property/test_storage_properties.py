@@ -1,0 +1,98 @@
+"""Property-based tests on storage invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import (
+    Candidates,
+    Column,
+    LNG,
+    PartitionSet,
+    align_candidates,
+)
+
+values_arrays = st.lists(
+    st.integers(min_value=-(2**40), max_value=2**40), min_size=1, max_size=300
+)
+
+
+@st.composite
+def column_and_bounds(draw):
+    values = draw(values_arrays)
+    col = Column("c", LNG, np.asarray(values, dtype=np.int64))
+    lo = draw(st.integers(0, len(col)))
+    hi = draw(st.integers(lo, len(col)))
+    return col, lo, hi
+
+
+class TestSliceProperties:
+    @given(column_and_bounds())
+    def test_slice_values_match_direct_indexing(self, data):
+        col, lo, hi = data
+        view = col.slice(lo, hi)
+        np.testing.assert_array_equal(view.values, col.values[lo:hi])
+        assert len(view) == hi - lo
+
+    @given(column_and_bounds(), st.data())
+    def test_split_tiles_exactly(self, data, rnd):
+        col, lo, hi = data
+        view = col.slice(lo, hi)
+        at = rnd.draw(st.integers(lo, hi))
+        left, right = view.split(at)
+        assert left.lo == lo and right.hi == hi and left.hi == right.lo
+        np.testing.assert_array_equal(
+            np.concatenate([left.values, right.values]), view.values
+        )
+
+    @given(column_and_bounds())
+    def test_oids_within_bounds(self, data):
+        col, lo, hi = data
+        oids = col.slice(lo, hi).oids()
+        if len(oids):
+            assert oids[0] == lo and oids[-1] == hi - 1
+
+
+class TestAlignmentProperties:
+    @given(
+        st.lists(st.integers(0, 200), min_size=0, max_size=80),
+        st.integers(0, 200),
+        st.integers(0, 200),
+    )
+    def test_trim_result_always_covered(self, raw, a, b):
+        lo, hi = min(a, b), max(a, b)
+        col = Column("c", LNG, np.zeros(201, dtype=np.int64))
+        cands = Candidates(np.unique(np.asarray(raw, dtype=np.int64)))
+        view = col.slice(lo, hi)
+        trimmed = align_candidates(cands, view)
+        assert view.covers(trimmed.oids)
+        # Trimming removes only out-of-window oids.
+        expected = [o for o in cands.oids if lo <= o < hi]
+        np.testing.assert_array_equal(trimmed.oids, expected)
+
+    @given(st.lists(st.integers(0, 1000), min_size=0, max_size=100))
+    def test_restrict_is_idempotent(self, raw):
+        cands = Candidates(np.unique(np.asarray(raw, dtype=np.int64)))
+        once = cands.restrict(100, 600)
+        twice = once.restrict(100, 600)
+        np.testing.assert_array_equal(once.oids, twice.oids)
+
+
+class TestPartitionSetProperties:
+    @settings(max_examples=50)
+    @given(st.integers(2, 10_000), st.lists(st.integers(0, 100), max_size=12))
+    def test_random_split_sequences_keep_cover_invariant(self, total, picks):
+        ps = PartitionSet(total=total)
+        for pick in picks:
+            splittable = [r for r in ps.ranges if len(r) >= 2]
+            if not splittable:
+                break
+            target = splittable[pick % len(splittable)]
+            ps.split(target.lo, target.hi)
+            ps.verify()
+        assert sum(ps.sizes()) == total
+        bounds = ps.boundaries()
+        for (___, prev_hi), (next_lo, __) in zip(bounds, bounds[1:]):
+            assert prev_hi == next_lo

@@ -1,0 +1,47 @@
+"""AST node behaviour: string forms and equality semantics."""
+
+from __future__ import annotations
+
+from repro.sql.ast import (
+    AggExpr,
+    BinaryExpr,
+    ColumnRef,
+    NumberLit,
+    OrderItem,
+    SelectItem,
+)
+
+
+class TestStringForms:
+    def test_column_ref(self):
+        assert str(ColumnRef("a")) == "a"
+        assert str(ColumnRef("a", table="t")) == "t.a"
+
+    def test_number(self):
+        assert str(NumberLit(42)) == "42"
+        assert str(NumberLit(2.5)) == "2.5"
+
+    def test_binary_nested(self):
+        expr = BinaryExpr("*", ColumnRef("a"), BinaryExpr("+", NumberLit(1), ColumnRef("b")))
+        assert str(expr) == "(a * (1 + b))"
+
+    def test_agg(self):
+        assert str(AggExpr("sum", ColumnRef("x"))) == "sum(x)"
+        assert str(AggExpr("count", None)) == "count(*)"
+
+
+class TestEquality:
+    def test_column_refs_compare_structurally(self):
+        assert ColumnRef("a") == ColumnRef("a")
+        assert ColumnRef("a") != ColumnRef("a", table="t")
+
+    def test_order_item_matching_uses_expression(self):
+        """The planner locates ORDER BY targets by expression equality."""
+        agg = AggExpr("sum", ColumnRef("price"))
+        assert OrderItem(agg).expr == AggExpr("sum", ColumnRef("price"))
+
+    def test_select_item_alias_not_part_of_expr_identity(self):
+        a = SelectItem(ColumnRef("x"), alias="one")
+        b = SelectItem(ColumnRef("x"), alias="two")
+        assert a.expr == b.expr
+        assert a != b

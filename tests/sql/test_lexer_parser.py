@@ -1,0 +1,170 @@
+"""SQL lexer and parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SqlLexError, SqlParseError
+from repro.sql import parse, tokenize
+from repro.sql.ast import (
+    AggExpr,
+    And,
+    Between,
+    BinaryExpr,
+    ColumnRef,
+    Comparison,
+    InList,
+    InSubquery,
+    JoinCondition,
+    Like,
+    NumberLit,
+    Or,
+)
+from repro.storage import date_value
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select FROM Where")
+        assert [t.type for t in tokens[:-1]] == ["KEYWORD"] * 3
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_lowercased(self):
+        tokens = tokenize("LineItem l_ShipDate")
+        assert tokens[0].value == "lineitem"
+        assert tokens[1].value == "l_shipdate"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14 .5")
+        assert [t.value for t in tokens[:-1]] == ["42", "3.14", ".5"]
+
+    def test_strings(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].type == "STRING"
+        assert tokens[0].value == "hello world"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlLexError):
+            tokenize("'oops")
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a <= b >= c <> d")
+        ops = [t.value for t in tokens if t.type == "PUNCT"]
+        assert ops == ["<=", ">=", "<>"]
+
+    def test_qualified_name_dots(self):
+        tokens = tokenize("t1.col")
+        assert [t.value for t in tokens[:-1]] == ["t1", ".", "col"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlLexError):
+            tokenize("a ! b")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].type == "EOF"
+
+
+class TestParser:
+    def test_minimal_select(self):
+        stmt = parse("SELECT a FROM t")
+        assert stmt.tables == ("t",)
+        assert stmt.items[0].expr == ColumnRef("a")
+
+    def test_aggregates(self):
+        stmt = parse("SELECT SUM(a), COUNT(*), AVG(b) FROM t")
+        assert stmt.items[0].expr == AggExpr("sum", ColumnRef("a"))
+        assert stmt.items[1].expr == AggExpr("count", None)
+        assert stmt.items[2].expr == AggExpr("avg", ColumnRef("b"))
+
+    def test_arithmetic_precedence(self):
+        stmt = parse("SELECT a + b * c FROM t")
+        expr = stmt.items[0].expr
+        assert isinstance(expr, BinaryExpr) and expr.op == "+"
+        assert isinstance(expr.right, BinaryExpr) and expr.right.op == "*"
+
+    def test_parenthesised_expression(self):
+        stmt = parse("SELECT (a + b) * c FROM t")
+        expr = stmt.items[0].expr
+        assert expr.op == "*"
+        assert isinstance(expr.left, BinaryExpr) and expr.left.op == "+"
+
+    def test_where_conjunction(self):
+        stmt = parse("SELECT a FROM t WHERE a < 5 AND b >= 3")
+        assert isinstance(stmt.where, And)
+        assert len(stmt.where.parts) == 2
+
+    def test_where_disjunction_groups(self):
+        stmt = parse("SELECT a FROM t WHERE (a < 5 AND b > 1) OR (a > 9)")
+        assert isinstance(stmt.where, Or)
+        assert isinstance(stmt.where.parts[0], And)
+
+    def test_between(self):
+        stmt = parse("SELECT a FROM t WHERE a BETWEEN 2 AND 6")
+        assert stmt.where == Between(ColumnRef("a"), 2, 6)
+
+    def test_like_and_not_like(self):
+        stmt = parse("SELECT a FROM t WHERE s LIKE 'X%' AND s NOT LIKE '%Y'")
+        like, notlike = stmt.where.parts
+        assert like == Like(ColumnRef("s"), "X%")
+        assert notlike == Like(ColumnRef("s"), "%Y", negate=True)
+
+    def test_in_list(self):
+        stmt = parse("SELECT a FROM t WHERE a IN (1, 2, 3)")
+        assert stmt.where == InList(ColumnRef("a"), (1, 2, 3))
+
+    def test_not_in_subquery(self):
+        stmt = parse(
+            "SELECT a FROM t WHERE a NOT IN (SELECT b FROM u WHERE b > 2)"
+        )
+        assert isinstance(stmt.where, InSubquery)
+        assert stmt.where.negate
+        assert stmt.where.subquery.tables == ("u",)
+
+    def test_join_condition_detected(self):
+        stmt = parse("SELECT a FROM t, u WHERE t.a = u.b")
+        assert stmt.where == JoinCondition(
+            ColumnRef("a", "t"), ColumnRef("b", "u")
+        )
+
+    def test_date_literal(self):
+        stmt = parse("SELECT a FROM t WHERE d >= DATE '1994-01-01'")
+        assert stmt.where == Comparison(
+            ColumnRef("d"), ">=", date_value("1994-01-01")
+        )
+
+    def test_negative_literal(self):
+        stmt = parse("SELECT a FROM t WHERE a > -5")
+        assert stmt.where.value == -5
+
+    def test_group_order_limit(self):
+        stmt = parse(
+            "SELECT a, SUM(b) FROM t GROUP BY a ORDER BY a DESC LIMIT 10"
+        )
+        assert stmt.group_by == ColumnRef("a")
+        assert stmt.order_by[0].descending
+        assert stmt.limit == 10
+
+    def test_alias(self):
+        stmt = parse("SELECT SUM(a) AS total FROM t")
+        assert stmt.items[0].alias == "total"
+
+    def test_number_literal_item(self):
+        stmt = parse("SELECT 100 * SUM(a) FROM t")
+        expr = stmt.items[0].expr
+        assert expr.left == NumberLit(100)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse("SELECT a FROM t extra")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse("SELECT a")
+
+    def test_not_without_like_or_in_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse("SELECT a FROM t WHERE a NOT = 3")
+
+    def test_empty_predicate_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse("SELECT a FROM t WHERE a")

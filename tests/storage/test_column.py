@@ -1,0 +1,182 @@
+"""Columns, slices, candidate lists, BATs, and alignment rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AlignmentError, StorageError
+from repro.storage import (
+    BAT,
+    Candidates,
+    Column,
+    LNG,
+    STR,
+    Scalar,
+    align_candidates,
+)
+
+
+def make_column(n: int = 100) -> Column:
+    return Column("c", LNG, np.arange(n, dtype=np.int64))
+
+
+class TestColumn:
+    def test_values_are_read_only(self):
+        col = make_column()
+        with pytest.raises(ValueError):
+            col.values[0] = 42
+
+    def test_dtype_coercion(self):
+        col = Column("c", LNG, np.arange(5, dtype=np.int32))
+        assert col.values.dtype == np.int64
+
+    def test_rejects_two_dimensional_values(self):
+        with pytest.raises(StorageError):
+            Column("c", LNG, np.zeros((2, 2)))
+
+    def test_nbytes_uses_logical_width(self):
+        assert make_column(10).nbytes == 80
+
+    def test_string_column_requires_dictionary(self):
+        with pytest.raises(StorageError):
+            Column("s", STR, np.zeros(3, dtype=np.int32))
+
+    def test_non_string_column_rejects_dictionary(self):
+        with pytest.raises(StorageError):
+            Column("c", LNG, np.arange(3), dictionary=["a"])
+
+    def test_from_strings_round_trip(self):
+        col = Column.from_strings("s", ["b", "a", "b", "c"])
+        assert col.decode(col.values) == ["b", "a", "b", "c"]
+        assert col.dictionary == ("a", "b", "c")
+
+    def test_decode_requires_dictionary(self):
+        with pytest.raises(StorageError):
+            make_column().decode(np.array([0]))
+
+
+class TestColumnSlice:
+    def test_full_slice_covers_column(self):
+        col = make_column(10)
+        view = col.full_slice()
+        assert (view.lo, view.hi) == (0, 10)
+        assert len(view) == 10
+
+    def test_slice_values_are_views(self):
+        col = make_column(10)
+        view = col.slice(2, 5)
+        assert view.values.base is col.values
+        np.testing.assert_array_equal(view.values, [2, 3, 4])
+
+    def test_out_of_bounds_slice_rejected(self):
+        with pytest.raises(StorageError):
+            make_column(10).slice(0, 11)
+        with pytest.raises(StorageError):
+            make_column(10).slice(5, 3)
+
+    def test_oids_are_global(self):
+        view = make_column(10).slice(4, 7)
+        np.testing.assert_array_equal(view.oids(), [4, 5, 6])
+
+    def test_split_default_midpoint(self):
+        view = make_column(10).slice(0, 10)
+        left, right = view.split()
+        assert (left.lo, left.hi) == (0, 5)
+        assert (right.lo, right.hi) == (5, 10)
+
+    def test_split_boundaries_stay_aligned(self):
+        view = make_column(100).slice(20, 80)
+        left, right = view.split(50)
+        assert left.hi == right.lo == 50
+
+    def test_split_outside_range_rejected(self):
+        with pytest.raises(StorageError):
+            make_column(10).slice(2, 6).split(8)
+
+    def test_covers(self):
+        view = make_column(10).slice(2, 6)
+        assert view.covers(np.array([2, 5], dtype=np.int64))
+        assert not view.covers(np.array([2, 6], dtype=np.int64))
+        assert view.covers(np.array([], dtype=np.int64))
+
+
+class TestCandidates:
+    def test_rejects_unsorted(self):
+        with pytest.raises(StorageError):
+            Candidates(np.array([3, 1, 2]))
+
+    def test_restrict_uses_binary_search(self):
+        cands = Candidates(np.array([1, 4, 6, 9, 12]))
+        sub = cands.restrict(4, 10)
+        np.testing.assert_array_equal(sub.oids, [4, 6, 9])
+
+    def test_restrict_empty_window(self):
+        cands = Candidates(np.array([1, 2, 3]))
+        assert len(cands.restrict(10, 20)) == 0
+
+    def test_nbytes(self):
+        assert Candidates(np.array([1, 2, 3])).nbytes == 24
+
+
+class TestBat:
+    def test_head_tail_length_mismatch_rejected(self):
+        with pytest.raises(StorageError):
+            BAT(np.array([1, 2]), np.array([1]), LNG)
+
+    def test_tail_coerced_to_dtype(self):
+        bat = BAT(np.array([0, 1]), np.array([1.0, 2.0]), LNG)
+        assert bat.tail.dtype == np.int64
+
+    def test_nbytes_counts_head_and_tail(self):
+        bat = BAT(np.array([0, 1]), np.array([5, 6]), LNG)
+        assert bat.nbytes == 2 * (8 + 8)
+
+
+class TestScalar:
+    def test_len_and_nbytes(self):
+        value = Scalar(7, LNG)
+        assert len(value) == 1
+        assert value.nbytes == 8
+
+
+class TestAlignment:
+    """The paper's Figure 9/10 boundary scenarios."""
+
+    def test_aligned_candidates_pass_through(self):
+        col = make_column(100)
+        cands = Candidates(np.array([10, 20, 30]))
+        out = align_candidates(cands, col.slice(0, 50))
+        assert out is cands
+
+    def test_overshoot_is_trimmed(self):
+        col = make_column(100)
+        cands = Candidates(np.array([10, 20, 60]))
+        out = align_candidates(cands, col.slice(0, 50))
+        np.testing.assert_array_equal(out.oids, [10, 20])
+
+    def test_undershoot_is_trimmed(self):
+        col = make_column(100)
+        cands = Candidates(np.array([2, 10, 20]))
+        out = align_candidates(cands, col.slice(5, 50))
+        np.testing.assert_array_equal(out.oids, [10, 20])
+
+    def test_both_sides_trimmed(self):
+        col = make_column(100)
+        cands = Candidates(np.array([2, 10, 20, 60]))
+        out = align_candidates(cands, col.slice(5, 50))
+        np.testing.assert_array_equal(out.oids, [10, 20])
+
+    def test_strict_mode_raises_on_misalignment(self):
+        col = make_column(100)
+        cands = Candidates(np.array([10, 60]))
+        with pytest.raises(AlignmentError):
+            align_candidates(cands, col.slice(0, 50), strict=True)
+
+    def test_fixed_size_partitions_always_align(self):
+        """Figure 9A: identical boundaries never need trimming."""
+        col = make_column(100)
+        view = col.slice(25, 50)
+        cands = Candidates(np.arange(25, 50, dtype=np.int64))
+        out = align_candidates(cands, view, strict=True)
+        assert out is cands

@@ -1,0 +1,52 @@
+"""Logical types and date helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.storage import DATE, DBL, LNG, STR, add_months, date_value, type_by_name
+
+
+class TestTypes:
+    def test_lookup_by_name(self):
+        assert type_by_name("lng") is LNG
+        assert type_by_name("dbl") is DBL
+        assert type_by_name("str") is STR
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="known"):
+            type_by_name("blob")
+
+    def test_widths(self):
+        assert LNG.width == 8
+        assert DATE.width == 4
+        assert STR.width == 4
+
+
+class TestDates:
+    def test_epoch(self):
+        assert date_value("1970-01-01") == 0
+
+    def test_known_day_number(self):
+        delta = np.datetime64("1994-01-01") - np.datetime64("1970-01-01")
+        assert date_value("1994-01-01") == int(delta / np.timedelta64(1, "D"))
+
+    def test_ordering(self):
+        assert date_value("1994-01-01") < date_value("1995-01-01")
+
+    def test_add_months_simple(self):
+        start = date_value("1994-01-15")
+        assert add_months(start, 1) == date_value("1994-02-15")
+
+    def test_add_months_clamps_to_month_end(self):
+        start = date_value("1994-01-31")
+        assert add_months(start, 1) == date_value("1994-02-28")
+
+    def test_add_months_across_year(self):
+        start = date_value("1994-11-30")
+        assert add_months(start, 3) == date_value("1995-02-28")
+
+    def test_add_zero_months(self):
+        start = date_value("1994-06-17")
+        assert add_months(start, 0) == start

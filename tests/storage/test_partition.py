@@ -1,0 +1,89 @@
+"""Dynamic partition bookkeeping (paper Figure 8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import PartitionRange, PartitionSet
+
+
+class TestPartitionRange:
+    def test_split_midpoint(self):
+        left, right = PartitionRange(0, 10).split()
+        assert (left.lo, left.hi) == (0, 5)
+        assert (right.lo, right.hi) == (5, 10)
+        assert left.generation == right.generation == 1
+
+    def test_split_at_boundary_rejected(self):
+        with pytest.raises(StorageError):
+            PartitionRange(0, 10).split(0)
+        with pytest.raises(StorageError):
+            PartitionRange(0, 10).split(10)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(StorageError):
+            PartitionRange(5, 3)
+
+
+class TestPartitionSet:
+    def test_starts_with_one_full_range(self):
+        ps = PartitionSet(total=100)
+        assert ps.boundaries() == [(0, 100)]
+
+    def test_figure8_evolution(self):
+        """Reproduce the exact A -> B -> C -> D sequence of Figure 8."""
+        ps = PartitionSet(total=80)
+        # B: first split -> partitions 0th and 1st
+        ps.split(0, 80, 40)
+        assert ps.boundaries() == [(0, 40), (40, 80)]
+        # C: partition 1 splits -> 2nd and 3rd
+        ps.split(40, 80, 60)
+        assert ps.boundaries() == [(0, 40), (40, 60), (60, 80)]
+        # D: partition 2 splits -> 4th and 5th
+        ps.split(40, 60, 50)
+        assert ps.boundaries() == [(0, 40), (40, 50), (50, 60), (60, 80)]
+        # Four operators on different-sized partitions, all aligned.
+        assert ps.sizes() == [40, 10, 10, 20]
+        ps.verify()
+
+    def test_split_unknown_range_rejected(self):
+        ps = PartitionSet(total=100)
+        with pytest.raises(StorageError):
+            ps.split(10, 20)
+
+    def test_cover_invariant_detects_gap(self):
+        ps = PartitionSet(total=100)
+        ps.ranges = [PartitionRange(0, 40), PartitionRange(50, 100)]
+        with pytest.raises(StorageError):
+            ps.verify()
+
+    def test_cover_invariant_detects_overlap(self):
+        ps = PartitionSet(total=100)
+        ps.ranges = [PartitionRange(0, 60), PartitionRange(50, 100)]
+        with pytest.raises(StorageError):
+            ps.verify()
+
+    def test_cover_invariant_detects_truncation(self):
+        ps = PartitionSet(total=100)
+        ps.ranges = [PartitionRange(0, 90)]
+        with pytest.raises(StorageError):
+            ps.verify()
+
+    def test_equal_partitioning(self):
+        ps = PartitionSet.equal(100, 3)
+        assert ps.boundaries() == [(0, 33), (33, 67), (67, 100)]
+        ps.verify()
+
+    def test_equal_partitioning_more_parts_than_rows(self):
+        ps = PartitionSet.equal(2, 8)
+        assert len(ps) == 2
+        ps.verify()
+
+    def test_equal_partitioning_rejects_zero_parts(self):
+        with pytest.raises(StorageError):
+            PartitionSet.equal(10, 0)
+
+    def test_empty_total(self):
+        ps = PartitionSet(total=0)
+        assert ps.sizes() == [0]

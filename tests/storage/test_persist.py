@@ -1,0 +1,109 @@
+"""Catalog persistence round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import Catalog, LNG, STR, Table
+from repro.storage.persist import load_catalog, save_catalog
+
+
+@pytest.fixture()
+def catalog(rng) -> Catalog:
+    cat = Catalog("demo")
+    cat.add(
+        Table.from_arrays(
+            "facts",
+            {
+                "k": (LNG, rng.integers(0, 100, 500)),
+                "v": (LNG, rng.integers(0, 10, 500)),
+                "tag": (STR, [f"tag-{i % 3}" for i in range(500)]),
+            },
+        )
+    )
+    cat.add(Table.from_arrays("dims", {"pk": (LNG, np.arange(100))}))
+    return cat
+
+
+class TestRoundTrip:
+    def test_values_survive(self, catalog, tmp_path):
+        save_catalog(catalog, tmp_path)
+        loaded = load_catalog(tmp_path)
+        assert loaded.name == "demo"
+        assert loaded.table_names == catalog.table_names
+        for table in catalog.tables():
+            for col in table.columns():
+                np.testing.assert_array_equal(
+                    loaded.column(table.name, col.name).values, col.values
+                )
+
+    def test_dictionaries_survive(self, catalog, tmp_path):
+        save_catalog(catalog, tmp_path)
+        loaded = load_catalog(tmp_path)
+        original = catalog.column("facts", "tag")
+        restored = loaded.column("facts", "tag")
+        assert restored.dictionary == original.dictionary
+        assert restored.decode(restored.values[:3]) == original.decode(
+            original.values[:3]
+        )
+
+    def test_loaded_columns_are_memory_mapped(self, catalog, tmp_path):
+        save_catalog(catalog, tmp_path)
+        loaded = load_catalog(tmp_path, mmap=True)
+        values = loaded.column("facts", "k").values
+        assert isinstance(values, np.memmap) or values.base is not None
+
+    def test_eager_load(self, catalog, tmp_path):
+        save_catalog(catalog, tmp_path)
+        loaded = load_catalog(tmp_path, mmap=False)
+        np.testing.assert_array_equal(
+            loaded.column("dims", "pk").values, np.arange(100)
+        )
+
+    def test_queries_work_on_loaded_catalog(self, catalog, tmp_path, sim_config):
+        from repro.engine import execute
+        from repro.sql import plan_sql
+
+        save_catalog(catalog, tmp_path)
+        loaded = load_catalog(tmp_path)
+        sql = "SELECT SUM(v) FROM facts WHERE k < 50"
+        a = execute(plan_sql(sql, catalog), sim_config).outputs[0].value
+        b = execute(plan_sql(sql, loaded), sim_config).outputs[0].value
+        assert a == b
+
+
+class TestFailureModes:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(StorageError, match="manifest"):
+            load_catalog(tmp_path)
+
+    def test_refuses_to_overwrite_other_catalog(self, catalog, tmp_path):
+        save_catalog(catalog, tmp_path)
+        other = Catalog("other")
+        other.add(Table.from_arrays("t", {"x": (LNG, np.arange(3))}))
+        with pytest.raises(StorageError, match="refusing"):
+            save_catalog(other, tmp_path)
+
+    def test_resave_same_catalog_allowed(self, catalog, tmp_path):
+        save_catalog(catalog, tmp_path)
+        save_catalog(catalog, tmp_path)  # idempotent
+
+    def test_version_check(self, catalog, tmp_path):
+        manifest = save_catalog(catalog, tmp_path)
+        data = json.loads(manifest.read_text())
+        data["format_version"] = 999
+        manifest.write_text(json.dumps(data))
+        with pytest.raises(StorageError, match="version"):
+            load_catalog(tmp_path)
+
+    def test_row_count_mismatch_detected(self, catalog, tmp_path):
+        manifest = save_catalog(catalog, tmp_path)
+        data = json.loads(manifest.read_text())
+        data["tables"]["facts"]["rows"] = 7
+        manifest.write_text(json.dumps(data))
+        with pytest.raises(StorageError, match="rows"):
+            load_catalog(tmp_path)

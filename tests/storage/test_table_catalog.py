@@ -1,0 +1,99 @@
+"""Tables and the catalog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import Catalog, Column, LNG, STR, Table
+
+
+def make_table(name: str = "t", rows: int = 10) -> Table:
+    return Table.from_arrays(
+        name,
+        {
+            "a": (LNG, np.arange(rows)),
+            "b": (LNG, np.arange(rows) * 2),
+        },
+    )
+
+
+class TestTable:
+    def test_length_and_columns(self):
+        table = make_table(rows=7)
+        assert len(table) == 7
+        assert table.column_names == ["a", "b"]
+
+    def test_column_lookup(self):
+        table = make_table()
+        assert table.column("a").name == "a"
+        assert table.has_column("b")
+        assert not table.has_column("zzz")
+
+    def test_unknown_column_raises_with_candidates(self):
+        with pytest.raises(StorageError, match="available"):
+            make_table().column("nope")
+
+    def test_mismatched_lengths_rejected(self):
+        cols = [
+            Column("a", LNG, np.arange(5)),
+            Column("b", LNG, np.arange(6)),
+        ]
+        with pytest.raises(StorageError):
+            Table("t", cols)
+
+    def test_duplicate_column_rejected(self):
+        cols = [Column("a", LNG, np.arange(5)), Column("a", LNG, np.arange(5))]
+        with pytest.raises(StorageError):
+            Table("t", cols)
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(StorageError):
+            Table("t", [])
+
+    def test_string_columns_dictionary_encoded(self):
+        table = Table.from_arrays("t", {"s": (STR, ["x", "y", "x"])})
+        col = table.column("s")
+        assert col.dictionary == ("x", "y")
+        assert col.decode(col.values) == ["x", "y", "x"]
+
+    def test_nbytes_sums_columns(self):
+        assert make_table(rows=10).nbytes == 10 * 8 * 2
+
+
+class TestCatalog:
+    def test_add_and_lookup(self):
+        catalog = Catalog()
+        catalog.add(make_table("t1"))
+        assert catalog.has_table("t1")
+        assert catalog.table("t1").name == "t1"
+        assert catalog.column("t1", "a").name == "a"
+
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog()
+        catalog.add(make_table("t1"))
+        with pytest.raises(StorageError):
+            catalog.add(make_table("t1"))
+
+    def test_unknown_table_raises_with_candidates(self):
+        catalog = Catalog()
+        catalog.add(make_table("t1"))
+        with pytest.raises(StorageError, match="t1"):
+            catalog.table("nope")
+
+    def test_largest_table(self):
+        catalog = Catalog()
+        catalog.add(make_table("small", rows=5))
+        catalog.add(make_table("big", rows=500))
+        assert catalog.largest_table().name == "big"
+
+    def test_largest_of_empty_catalog(self):
+        with pytest.raises(StorageError):
+            Catalog().largest_table()
+
+    def test_table_names_sorted(self):
+        catalog = Catalog()
+        catalog.add(make_table("zz"))
+        catalog.add(make_table("aa"))
+        assert catalog.table_names == ["aa", "zz"]

@@ -1,0 +1,132 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_info_prints_machines(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "E5-2650" in out and "E5-4657" in out
+
+
+class TestRun:
+    def test_serial_run(self, capsys):
+        code = main(
+            ["run", "SELECT COUNT(*) FROM lineitem WHERE l_quantity < 5", "--sf", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serial:" in out
+        assert "output[0]" in out
+
+    def test_heuristic_run_with_plan(self, capsys):
+        code = main(
+            [
+                "run",
+                "SELECT SUM(l_extendedprice) FROM lineitem WHERE l_quantity < 5",
+                "--sf",
+                "1",
+                "--parallelize",
+                "heuristic",
+                "--partitions",
+                "4",
+                "--show-plan",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "heuristic(4):" in out
+        assert "select" in out  # plan listing
+
+    def test_tomograph_flag(self, capsys):
+        code = main(
+            [
+                "run",
+                "SELECT COUNT(*) FROM lineitem WHERE l_quantity < 5",
+                "--sf",
+                "1",
+                "--parallelize",
+                "heuristic",
+                "--tomograph",
+            ]
+        )
+        assert code == 0
+        assert "parallelism usage" in capsys.readouterr().out
+
+    def test_dot_output(self, capsys, tmp_path):
+        target = tmp_path / "plan.dot"
+        code = main(
+            [
+                "run",
+                "SELECT COUNT(*) FROM lineitem WHERE l_quantity < 5",
+                "--sf",
+                "1",
+                "--dot",
+                str(target),
+            ]
+        )
+        assert code == 0
+        assert target.read_text().startswith("digraph")
+
+    def test_group_output_summarized(self, capsys):
+        code = main(
+            [
+                "run",
+                "SELECT l_discount, COUNT(*) FROM lineitem GROUP BY l_discount",
+                "--sf",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "groups" in capsys.readouterr().out or "{" in capsys.readouterr().out
+
+    def test_sql_error_reports_cleanly(self, capsys):
+        code = main(["run", "SELECT nope FROM lineitem", "--sf", "1"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAdapt:
+    def test_adapt_named_query(self, capsys):
+        code = main(["adapt", "--query", "q6", "--sf", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GME" in out and "converged" in out
+
+    def test_adapt_with_trace(self, capsys):
+        code = main(
+            [
+                "adapt",
+                "--sql",
+                "SELECT SUM(l_extendedprice) FROM lineitem WHERE l_quantity < 25",
+                "--sf",
+                "1",
+                "--trace",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "execution time vs run" in out
+        assert "mutations by scheme" in out
+
+    def test_unknown_query_fails(self, capsys):
+        code = main(["adapt", "--query", "q99", "--sf", "1"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_bench_list(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out and "fig17" in out
+
+    def test_bench_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "fig99"])

@@ -1,0 +1,104 @@
+"""Configuration objects: machines, noise, simulation config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    NOISY,
+    QUIET,
+    MachineSpec,
+    NoiseConfig,
+    SimulationConfig,
+    laptop_machine,
+    two_socket_machine,
+)
+
+
+class TestMachineSpecValidation:
+    def test_rejects_no_cores(self):
+        with pytest.raises(ValueError):
+            MachineSpec(
+                name="x", sockets=0, cores_per_socket=8, threads_per_core=2,
+                ghz=2.0, l1_kb=32, l2_kb=256, l3_mb=20, memory_gb=64,
+                mem_bandwidth_gbps=40.0,
+            )
+
+    def test_rejects_bad_hyperthread_yield(self):
+        with pytest.raises(ValueError):
+            MachineSpec(
+                name="x", sockets=1, cores_per_socket=4, threads_per_core=2,
+                ghz=2.0, l1_kb=32, l2_kb=256, l3_mb=20, memory_gb=64,
+                mem_bandwidth_gbps=40.0, hyperthread_yield=0.9,
+            )
+
+    def test_rejects_bad_numa_factor(self):
+        with pytest.raises(ValueError):
+            MachineSpec(
+                name="x", sockets=1, cores_per_socket=4, threads_per_core=2,
+                ghz=2.0, l1_kb=32, l2_kb=256, l3_mb=20, memory_gb=64,
+                mem_bandwidth_gbps=40.0, numa_remote_factor=0.0,
+            )
+
+    def test_describe_mentions_threads(self):
+        text = two_socket_machine().describe()
+        assert "32 threads" in text
+        assert "20 MB" in text
+
+    def test_derived_quantities(self):
+        spec = two_socket_machine()
+        assert spec.cycles_per_second == 2e9
+        assert spec.l3_bytes == 20 * 1024 * 1024
+
+
+class TestNoiseConfig:
+    def test_quiet_disabled(self):
+        assert not QUIET.enabled
+
+    def test_noisy_enabled(self):
+        assert NOISY.enabled
+
+    def test_jitter_only_enabled(self):
+        assert NoiseConfig(jitter=0.1).enabled
+
+    def test_peak_without_magnitude_disabled(self):
+        assert not NoiseConfig(peak_probability=0.5).enabled
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseConfig(jitter=-1.0)
+
+    def test_probability_over_one_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseConfig(peak_probability=1.5)
+
+
+class TestSimulationConfig:
+    def test_defaults(self):
+        config = SimulationConfig()
+        assert config.machine.hardware_threads == 32
+        assert config.effective_threads == 32
+
+    def test_effective_threads_capped_by_machine(self):
+        config = SimulationConfig(machine=laptop_machine(8), max_threads=100)
+        assert config.effective_threads == 8
+
+    def test_with_helpers_return_new_objects(self):
+        base = SimulationConfig()
+        assert base.with_threads(4).effective_threads == 4
+        assert base.with_seed(9).seed == 9
+        assert base.with_noise(NOISY).noise is NOISY
+        assert base.with_machine(laptop_machine(4)).machine.hardware_threads == 4
+        assert base.effective_threads == 32  # unchanged
+
+    def test_invalid_data_scale(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(data_scale=0)
+
+    def test_invalid_max_threads(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(max_threads=0)
+
+    def test_rng_deterministic(self):
+        config = SimulationConfig(seed=5)
+        assert config.rng().random() == config.rng().random()

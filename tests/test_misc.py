@@ -1,0 +1,103 @@
+"""Cross-cutting odds and ends: errors, package surface, profiler math."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import errors
+from repro.engine import execute
+from repro.engine.profiler import QueryProfile
+from repro.operators import RangePredicate
+from repro.plan import PlanBuilder, format_tree
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.StorageError,
+            errors.AlignmentError,
+            errors.PlanError,
+            errors.OperatorError,
+            errors.SchedulerError,
+            errors.MutationError,
+            errors.ConvergenceError,
+            errors.SqlError,
+            errors.SqlLexError,
+            errors.SqlParseError,
+            errors.SqlPlanError,
+            errors.WorkloadError,
+        ],
+    )
+    def test_all_errors_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_alignment_is_storage_error(self):
+        assert issubclass(errors.AlignmentError, errors.StorageError)
+
+    def test_sql_errors_nest(self):
+        assert issubclass(errors.SqlParseError, errors.SqlError)
+
+
+class TestPackageSurface:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_key_entry_points_exported(self):
+        assert repro.AdaptiveParallelizer
+        assert repro.HeuristicParallelizer
+        assert repro.TpchDataset
+        assert repro.plan_sql
+
+
+class TestProfilerEdges:
+    def test_response_time_requires_finish(self):
+        profile = QueryProfile(submit_time=0.0)
+        with pytest.raises(ValueError):
+            profile.response_time
+
+    def test_utilization_zero_without_span(self):
+        profile = QueryProfile(submit_time=1.0, finish_time=1.0)
+        assert profile.multicore_utilization(8) == 0.0
+
+    def test_duration_of_unknown_node_is_zero(self, small_catalog, sim_config):
+        builder = PlanBuilder(small_catalog)
+        plan = builder.build(
+            builder.select(builder.scan("facts", "val"), RangePredicate(hi=1))
+        )
+        other = builder.scan("facts", "qty")
+        result = execute(plan, sim_config)
+        assert result.profile.duration_of(other) == 0.0
+
+    def test_durations_by_node_covers_all_records(self, small_catalog, sim_config):
+        builder = PlanBuilder(small_catalog)
+        plan = builder.build(
+            builder.select(builder.scan("facts", "val"), RangePredicate(hi=1))
+        )
+        profile = execute(plan, sim_config).profile
+        durations = profile.durations_by_node()
+        assert set(durations) == {r.node.nid for r in profile.records}
+
+
+class TestTreePrinter:
+    def test_shared_nodes_marked(self, small_catalog):
+        builder = PlanBuilder(small_catalog)
+        scan = builder.scan("facts", "val")
+        sel = builder.select(scan, RangePredicate(hi=1))
+        fetched = builder.fetch(sel, scan)  # scan shared twice
+        text = format_tree(builder.build(fetched))
+        assert "(shared)" in text
+
+    def test_max_depth_truncates(self, small_catalog):
+        builder = PlanBuilder(small_catalog)
+        node = builder.scan("facts", "val")
+        for __ in range(8):
+            node = builder.select(node, RangePredicate(hi=1)).inputs[0]
+        sel = builder.select(builder.scan("facts", "val"), RangePredicate(hi=1))
+        text = format_tree(builder.build(sel), max_depth=0)
+        assert "..." in text

@@ -1,0 +1,203 @@
+"""Workload generators: TPC-H, TPC-DS, micro-benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import execute
+from repro.errors import WorkloadError
+from repro.plan import validate_plan
+from repro.workloads import (
+    JoinMicroWorkload,
+    SelectMicroWorkload,
+    SkewedSelectWorkload,
+    TpcdsDataset,
+    TpchDataset,
+    clustered_skew,
+    uniform_ints,
+    zipf_ints,
+)
+
+# Module-scoped datasets: generation is cheap but not free.
+_tpch = TpchDataset(scale_factor=10)
+_tpcds = TpcdsDataset(scale_factor=100)
+
+
+class TestGenerators:
+    def test_uniform_bounds(self, rng):
+        values = uniform_ints(rng, 1_000, 5, 10)
+        assert values.min() >= 5 and values.max() < 10
+
+    def test_zipf_is_skewed(self, rng):
+        values = zipf_ints(rng, 20_000, 100)
+        counts = np.bincount(values, minlength=100)
+        assert counts[0] > 5 * counts[50]
+
+    def test_clustered_skew_layout(self, rng):
+        """Figure 13: random first half, 5 constant runs in the second."""
+        values = clustered_skew(rng, 10_000, 1_000)
+        head, tail = values[:5_000], values[5_000:]
+        assert len(np.unique(head)) > 500
+        assert len(np.unique(tail)) == 5
+        run = len(tail) // 5
+        for i in range(5):
+            chunk = tail[i * run : (i + 1) * run]
+            assert len(np.unique(chunk)) == 1
+
+    def test_generators_deterministic(self):
+        a = zipf_ints(np.random.default_rng(3), 100, 10)
+        b = zipf_ints(np.random.default_rng(3), 100, 10)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestTpch:
+    def test_row_counts_scale(self):
+        assert _tpch.rows("lineitem") == 60_000
+        assert _tpch.rows("orders") == 15_000
+        assert len(_tpch.catalog.table("nation")) == 25
+
+    def test_all_queries_plan_and_validate(self):
+        for name in _tpch.query_names():
+            validate_plan(_tpch.plan(name))
+
+    def test_queries_return_nonempty_results(self):
+        config = _tpch.sim_config()
+        for name in _tpch.query_names():
+            result = execute(_tpch.plan(name), config)
+            assert result.outputs, name
+            first = result.outputs[0]
+            size = getattr(first, "value", None)
+            if size is None:
+                assert len(first) > 0, name
+            else:
+                assert size != 0, name
+
+    def test_q6_matches_ground_truth(self):
+        from repro.storage import date_value
+
+        config = _tpch.sim_config()
+        result = execute(_tpch.plan("q6"), config)
+        li = _tpch.catalog.table("lineitem")
+        ship = li.column("l_shipdate").values
+        disc = li.column("l_discount").values
+        qty = li.column("l_quantity").values
+        price = li.column("l_extendedprice").values
+        mask = (
+            (ship >= date_value("1994-01-01"))
+            & (ship < date_value("1995-01-01"))
+            & (disc >= 5)
+            & (disc <= 7)
+            & (qty < 24)
+        )
+        assert result.outputs[0].value == int((price[mask] * disc[mask]).sum())
+
+    def test_q22_finds_customers_without_orders(self):
+        config = _tpch.sim_config()
+        result = execute(_tpch.plan("q22"), config)
+        count = result.outputs[0].value
+        assert count > 0
+        custkeys = set(_tpch.catalog.column("orders", "o_custkey").values.tolist())
+        balances = _tpch.catalog.column("customer", "c_acctbal").values
+        keys = _tpch.catalog.column("customer", "c_custkey").values
+        expected = sum(
+            1
+            for key, bal in zip(keys, balances)
+            if bal > 500_000 and int(key) not in custkeys
+        )
+        assert count == expected
+
+    def test_same_seed_same_data(self):
+        other = TpchDataset(scale_factor=10)
+        a = _tpch.catalog.column("lineitem", "l_quantity").values
+        b = other.catalog.column("lineitem", "l_quantity").values
+        np.testing.assert_array_equal(a, b)
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(WorkloadError):
+            _tpch.plan("q99")
+
+    def test_sim_config_restores_logical_scale(self):
+        assert _tpch.sim_config().data_scale == 1000.0
+
+
+class TestTpcds:
+    def test_fact_table_is_date_ordered(self):
+        dates = _tpcds.catalog.column("store_sales", "ss_sold_date_sk").values
+        assert np.all(np.diff(dates) >= 0)
+
+    def test_seasonal_density(self):
+        """Holiday months must carry several times more sales."""
+        dates = _tpcds.catalog.column("store_sales", "ss_sold_date_sk").values
+        month = (dates % 365) // 31 + 1
+        december = np.sum(month == 12)
+        june = np.sum(month == 6)
+        assert december > 2 * june
+
+    def test_item_popularity_zipf(self):
+        items = _tpcds.catalog.column("store_sales", "ss_item_sk").values
+        counts = np.bincount(items)
+        assert counts.max() > 10 * np.median(counts[counts > 0])
+
+    def test_all_queries_plan_validate_and_run(self):
+        config = _tpcds.sim_config()
+        for name in _tpcds.query_names():
+            plan = _tpcds.plan(name)
+            validate_plan(plan)
+            result = execute(plan, config)
+            assert result.outputs, name
+
+    def test_four_socket_config(self):
+        config = _tpcds.four_socket_config()
+        assert config.machine.hardware_threads == 96
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(WorkloadError):
+            _tpcds.plan("ds9")
+
+
+class TestMicroWorkloads:
+    def test_skewed_select_selectivity_steps(self):
+        workload = SkewedSelectWorkload(tuples_m=100)
+        config = workload.sim_config()
+        matches = []
+        for skew in (10, 30, 50):
+            result = execute(workload.plan(skew), config)
+            profile = [
+                r for r in result.profile.records if r.kind == "select"
+            ][0]
+            matches.append(profile.tuples_out)
+        # Each extra cluster adds ~10% of the column.
+        n = 100 * 1_000_000 // 1000
+        assert matches[0] == pytest.approx(0.1 * n, rel=0.05)
+        assert matches[2] == pytest.approx(0.5 * n, rel=0.05)
+
+    def test_skewed_select_rejects_bad_skew(self):
+        with pytest.raises(WorkloadError):
+            SkewedSelectWorkload(tuples_m=100).plan(15)
+
+    def test_join_micro_every_outer_matches(self):
+        workload = JoinMicroWorkload(outer_mb=64, inner_mb=16)
+        result = execute(workload.plan(), workload.sim_config())
+        outer_rows = 64 * 1_000_000 // 8 // 1000
+        assert result.outputs[0].value == outer_rows
+
+    def test_select_micro_selectivity_convention(self):
+        """Paper convention: 0% -> all output, 100% -> none."""
+        all_out = SelectMicroWorkload(size_gb=1, selectivity_pct=0)
+        none_out = SelectMicroWorkload(size_gb=1, selectivity_pct=100)
+        config = all_out.sim_config()
+        r_all = execute(all_out.plan(), config)
+        r_none = execute(none_out.plan(), none_out.sim_config())
+        select_all = [r for r in r_all.profile.records if r.kind == "select"][0]
+        select_none = [r for r in r_none.profile.records if r.kind == "select"][0]
+        assert select_all.tuples_out == all_out.actual_rows
+        assert select_none.tuples_out == 0
+
+    def test_select_micro_data_scale(self):
+        workload = SelectMicroWorkload(size_gb=10, actual_rows=250_000)
+        assert workload.data_scale == pytest.approx(10e9 / 8 / 250_000)
+
+    def test_select_micro_validates_selectivity(self):
+        with pytest.raises(WorkloadError):
+            SelectMicroWorkload(selectivity_pct=120)
