@@ -8,7 +8,11 @@ Commands
     Execute a SQL query against a generated workload dataset, serially
     or parallelized, optionally printing the plan and a tomograph.
 ``adapt (--query NAME | SQL)``
-    Adaptively parallelize a query and report the convergence outcome.
+    Adaptively parallelize a query and report the convergence outcome;
+    ``--verbose`` adds the mutation trace with analyzer summaries.
+``lint (--query NAME | --sql SQL | --plan-json FILE)``
+    Run the static plan analyzer and print its diagnostics; exits
+    non-zero on errors (and, with ``--strict``, on warnings).
 ``bench NAME``
     Run one of the paper's experiments (``fig11``, ``fig12`` ...) and
     print its paper-vs-measured report.
@@ -25,7 +29,7 @@ from .config import SimulationConfig, four_socket_machine, two_socket_machine
 from .core import AdaptiveParallelizer, HeuristicParallelizer
 from .engine import execute
 from .errors import ReproError
-from .plan import format_plan, plan_stats, to_dot
+from .plan import analyze_plan, format_plan, plan_from_json, plan_stats, to_dot
 from .sql import plan_sql
 from .viz import render_convergence_report, render_tomograph
 from .workloads import TpcdsDataset, TpchDataset
@@ -77,6 +81,23 @@ def _build_parser() -> argparse.ArgumentParser:
     _dataset_args(adapt)
     adapt.add_argument(
         "--trace", action="store_true", help="print the per-run trace"
+    )
+    adapt.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print each mutation with its analyzer summary",
+    )
+
+    lint = sub.add_parser("lint", help="statically analyze a plan")
+    source = lint.add_mutually_exclusive_group(required=True)
+    source.add_argument("--query", help="a named workload query, e.g. q6 or ds1")
+    source.add_argument("--sql", help="ad-hoc SQL text")
+    source.add_argument(
+        "--plan-json", metavar="FILE", help="a plan exported with to_json"
+    )
+    _dataset_args(lint)
+    lint.add_argument(
+        "--strict", action="store_true", help="exit non-zero on warnings too"
     )
 
     bench = sub.add_parser("bench", help="run one of the paper's experiments")
@@ -181,8 +202,50 @@ def _cmd_adapt(args) -> int:
           f"(x{adaptive.speedup:.1f}) at run {adaptive.gme_run}; "
           f"converged after {adaptive.total_runs} runs")
     print(f"best plan: {plan_stats(adaptive.best_plan).format()}")
+    if args.verbose:
+        for i, mutation in enumerate(adaptive.mutations):
+            report = adaptive.reports[i] if i < len(adaptive.reports) else None
+            summary = report.summary() if report is not None else "not analyzed"
+            print(f"  [{i + 1:3d}] {mutation.description} -- analyzer: {summary}")
+            if report is not None and report.has_warnings:
+                for diag in report.warnings:
+                    print(f"        {diag.format()}")
+        for rejection in adaptive.rejections:
+            print(f"  [rejected] {rejection.result.description}")
+            for diag in rejection.report.errors:
+                print(f"        {diag.format()}")
     if args.trace:
         print(render_convergence_report(adaptive))
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    dataset = _dataset(args)
+    if args.plan_json:
+        try:
+            with open(args.plan_json) as handle:
+                document = handle.read()
+        except OSError as exc:
+            raise ReproError(f"cannot read plan file: {exc}") from exc
+        try:
+            plan = plan_from_json(document, dataset.catalog)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ReproError(f"malformed plan file {args.plan_json}: {exc}") from exc
+        name = args.plan_json
+    elif args.query:
+        plan = dataset.plan(args.query)
+        name = args.query
+    else:
+        plan = plan_sql(args.sql, dataset.catalog)
+        name = "ad-hoc query"
+    report = analyze_plan(plan)
+    print(f"{name}: {report.summary()}")
+    if report.diagnostics:
+        print(report.format())
+    if report.has_errors:
+        return 1
+    if args.strict and report.has_warnings:
+        return 1
     return 0
 
 
@@ -211,6 +274,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "adapt":
             return _cmd_adapt(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         if args.command == "bench":
             return _cmd_bench(args)
     except ReproError as exc:

@@ -21,6 +21,7 @@ from .history import PlanHistory
 from .session import AdaptiveSession, CacheEntry, EntryState
 from .mutation import (
     DEFAULT_PACK_FANIN_LIMIT,
+    MutationRejection,
     MutationResult,
     PlanMutator,
     produces_scalar,
@@ -43,6 +44,7 @@ __all__ = [
     "HeuristicParallelizer",
     "MEDIUM_KINDS",
     "MutationCandidate",
+    "MutationRejection",
     "MutationResult",
     "PlanHistory",
     "PlanMutator",

@@ -20,11 +20,17 @@ from ..config import SimulationConfig
 from ..engine.executor import execute
 from ..engine.scheduler import ExecutionResult
 from ..errors import ConvergenceError
+from ..plan.analysis import AnalysisReport
 from ..plan.graph import Plan
 from ..storage.column import BAT, Candidates, ColumnSlice, Intermediate, Scalar
 from .convergence import ConvergenceParams, ConvergenceTracker, RunRecord
 from .history import PlanHistory
-from .mutation import DEFAULT_PACK_FANIN_LIMIT, MutationResult, PlanMutator
+from .mutation import (
+    DEFAULT_PACK_FANIN_LIMIT,
+    MutationRejection,
+    MutationResult,
+    PlanMutator,
+)
 
 #: ``runner(plan, run_index) -> ExecutionResult`` -- how one adaptive run
 #: is executed.  The default runs the plan alone on a fresh simulated
@@ -61,6 +67,11 @@ class AdaptiveResult:
     history: list[RunRecord]
     mutations: list[MutationResult] = field(default_factory=list)
     final_plan: Plan | None = None
+    #: Analyzer report after each accepted mutation (parallel to
+    #: ``mutations``); ``None`` entries mean analysis was disabled.
+    reports: list[AnalysisReport | None] = field(default_factory=list)
+    #: Mutations the analyzer vetoed and rolled back along the way.
+    rejections: list[MutationRejection] = field(default_factory=list)
 
     @property
     def speedup(self) -> float:
@@ -134,6 +145,7 @@ class AdaptiveParallelizer:
         tracker = ConvergenceTracker(self.convergence)
         history = PlanHistory()
         mutations: list[MutationResult] = []
+        reports: list[AnalysisReport | None] = []
 
         result = self.runner(working, 0)
         reference = result.outputs if self.verify else None
@@ -148,11 +160,13 @@ class AdaptiveParallelizer:
             if mutation is None:
                 break  # fully parallelized (or suppressed): nothing to morph
             mutations.append(mutation)
+            reports.append(mutator.last_report)
             for __ in range(self.mutations_per_run - 1):
                 extra = mutator.mutate(last_profile)
                 if extra is None:
                     break
                 mutations.append(extra)
+                reports.append(mutator.last_report)
             run += 1
             result = self.runner(working, run)
             if reference is not None:
@@ -179,6 +193,8 @@ class AdaptiveParallelizer:
             history=list(tracker.history),
             mutations=mutations,
             final_plan=working,
+            reports=reports,
+            rejections=list(mutator.rejections),
         )
 
     def _check_outputs(

@@ -19,6 +19,13 @@ by operating on the single most expensive operator:
 The mutator is stateful across runs of the same plan object: operators
 whose mutation failed structurally (or packs past the threshold) are
 blocked so the chooser falls through to the next most expensive one.
+
+Every applied mutation is additionally vetted by the static plan
+analyzer (:func:`repro.plan.analysis.analyze_plan`): a candidate whose
+mutated plan carries ``error`` diagnostics is rolled back, recorded in
+:attr:`PlanMutator.rejections`, and the chooser falls through to the
+next candidate -- the analyzer is the correctness firewall between plan
+morphing and execution.
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ from ..operators.exchange import Pack
 from ..operators.groupby import AggrMerge, GroupAggregate, merge_func_for
 from ..operators.slice import FRACTION_UNITS, PartitionSlice
 from ..operators.sort import Sort
+from ..plan.analysis import AnalysisReport, analyze_plan
 from ..plan.graph import Plan, PlanNode
 from .expensive import (
     PARTITIONED_INPUTS,
@@ -68,14 +76,47 @@ class MutationResult:
     clones: int
 
 
-class PlanMutator:
-    """Applies one mutation per call to :meth:`mutate`, in place."""
+@dataclass(frozen=True)
+class MutationRejection:
+    """A mutation the analyzer rolled back, with the diagnostics why."""
 
-    def __init__(self, plan: Plan, *, pack_fanin_limit: int = DEFAULT_PACK_FANIN_LIMIT) -> None:
+    result: MutationResult
+    report: AnalysisReport
+
+
+#: Snapshot of the mutable plan structure: per-node input lists and
+#: order keys, plus the output list.  Mutations only rewire edges and
+#: create fresh nodes, so restoring this undoes any mutation (the fresh
+#: nodes simply become unreachable).
+_PlanSnapshot = tuple[list[tuple[PlanNode, list[PlanNode], int | None]], list[PlanNode]]
+
+
+class PlanMutator:
+    """Applies one mutation per call to :meth:`mutate`, in place.
+
+    With ``analyze=True`` (the default) every applied mutation is
+    checked by the static plan analyzer before it is accepted: if the
+    mutated plan carries ``error`` diagnostics the mutation is rolled
+    back, recorded in :attr:`rejections`, the target is blocked, and the
+    next most expensive candidate is tried instead.
+    """
+
+    def __init__(
+        self,
+        plan: Plan,
+        *,
+        pack_fanin_limit: int = DEFAULT_PACK_FANIN_LIMIT,
+        analyze: bool = True,
+    ) -> None:
         self.plan = plan
         self.pack_fanin_limit = pack_fanin_limit
+        self.analyze = analyze
         self.blocked: set[int] = set()
         self.suppressed_packs: set[int] = set()
+        #: Mutations vetoed by the analyzer, in rejection order.
+        self.rejections: list[MutationRejection] = []
+        #: Analyzer report for the most recently *accepted* mutation.
+        self.last_report: AnalysisReport | None = None
 
     # ------------------------------------------------------------------
     def mutate(self, profile: QueryProfile) -> MutationResult | None:
@@ -85,11 +126,37 @@ class PlanMutator:
         further (the plan is fully parallelized or suppressed).
         """
         for cand in candidates(self.plan, profile, blocked=self.blocked):
+            snapshot = self._snapshot() if self.analyze else None
             result = self._apply(cand)
             if result is not None:
-                return result
+                if snapshot is None:
+                    return result
+                report = analyze_plan(
+                    self.plan, pack_fanin_limit=self.pack_fanin_limit
+                )
+                if not report.has_errors:
+                    self.last_report = report
+                    return result
+                # The mutation broke a structural invariant: roll the
+                # plan back and fall through to the next candidate.
+                self._restore(snapshot)
+                self.rejections.append(MutationRejection(result, report))
             self.blocked.add(cand.node.nid)
         return None
+
+    # ------------------------------------------------------------------
+    def _snapshot(self) -> _PlanSnapshot:
+        return (
+            [(node, list(node.inputs), node.order_key) for node in self.plan.nodes()],
+            list(self.plan.outputs),
+        )
+
+    def _restore(self, snapshot: _PlanSnapshot) -> None:
+        saved, outputs = snapshot
+        for node, inputs, order_key in saved:
+            node.inputs = inputs
+            node.order_key = order_key
+        self.plan.outputs = outputs
 
     def _apply(self, cand: MutationCandidate) -> MutationResult | None:
         if cand.scheme == "basic":

@@ -3,16 +3,35 @@
 from __future__ import annotations
 
 from ..config import SimulationConfig
+from ..errors import PlanError
+from ..plan.analysis import analyze_plan
 from ..plan.graph import Plan
 from .scheduler import ExecutionResult, Simulator
 
 
-def execute(plan: Plan, config: SimulationConfig | None = None) -> ExecutionResult:
+def execute(
+    plan: Plan,
+    config: SimulationConfig | None = None,
+    *,
+    analyze: bool = False,
+) -> ExecutionResult:
     """Run ``plan`` alone on a fresh simulated machine.
 
     Convenience wrapper used by examples, tests, and the adaptive driver;
     concurrent workloads build their own :class:`Simulator` instead.
+
+    ``analyze=True`` is the debug mode: the static plan analyzer runs
+    first and a plan with ``error`` diagnostics is refused with a
+    :class:`~repro.errors.PlanError` carrying the full report, instead
+    of executing to a silently wrong (or crashing) result.
     """
+    if analyze:
+        report = analyze_plan(plan)
+        if report.has_errors:
+            raise PlanError(
+                "refusing to execute a plan with analyzer errors:\n"
+                + report.format()
+            )
     if config is None:
         config = SimulationConfig()
     simulator = Simulator(config)

@@ -1,5 +1,6 @@
-"""Plan layer: operator DAGs, builder, validation, printing, statistics."""
+"""Plan layer: operator DAGs, builder, validation, analysis, printing."""
 
+from .analysis import AnalysisReport, Diagnostic, analyze_plan
 from .builder import PlanBuilder
 from .diff import EvolutionLog, PlanDiff, diff_plans
 from .export import plan_from_json, to_dot, to_json
@@ -9,12 +10,15 @@ from .stats import PlanStats, plan_stats
 from .validate import validate_plan
 
 __all__ = [
+    "AnalysisReport",
+    "Diagnostic",
     "Plan",
     "PlanBuilder",
     "PlanNode",
     "PlanDiff",
     "PlanStats",
     "EvolutionLog",
+    "analyze_plan",
     "format_plan",
     "format_tree",
     "diff_plans",

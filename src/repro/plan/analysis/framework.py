@@ -1,0 +1,126 @@
+"""The multi-pass analysis framework: context, pass interface, driver.
+
+``analyze_plan`` runs a sequence of :class:`AnalysisPass` objects over
+one plan.  Passes share an :class:`AnalysisContext` that caches the
+topological node order and the consumer map, and that accumulates both
+diagnostics and cross-pass facts (the lineage pass publishes per-node
+shapes; the partition pass publishes per-node partition intervals) so
+later passes can build on earlier inference instead of re-deriving it.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Sequence
+
+from ...errors import PlanError
+from ..graph import Plan, PlanNode
+from .diagnostics import AnalysisReport, Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .lineage import Shape
+    from .partition import IntervalMap
+
+#: Paper Section 2.3: exchange unions with more inputs than this cannot
+#: be removed by the medium mutation any more (plan-explosion guard), so
+#: the lint pass flags them as ossified serial barriers.
+DEFAULT_PACK_FANIN_LIMIT = 15
+
+
+class AnalysisContext:
+    """Shared state for one analyzer run over one plan."""
+
+    def __init__(self, plan: Plan, *, pack_fanin_limit: int = DEFAULT_PACK_FANIN_LIMIT) -> None:
+        self.plan = plan
+        self.pack_fanin_limit = pack_fanin_limit
+        self.nodes: list[PlanNode] = plan.nodes()  # may raise on cycles
+        self.by_nid: dict[int, PlanNode] = {node.nid: node for node in self.nodes}
+        self.consumers: dict[int, list[PlanNode]] = {node.nid: [] for node in self.nodes}
+        for node in self.nodes:
+            for child in node.inputs:
+                self.consumers[child.nid].append(node)
+        self.diagnostics: list[Diagnostic] = []
+        #: node id -> inferred output shape (published by the lineage pass).
+        self.shapes: dict[int, "Shape"] = {}
+        #: node id -> partition interval map (published by the partition pass).
+        self.intervals: dict[int, "IntervalMap"] = {}
+
+    def emit(
+        self,
+        rule: str,
+        severity: str,
+        message: str,
+        *nodes: PlanNode,
+        hint: str | None = None,
+    ) -> None:
+        self.diagnostics.append(
+            Diagnostic(
+                rule=rule,
+                severity=severity,
+                message=message,
+                nodes=tuple(node.nid for node in nodes),
+                hint=hint,
+            )
+        )
+
+
+class AnalysisPass(ABC):
+    """One rule family run over the whole plan."""
+
+    #: Short name used as the rule-id prefix (``<name>.<rule>``).
+    name: str = "pass"
+
+    @abstractmethod
+    def run(self, ctx: AnalysisContext) -> None:
+        """Inspect ``ctx.plan`` and :meth:`~AnalysisContext.emit` findings."""
+
+
+def default_passes() -> tuple[AnalysisPass, ...]:
+    """The standard pass pipeline, in dependency order."""
+    from .determinism import DeterminismPass
+    from .lineage import LineagePass
+    from .lints import LintPass
+    from .partition import PartitionSafetyPass
+
+    return (LineagePass(), PartitionSafetyPass(), DeterminismPass(), LintPass())
+
+
+def analyze_plan(
+    plan: Plan,
+    *,
+    passes: Sequence[AnalysisPass] | None = None,
+    pack_fanin_limit: int = DEFAULT_PACK_FANIN_LIMIT,
+) -> AnalysisReport:
+    """Run the static analyzer over ``plan`` and collect diagnostics.
+
+    Never raises on a malformed plan: structural impossibilities (cycles,
+    empty output lists) come back as ``error`` diagnostics so callers can
+    treat every outcome uniformly.
+    """
+    if not plan.outputs:
+        return AnalysisReport(
+            (
+                Diagnostic(
+                    rule="lint.no-outputs",
+                    severity="error",
+                    message="plan has no outputs; the graph is empty by reachability",
+                    hint="call set_outputs()/build() with the result node(s)",
+                ),
+            )
+        )
+    try:
+        ctx = AnalysisContext(plan, pack_fanin_limit=pack_fanin_limit)
+    except PlanError as exc:
+        return AnalysisReport(
+            (
+                Diagnostic(
+                    rule="lint.cycle",
+                    severity="error",
+                    message=str(exc),
+                    hint="a mutation rewired a node into its own input chain",
+                ),
+            )
+        )
+    for analysis_pass in passes if passes is not None else default_passes():
+        analysis_pass.run(ctx)
+    return AnalysisReport(tuple(ctx.diagnostics))

@@ -22,6 +22,7 @@ from ..operators.select import CandIntersect, CandUnion, Predicate, Select
 from ..operators.sort import Sort, TopN
 from ..storage.catalog import Catalog
 from .graph import Plan, PlanNode
+from .validate import validate_plan
 
 
 class PlanBuilder:
@@ -112,8 +113,14 @@ class PlanBuilder:
 
     # -- finish ----------------------------------------------------------
     def build(self, outputs: PlanNode | Sequence[PlanNode]) -> Plan:
-        """Finalize the plan with the given output node(s)."""
+        """Finalize the plan with the given output node(s).
+
+        The finished plan is validated (arity, pack ordering, outputs)
+        so malformed constructions fail here, at build time, rather than
+        deep inside the scheduler with an operator-level error.
+        """
         if isinstance(outputs, PlanNode):
             outputs = [outputs]
         self.plan.set_outputs(list(outputs))
+        validate_plan(self.plan)
         return self.plan

@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+from .analysis import AnalysisReport, analyze_plan
 from .graph import Plan
 from .stats import plan_stats
 
@@ -70,15 +71,25 @@ def diff_plans(before: Plan, after: Plan) -> PlanDiff:
 
 @dataclass
 class EvolutionLog:
-    """Accumulates per-run diffs over an adaptive instance."""
+    """Accumulates per-run diffs over an adaptive instance.
+
+    With ``analyze=True`` every snapshot is also run through the static
+    plan analyzer and the reports accumulate in :attr:`reports` (parallel
+    to :attr:`snapshots`), so a driver can print "what changed and how
+    healthy is it now" per iteration.
+    """
 
     snapshots: list[Plan] = field(default_factory=list)
+    analyze: bool = False
+    reports: list[AnalysisReport] = field(default_factory=list)
 
     def observe(self, plan: Plan) -> PlanDiff | None:
         """Snapshot the plan; returns the diff against the previous one."""
         snapshot = plan.copy()
         previous = self.snapshots[-1] if self.snapshots else None
         self.snapshots.append(snapshot)
+        if self.analyze:
+            self.reports.append(analyze_plan(snapshot))
         if previous is None:
             return None
         return diff_plans(previous, snapshot)

@@ -34,6 +34,7 @@ from ..operators.select import (
 from ..operators.slice import PartitionSlice, ValuePartition
 from ..operators.sort import Sort, TopN
 from ..storage.catalog import Catalog
+from .analysis import analyze_plan
 from .graph import Plan, PlanNode
 
 # ---------------------------------------------------------------------------
@@ -136,11 +137,17 @@ def _op_spec(node: PlanNode, scan_names: dict[int, tuple[str, str]]) -> dict[str
     raise PlanError(f"cannot serialize operator kind {node.kind!r}")
 
 
-def to_json(plan: Plan) -> str:
+def to_json(plan: Plan, *, analyze: bool = False) -> str:
     """Serialize a plan (operators, edges, outputs) to a JSON string.
 
     Scans are stored by table/column name using the ``table.column``
     labels that :class:`PlanBuilder` and the SQL planner attach.
+
+    With ``analyze=True`` the static plan analyzer runs and its
+    diagnostics ride along under a ``"diagnostics"`` key (with node ids
+    rewritten to node *indexes* in the document), so an exported plan
+    carries its own health report.  :func:`plan_from_json` ignores the
+    key on import.
     """
     scan_names: dict[int, tuple[str, str]] = {}
     for node in plan.nodes():
@@ -159,7 +166,16 @@ def to_json(plan: Plan) -> str:
             }
         )
     outputs = [index[out.nid] for out in plan.outputs]
-    return json.dumps({"version": 1, "nodes": nodes, "outputs": outputs})
+    document: dict[str, Any] = {"version": 1, "nodes": nodes, "outputs": outputs}
+    if analyze:
+        report = analyze_plan(plan)
+        diagnostics = []
+        for diag in report.to_dicts():
+            # nids are process-local counters; indexes survive round-trips.
+            diag["nodes"] = [index[nid] for nid in diag["nodes"] if nid in index]
+            diagnostics.append(diag)
+        document["diagnostics"] = diagnostics
+    return json.dumps(document)
 
 
 def _op_from_spec(spec: dict[str, Any], catalog: Catalog):

@@ -1,14 +1,18 @@
 """Structural plan validation.
 
-Run after every mutation in tests (and optionally in the executor) to
-catch malformed graphs early: wrong operator arity, type-impossible edges,
-unordered pack inputs, and empty output lists.
+Run after every mutation in tests (and via :meth:`PlanBuilder.build`) to
+catch malformed graphs early: wrong operator arity, unordered pack
+inputs, and empty output lists.  This is the cheap, raise-on-error
+subset of the full static analyzer in :mod:`repro.plan.analysis`; the
+analyzer's lineage pass reuses :data:`ARITY` / :func:`arity_of` so the
+two never disagree about operator signatures.
 """
 
 from __future__ import annotations
 
 from ..errors import PlanError
 from ..operators.aggregate import Aggregate
+from ..operators.base import Operator
 from ..operators.calc import Calc
 from ..operators.exchange import Pack
 from ..operators.groupby import AggrMerge, GroupAggregate
@@ -21,7 +25,8 @@ from ..operators.slice import PartitionSlice, ValuePartition
 from ..operators.sort import Sort, TailFilter, TopN
 from .graph import Plan, PlanNode
 
-_ARITY = {
+#: Operator type -> (min inputs, max inputs); ``None`` max means unbounded.
+ARITY: dict[type, tuple[int, int | None]] = {
     Scan: (0, 0),
     Literal: (0, 0),
     PartitionSlice: (1, 1),
@@ -45,10 +50,32 @@ _ARITY = {
 }
 
 
+def arity_of(op: Operator) -> tuple[int, int | None] | None:
+    """The (min, max) input count declared for ``op``'s type.
+
+    Exact-type dict lookup first; subclasses of known operators fall back
+    to a method-resolution-order walk so a specialized ``Select`` still
+    validates as a select.  Returns ``None`` for operator types the
+    validator does not know (extensibility: unknown operators are allowed
+    but reported as ``info`` by the analyzer).
+    """
+    spec = ARITY.get(type(op))
+    if spec is not None:
+        return spec
+    for base in type(op).__mro__[1:]:
+        spec = ARITY.get(base)
+        if spec is not None:
+            return spec
+    return None
+
+
 def validate_plan(plan: Plan) -> None:
     """Raise :class:`PlanError` if the plan is structurally broken.
 
     Also implicitly checks acyclicity (``plan.nodes()`` raises on cycles).
+    Unknown operator types pass silently here; run the full analyzer
+    (:func:`repro.plan.analysis.analyze_plan`) to have them surfaced as
+    ``lineage.unknown-op`` info diagnostics.
     """
     nodes = plan.nodes()
     if not plan.outputs:
@@ -58,19 +85,26 @@ def validate_plan(plan: Plan) -> None:
         _check_pack_order(node)
 
 
+def unknown_operators(plan: Plan) -> list[PlanNode]:
+    """Nodes whose operator type is absent from :data:`ARITY` (even via
+    MRO); the analyzer turns these into explicit info diagnostics."""
+    return [node for node in plan.nodes() if arity_of(node.op) is None]
+
+
 def _check_arity(node: PlanNode) -> None:
-    for op_type, (lo, hi) in _ARITY.items():
-        if isinstance(node.op, op_type):
-            n = len(node.inputs)
-            if n < lo or (hi is not None and n > hi):
-                bound = f"{lo}" if hi == lo else f"{lo}..{hi or 'inf'}"
-                raise PlanError(
-                    f"node #{node.nid} ({node.describe()}) has {n} inputs, "
-                    f"expected {bound}"
-                )
-            return
-    # Unknown operator types are allowed (extensibility) but must have
-    # at least declared inputs resolvable.
+    spec = arity_of(node.op)
+    if spec is None:
+        # Unknown operator type: no declared arity to enforce.  The
+        # analyzer reports these explicitly via unknown_operators().
+        return
+    lo, hi = spec
+    n = len(node.inputs)
+    if n < lo or (hi is not None and n > hi):
+        bound = f"{lo}" if hi == lo else f"{lo}..{hi or 'inf'}"
+        raise PlanError(
+            f"node #{node.nid} ({node.describe()}) has {n} inputs, "
+            f"expected {bound}"
+        )
 
 
 def _check_pack_order(node: PlanNode) -> None:

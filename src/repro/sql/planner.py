@@ -43,6 +43,7 @@ from ..operators.select import (
 )
 from ..operators.sort import Sort, TailFilter, TopN
 from ..plan.graph import Plan, PlanNode
+from ..plan.validate import validate_plan
 from ..storage.catalog import Catalog
 from .ast import (
     AggExpr,
@@ -89,7 +90,11 @@ class SqlPlanner:
     # ------------------------------------------------------------------
     def plan(self, stmt: SelectStatement) -> Plan:
         ctx = _QueryContext(self, stmt)
-        return ctx.build()
+        plan = ctx.build()
+        # Fail fast: a structurally broken translation should surface as
+        # a planner bug here, not as a scheduler error mid-execution.
+        validate_plan(plan)
+        return plan
 
 
 class _QueryContext:

@@ -1,0 +1,372 @@
+"""The static plan analyzer: passes, rules, and mutation gating."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import MutationRejection, PlanMutator
+from repro.engine import execute
+from repro.errors import PlanError
+from repro.operators import RangePredicate
+from repro.operators.exchange import Pack
+from repro.operators.groupby import AggrMerge
+from repro.operators.project import Fetch
+from repro.operators.scan import Scan
+from repro.operators.select import Select
+from repro.operators.slice import FRACTION_UNITS, PartitionSlice
+from repro.operators.sort import Sort, TopN
+from repro.plan import PlanBuilder, analyze_plan, to_json, validate_plan
+from repro.plan.analysis import AnalysisReport, Diagnostic
+from repro.plan.graph import Plan, PlanNode
+from repro.plan.validate import arity_of, unknown_operators
+
+
+def build_sum_plan(catalog):
+    """select -> fetch -> sum, the simplest mutable pipeline."""
+    b = PlanBuilder(catalog)
+    sel = b.select(b.scan("facts", "val"), RangePredicate(hi=500))
+    return b.build(b.aggregate("sum", b.fetch(sel, b.scan("facts", "qty"))))
+
+
+def build_group_plan(catalog):
+    b = PlanBuilder(catalog)
+    sel = b.select(b.scan("facts", "val"), RangePredicate(hi=500))
+    keys = b.fetch(sel, b.scan("facts", "fk"))
+    vals = b.fetch(sel, b.scan("facts", "qty"))
+    return b.build(b.group_aggregate("sum", keys, vals))
+
+
+def mutate(plan, config, steps):
+    mutator = PlanMutator(plan)
+    profile = execute(plan, config).profile
+    for __ in range(steps):
+        if mutator.mutate(profile) is None:
+            break
+        profile = execute(plan, config).profile
+    return mutator
+
+
+def half_split(scan_node):
+    """Two half slices over ``scan_node`` with proper order keys."""
+    mid = FRACTION_UNITS // 2
+    lo = PlanNode(PartitionSlice(0, mid), [scan_node], order_key=0)
+    hi = PlanNode(PartitionSlice(mid, FRACTION_UNITS), [scan_node], order_key=mid)
+    return lo, hi
+
+
+def fetch_branches(catalog):
+    """Two fetch clones over a half-split select (BAT branches)."""
+    val = catalog.column("facts", "val")
+    qty = catalog.column("facts", "qty")
+    scan_val = PlanNode(Scan(val), label="facts.val")
+    scan_qty = PlanNode(Scan(qty), label="facts.qty")
+    lo, hi = half_split(scan_val)
+    branches = []
+    for part in (lo, hi):
+        sel = PlanNode(Select(RangePredicate(hi=500)), [part], order_key=part.order_key)
+        branches.append(
+            PlanNode(Fetch(), [sel, scan_qty], order_key=part.order_key)
+        )
+    return branches
+
+
+class TestReport:
+    def test_clean_report(self, small_catalog):
+        report = analyze_plan(build_sum_plan(small_catalog))
+        assert not report.diagnostics
+        assert not report.has_errors and not report.has_warnings
+        assert report.summary() == "clean"
+
+    def test_report_accessors(self):
+        diags = (
+            Diagnostic("partition.gap", "error", "gap", (1, 2)),
+            Diagnostic("lint.pack-fanin", "warn", "big", (3,), hint="shrink"),
+            Diagnostic("determinism.unordered-pack", "info", "meh", ()),
+        )
+        report = AnalysisReport(diags)
+        assert [d.rule for d in report.errors] == ["partition.gap"]
+        assert [d.rule for d in report.warnings] == ["lint.pack-fanin"]
+        assert [d.rule for d in report.infos] == ["determinism.unordered-pack"]
+        assert report.summary() == "1 error(s), 1 warning(s), 1 info"
+        assert report.rules == {
+            "partition.gap", "lint.pack-fanin", "determinism.unordered-pack",
+        }
+        assert [d.rule for d in report.by_rule("partition.gap")] == ["partition.gap"]
+        dicts = report.to_dicts()
+        assert dicts[0]["severity"] == "error" and dicts[0]["nodes"] == [1, 2]
+        assert "shrink" in diags[1].format()
+
+    def test_mutated_plans_stay_clean(self, small_catalog, sim_config):
+        plan = build_group_plan(small_catalog)
+        mutate(plan, sim_config, 6)
+        report = analyze_plan(plan)
+        assert not report.has_errors, report.format()
+        assert not report.has_warnings, report.format()
+
+
+class TestLineagePass:
+    def test_arity_error(self, small_catalog):
+        plan = build_sum_plan(small_catalog)
+        plan.outputs[0].inputs.append(plan.nodes()[0])
+        report = analyze_plan(plan)
+        assert "lineage.arity" in report.rules
+
+    def test_type_impossible_edge(self, small_catalog):
+        # sort over a candidate list: selections emit oids, not values.
+        b = PlanBuilder(small_catalog)
+        sel = b.select(b.scan("facts", "val"), RangePredicate(hi=500))
+        plan = Plan()
+        out = PlanNode(Sort(), [sel])
+        plan.set_outputs([out])
+        report = analyze_plan(plan)
+        assert "lineage.input-type" in report.rules
+
+    def test_pack_family_mix(self, small_catalog):
+        b = PlanBuilder(small_catalog)
+        sel = b.select(b.scan("facts", "val"), RangePredicate(hi=500))
+        bat = b.fetch(sel, b.scan("facts", "qty"))
+        pack = PlanNode(Pack(), [sel, bat])
+        plan = Plan()
+        plan.set_outputs([pack])
+        report = analyze_plan(plan)
+        assert "lineage.pack-mix" in report.rules
+
+    def test_unknown_operator_is_info_not_error(self, small_catalog):
+        class Exotic:
+            kind = "exotic"
+
+            def describe(self):
+                return "exotic()"
+
+        plan = build_sum_plan(small_catalog)
+        plan.outputs[0].inputs[0] = PlanNode(
+            Exotic(), [plan.outputs[0].inputs[0]]
+        )
+        report = analyze_plan(plan)
+        assert not report.has_errors
+        assert "lineage.unknown-op" in report.rules
+
+
+class TestArityTable:
+    def test_subclass_falls_back_through_mro(self):
+        class FancySelect(Select):
+            pass
+
+        assert arity_of(FancySelect(RangePredicate(hi=1))) == arity_of(
+            Select(RangePredicate(hi=1))
+        )
+
+    def test_unknown_type_returns_none(self):
+        class Alien:
+            kind = "alien"
+
+        assert arity_of(Alien()) is None
+
+    def test_unknown_operators_helper(self, small_catalog):
+        class Alien:
+            kind = "alien"
+
+            def describe(self):
+                return "alien()"
+
+        plan = build_sum_plan(small_catalog)
+        assert unknown_operators(plan) == []
+        plan.outputs[0].inputs[0] = PlanNode(Alien(), [plan.outputs[0].inputs[0]])
+        assert [n.kind for n in unknown_operators(plan)] == ["alien"]
+
+
+class TestPartitionPass:
+    def test_gap_detected(self, small_catalog, sim_config):
+        plan = build_sum_plan(small_catalog)
+        mutate(plan, sim_config, 4)
+        target = next(
+            n for n in plan.nodes()
+            if isinstance(n.op, PartitionSlice) and n.op.lo > 0
+        )
+        target.op = PartitionSlice(target.op.lo + FRACTION_UNITS // 16, target.op.hi)
+        assert "partition.gap" in analyze_plan(plan).rules
+
+    def test_overlap_detected(self, small_catalog, sim_config):
+        plan = build_sum_plan(small_catalog)
+        mutate(plan, sim_config, 4)
+        target = next(
+            n for n in plan.nodes()
+            if isinstance(n.op, PartitionSlice) and n.op.lo > 0
+        )
+        target.op = PartitionSlice(target.op.lo - FRACTION_UNITS // 16, target.op.hi)
+        assert "partition.overlap" in analyze_plan(plan).rules
+
+    def test_missing_partition_fails_output_coverage(self, small_catalog):
+        # Only half of the base ever reaches the output.
+        branches = fetch_branches(small_catalog)
+        pack = PlanNode(Pack(), branches[:1])
+        plan = Plan()
+        plan.set_outputs([pack])
+        assert "partition.coverage" in analyze_plan(plan).rules
+
+    def test_full_tiling_is_clean(self, small_catalog):
+        pack = PlanNode(Pack(), fetch_branches(small_catalog))
+        plan = Plan()
+        plan.set_outputs([pack])
+        report = analyze_plan(plan)
+        assert not report.has_errors, report.format()
+
+
+class TestDeterminismPass:
+    def test_unordered_pack_feeding_topn_is_race(self, small_catalog):
+        branches = fetch_branches(small_catalog)
+        for branch in branches:
+            branch.order_key = None
+        pack = PlanNode(Pack(), branches)
+        plan = Plan()
+        plan.set_outputs([PlanNode(TopN(5), [pack])])
+        report = analyze_plan(plan)
+        assert "determinism.race" in report.rules
+
+    def test_ordered_pack_feeding_topn_is_clean(self, small_catalog):
+        pack = PlanNode(Pack(), fetch_branches(small_catalog))
+        plan = Plan()
+        plan.set_outputs([PlanNode(TopN(5), [pack])])
+        report = analyze_plan(plan)
+        assert not report.has_errors, report.format()
+
+    def test_wrong_merge_func_detected(self, small_catalog, sim_config):
+        plan = build_group_plan(small_catalog)
+        mutator = PlanMutator(plan)
+        profile = execute(plan, sim_config).profile
+        for __ in range(8):
+            if mutator.mutate(profile) is None:
+                break
+            if any(isinstance(n.op, AggrMerge) for n in plan.nodes()):
+                break
+            profile = execute(plan, sim_config).profile
+        merge = next(n for n in plan.nodes() if isinstance(n.op, AggrMerge))
+        merge.op = AggrMerge("max" if merge.op.func != "max" else "min")
+        assert "determinism.merge-func" in analyze_plan(plan).rules
+
+
+class TestLintPass:
+    def test_pack_fanin_warning(self, small_catalog, sim_config):
+        plan = build_sum_plan(small_catalog)
+        mutate(plan, sim_config, 6)
+        pack = max(
+            (n for n in plan.nodes() if n.kind == "pack"),
+            key=lambda n: len(n.inputs),
+        )
+        report = analyze_plan(plan, pack_fanin_limit=len(pack.inputs) - 1)
+        assert "lint.pack-fanin" in report.rules
+
+    def test_duplicate_pack_input(self, small_catalog):
+        branches = fetch_branches(small_catalog)
+        pack = PlanNode(Pack(), [branches[0], branches[0]])
+        plan = Plan()
+        plan.set_outputs([pack])
+        assert "lint.duplicate-input" in analyze_plan(plan).rules
+
+    def test_no_outputs_is_error_not_raise(self):
+        report = analyze_plan(Plan())
+        assert "lint.no-outputs" in report.rules
+
+
+class TestMutatorGating:
+    def test_sabotaged_mutation_is_rejected_and_rolled_back(
+        self, small_catalog, sim_config
+    ):
+        class SabotagedMutator(PlanMutator):
+            """Simulates a buggy mutation scheme: every applied mutation
+            additionally duplicates a pack input (double-counted rows)."""
+
+            def _apply(self, cand):
+                result = super()._apply(cand)
+                if result is not None:
+                    pack = next(
+                        n for n in self.plan.nodes()
+                        if n.kind == "pack" and len(n.inputs) >= 2
+                    )
+                    pack.inputs[0] = pack.inputs[1]
+                return result
+
+        plan = build_sum_plan(small_catalog)
+        edges_before = [
+            (n.nid, tuple(c.nid for c in n.inputs)) for n in plan.nodes()
+        ]
+        mutator = SabotagedMutator(plan)
+        profile = execute(plan, sim_config).profile
+        assert mutator.mutate(profile) is None
+        assert mutator.rejections
+        rejection = mutator.rejections[0]
+        assert isinstance(rejection, MutationRejection)
+        assert rejection.report.has_errors
+        # the sabotage was rolled back: the plan is byte-identical
+        edges_after = [
+            (n.nid, tuple(c.nid for c in n.inputs)) for n in plan.nodes()
+        ]
+        assert edges_after == edges_before
+        validate_plan(plan)
+        assert not analyze_plan(plan).has_errors
+
+    def test_accepted_mutations_record_clean_reports(
+        self, small_catalog, sim_config
+    ):
+        plan = build_sum_plan(small_catalog)
+        mutator = mutate(plan, sim_config, 3)
+        assert mutator.last_report is not None
+        assert not mutator.last_report.has_errors
+        assert mutator.rejections == []
+
+    def test_analyze_false_skips_gating(self, small_catalog, sim_config):
+        plan = build_sum_plan(small_catalog)
+        mutator = PlanMutator(plan, analyze=False)
+        profile = execute(plan, sim_config).profile
+        assert mutator.mutate(profile) is not None
+        assert mutator.last_report is None
+
+
+class TestExecutorGate:
+    def test_execute_analyze_refuses_broken_plan(self, small_catalog, sim_config):
+        branches = fetch_branches(small_catalog)
+        pack = PlanNode(Pack(), branches[:1])  # half the base is missing
+        plan = Plan()
+        plan.set_outputs([pack])
+        with pytest.raises(PlanError, match="partition.coverage"):
+            execute(plan, sim_config, analyze=True)
+
+    def test_execute_analyze_runs_clean_plan(self, small_catalog, sim_config):
+        plan = build_sum_plan(small_catalog)
+        result = execute(plan, sim_config, analyze=True)
+        assert result.outputs
+
+
+class TestExportDiagnostics:
+    def test_json_carries_diagnostics(self, small_catalog, sim_config):
+        plan = build_sum_plan(small_catalog)
+        mutate(plan, sim_config, 3)
+        document = json.loads(to_json(plan, analyze=True))
+        assert document["diagnostics"] == []
+        target = next(
+            n for n in plan.nodes()
+            if isinstance(n.op, PartitionSlice) and n.op.lo > 0
+        )
+        target.op = PartitionSlice(target.op.lo + FRACTION_UNITS // 16, target.op.hi)
+        document = json.loads(to_json(plan, analyze=True))
+        rules = {d["rule"] for d in document["diagnostics"]}
+        assert "partition.gap" in rules
+        for diag in document["diagnostics"]:
+            for index in diag["nodes"]:
+                assert 0 <= index < len(document["nodes"])
+
+    def test_json_without_analyze_has_no_key(self, small_catalog):
+        document = json.loads(to_json(build_sum_plan(small_catalog)))
+        assert "diagnostics" not in document
+
+
+class TestBuilderValidates:
+    def test_build_rejects_bad_arity(self, small_catalog):
+        b = PlanBuilder(small_catalog)
+        sel = b.select(b.scan("facts", "val"), RangePredicate(hi=500))
+        sel.inputs.append(b.scan("facts", "qty"))
+        sel.inputs.append(b.scan("facts", "fk"))
+        with pytest.raises(PlanError, match="inputs"):
+            b.build(sel)

@@ -121,6 +121,98 @@ class TestAdapt:
         assert "error:" in capsys.readouterr().err
 
 
+class TestLint:
+    def test_lint_clean_named_query(self, capsys):
+        code = main(["lint", "--query", "q6", "--sf", "1"])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_clean_sql(self, capsys):
+        code = main(
+            [
+                "lint",
+                "--sql",
+                "SELECT COUNT(*) FROM lineitem WHERE l_quantity < 5",
+                "--sf",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_corrupted_plan_json_fails(self, capsys, tmp_path):
+        import json
+
+        from repro.engine import execute
+        from repro.core import PlanMutator
+        from repro.plan import to_json
+        from repro.workloads import TpchDataset
+
+        dataset = TpchDataset(scale_factor=1)
+        plan = dataset.plan("q6")
+        mutator = PlanMutator(plan)
+        profile = execute(plan, dataset.sim_config()).profile
+        for __ in range(3):
+            mutator.mutate(profile)
+            profile = execute(plan, dataset.sim_config()).profile
+        document = json.loads(to_json(plan))
+        for spec in document["nodes"]:
+            if spec["op"]["kind"] == "slice" and spec["op"]["lo"] == 0:
+                spec["op"]["hi"] //= 2  # open a coverage gap
+                break
+        target = tmp_path / "bad_plan.json"
+        target.write_text(json.dumps(document))
+        code = main(["lint", "--plan-json", str(target), "--sf", "1"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "error" in out and "partition." in out
+
+    def test_lint_strict_fails_on_warnings(self, capsys, tmp_path):
+        import json
+
+        from repro.engine import execute
+        from repro.core import PlanMutator
+        from repro.plan import to_json
+        from repro.workloads import TpchDataset
+
+        dataset = TpchDataset(scale_factor=1)
+        plan = dataset.plan("q6")
+        mutator = PlanMutator(plan)
+        profile = execute(plan, dataset.sim_config()).profile
+        for __ in range(3):
+            mutator.mutate(profile)
+            profile = execute(plan, dataset.sim_config()).profile
+        document = json.loads(to_json(plan))
+        # Two pack branches claiming the same partition position is a
+        # warn-level determinism smell (determinism.duplicate-key).
+        pack_spec = next(s for s in document["nodes"] if s["op"]["kind"] == "pack")
+        first, second = pack_spec["inputs"][:2]
+        document["nodes"][second]["order_key"] = document["nodes"][first]["order_key"]
+        target = tmp_path / "plan.json"
+        target.write_text(json.dumps(document))
+        assert main(["lint", "--plan-json", str(target), "--sf", "1"]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--plan-json", str(target), "--sf", "1", "--strict"]) == 1
+        assert "warn" in capsys.readouterr().out
+
+
+class TestAdaptVerbose:
+    def test_adapt_verbose_prints_analyzer_summaries(self, capsys):
+        code = main(
+            [
+                "adapt",
+                "--sql",
+                "SELECT SUM(l_extendedprice) FROM lineitem WHERE l_quantity < 25",
+                "--sf",
+                "1",
+                "--verbose",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "analyzer: clean" in out
+
+
 class TestBench:
     def test_bench_list(self, capsys):
         assert main(["bench", "list"]) == 0
