@@ -15,19 +15,28 @@ An operator finishes when *both* works are done.  Rates are recomputed at
 every event, so resource contention from concurrent queries emerges
 naturally -- this is what makes adaptively parallelized plans
 "resource-contention aware" in the reproduction, as on real hardware.
+
+Hot-path notes: the event loop runs once per operator dispatch and once
+per completion, tens of thousands of times per adaptive instance, so the
+per-event work is kept O(running tasks): ready queues are deques,
+completed tasks are removed by swap-with-last, and the per-socket count
+of memory-bound tasks (the bandwidth-sharing denominator) is maintained
+incrementally instead of rescanning every task at every event.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from ..config import SimulationConfig
 from ..costmodel.model import CostContext, compute_work, thread_bandwidth_cap
 from ..errors import SchedulerError
+from ..operators.base import WorkProfile
 from ..plan.graph import Plan, PlanNode
-from ..storage.column import Intermediate
+from ..storage.column import Intermediate, intermediate_nbytes
 from .machine import HardwareThread, MachineState
 from .noise import NoiseModel
 from .profiler import OpRecord, QueryProfile
@@ -99,11 +108,23 @@ class _Submission:
         self.remaining = len(nodes)
         self.running = 0
         self.live_bytes = 0.0
-        self.ready: list[PlanNode] = [n for n in nodes if not n.inputs]
+        self.ready: deque[PlanNode] = deque(n for n in nodes if not n.inputs)
 
     @property
     def finished(self) -> bool:
         return self.remaining == 0
+
+    def release_bookkeeping(self) -> None:
+        """Drop execution-only state once the submission has finished.
+
+        Long concurrent workloads complete many thousands of submissions
+        on one simulator; only the output values and the profile must
+        outlive execution.
+        """
+        self.waiting = {}
+        self.pending_consumers = {}
+        self.consumers = {}
+        self.ready = deque()
 
 
 class _Task:
@@ -119,6 +140,8 @@ class _Task:
         "mem_work",
         "start",
         "remote",
+        "index",
+        "mem_active",
     )
 
     def __init__(
@@ -140,6 +163,11 @@ class _Task:
         self.mem_rem = mem_work
         self.start = start
         self.remote = remote
+        #: Position in the simulator's running-task list (swap-removal).
+        self.index = -1
+        #: True while this task still counts toward its socket's
+        #: memory-bandwidth demand.
+        self.mem_active = mem_work > _EPS
 
 
 class Simulator:
@@ -153,16 +181,20 @@ class Simulator:
         self.now = 0.0
         self._sid_counter = itertools.count()
         self._submissions: dict[int, _Submission] = {}
-        self._queue: list[_Submission] = []  # FIFO across submissions
+        self._queue: list[_Submission] = []  # FIFO across unfinished submissions
         self._tasks: list[_Task] = []
         self._thread_cap = thread_bandwidth_cap(config.machine, self.cost_ctx.params)
-        self._last_profiles: dict[int, object] = {}
+        self._last_profiles: dict[tuple[int, int], WorkProfile] = {}
         # Hash tables are cached on their build input (per submission):
         # the first join over an inner node pays the build, later clones
-        # probe the shared table.
-        self._hash_built: set[tuple[int, int]] = set()
+        # probe the shared table.  Keyed by sid so a finished
+        # submission's entries can be dropped in one operation.
+        self._hash_built: dict[int, set[int]] = {}
         # Home socket of each produced intermediate (strict-NUMA mode).
-        self._home_socket: dict[tuple[int, int], int] = {}
+        self._home_socket: dict[int, dict[int, int]] = {}
+        # Number of memory-bound running tasks per socket -- the
+        # bandwidth-sharing denominator, maintained incrementally.
+        self._socket_mem_demand: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -193,9 +225,10 @@ class Simulator:
 
         sub = _Submission(sid, plan, self.now, client, limit, wrapped)
         self._submissions[sid] = sub
-        self._queue.append(sub)
         if sub.finished:  # degenerate empty plan
             sub.profile.finish_time = self.now
+        else:
+            self._queue.append(sub)
         return sid
 
     def run(self) -> None:
@@ -203,8 +236,8 @@ class Simulator:
         while True:
             self._dispatch()
             if not self._tasks:
-                if any(not sub.finished for sub in self._queue):
-                    stuck = [s.sid for s in self._queue if not s.finished]
+                if self._queue:
+                    stuck = [s.sid for s in self._queue]
                     raise SchedulerError(
                         f"deadlock: submissions {stuck} have pending work but "
                         "nothing is runnable"
@@ -232,27 +265,26 @@ class Simulator:
                 thread = self.machine.pick_thread()
                 if thread is None:
                     return
-                node = sub.ready.pop(0)
+                node = sub.ready.popleft()
                 self._start_task(sub, node, thread)
                 progress = True
 
     def _start_task(self, sub: _Submission, node: PlanNode, thread: HardwareThread) -> None:
         inputs = [sub.values[child.nid] for child in node.inputs]
         output = node.op.evaluate(inputs)
-        sub.values[node.nid] = output
         profile = node.op.work_profile(inputs, output)
+        sub.values[node.nid] = output
         amortize = False
         if node.kind in ("join", "semijoin") and len(node.inputs) == 2:
-            key = (sub.sid, node.inputs[1].nid)
-            amortize = key in self._hash_built
-            self._hash_built.add(key)
+            built = self._hash_built.setdefault(sub.sid, set())
+            inner_nid = node.inputs[1].nid
+            amortize = inner_nid in built
+            built.add(inner_nid)
         work = compute_work(
             node.kind, profile, self.cost_ctx, amortize_build=amortize
         )
         self._last_profiles[(sub.sid, node.nid)] = profile
         # Memory claims: the new intermediate is now live.
-        from ..storage.column import intermediate_nbytes
-
         sub.live_bytes += intermediate_nbytes(output) * self.config.data_scale
         if sub.live_bytes > sub.profile.peak_memory_bytes:
             sub.profile.peak_memory_bytes = sub.live_bytes
@@ -260,8 +292,11 @@ class Simulator:
         remote = False
         if not self.config.machine.numa_first_touch and node.inputs:
             # Strict NUMA: reading inputs homed on another socket is slow.
+            homes_of_sub = self._home_socket.get(sub.sid)
+            if homes_of_sub is None:
+                homes_of_sub = {}
             homes = [
-                self._home_socket.get((sub.sid, child.nid), thread.socket_id)
+                homes_of_sub.get(child.nid, thread.socket_id)
                 for child in node.inputs
             ]
             remote_count = sum(1 for h in homes if h != thread.socket_id)
@@ -277,30 +312,44 @@ class Simulator:
             remote=remote,
         )
         sub.running += 1
+        task.index = len(self._tasks)
         self._tasks.append(task)
+        if task.mem_active:
+            demand = self._socket_mem_demand
+            socket = thread.socket_id
+            demand[socket] = demand.get(socket, 0) + 1
 
     # ------------------------------------------------------------------
     # Time advance
     # ------------------------------------------------------------------
+    def _deactivate_mem(self, task: _Task) -> None:
+        """Drop a task from its socket's memory-demand count."""
+        task.mem_active = False
+        demand = self._socket_mem_demand
+        socket = task.thread.socket_id
+        left = demand[socket] - 1
+        if left:
+            demand[socket] = left
+        else:
+            del demand[socket]
+
     def _rates(self) -> list[tuple[float, float]]:
         """(cpu_rate, mem_rate) for each running task, given contention."""
-        socket_demand: dict[int, int] = {}
-        for task in self._tasks:
-            if task.mem_rem > _EPS:
-                socket = task.thread.socket_id
-                socket_demand[socket] = socket_demand.get(socket, 0) + 1
+        machine = self.machine
+        socket_demand = self._socket_mem_demand
+        socket_bw = self.config.machine.mem_bandwidth_gbps * 1e9
+        thread_cap = self._thread_cap
+        remote_factor = self.config.machine.numa_remote_factor
         rates = []
         for task in self._tasks:
-            cpu_rate = self.machine.compute_rate(task.thread)
-            socket = task.thread.socket_id
-            n_mem = socket_demand.get(socket, 0)
-            socket_bw = self.config.machine.mem_bandwidth_gbps * 1e9
+            cpu_rate = machine.compute_rate(task.thread)
+            n_mem = socket_demand.get(task.thread.socket_id, 0)
             if n_mem > 0:
-                mem_rate = min(self._thread_cap, socket_bw / n_mem)
+                mem_rate = min(thread_cap, socket_bw / n_mem)
             else:
-                mem_rate = self._thread_cap
+                mem_rate = thread_cap
             if task.remote:
-                mem_rate *= self.config.machine.numa_remote_factor
+                mem_rate *= remote_factor
             rates.append((cpu_rate, mem_rate))
         return rates
 
@@ -321,15 +370,28 @@ class Simulator:
                 task.cpu_rem = 0.0
                 task.mem_rem = 0.0
                 completed.append(task)
+            if task.mem_active and task.mem_rem <= _EPS:
+                self._deactivate_mem(task)
         for task in completed:
             self._complete(task)
 
+    def _remove_task(self, task: _Task) -> None:
+        """O(1) removal: swap the last running task into ``task``'s slot."""
+        tasks = self._tasks
+        last = tasks.pop()
+        if last is not task:
+            tasks[task.index] = last
+            last.index = task.index
+        task.index = -1
+
     def _complete(self, task: _Task) -> None:
-        self._tasks.remove(task)
+        self._remove_task(task)
         self.machine.release(task.thread)
         sub = task.submission
         if not self.config.machine.numa_first_touch:
-            self._home_socket[(sub.sid, task.node.nid)] = task.thread.socket_id
+            self._home_socket.setdefault(sub.sid, {})[task.node.nid] = (
+                task.thread.socket_id
+            )
         sub.running -= 1
         sub.remaining -= 1
         node = task.node
@@ -357,6 +419,10 @@ class Simulator:
         self._release_value(sub, node)
         if sub.finished:
             sub.profile.finish_time = self.now
+            self._queue.remove(sub)
+            self._hash_built.pop(sub.sid, None)
+            self._home_socket.pop(sub.sid, None)
+            sub.release_bookkeeping()
             if sub.on_complete is not None:
                 sub.on_complete(sub)
 
@@ -365,8 +431,6 @@ class Simulator:
 
     def _release_value(self, sub: _Submission, node: PlanNode) -> None:
         # Free input intermediates once their last consumer has finished.
-        from ..storage.column import intermediate_nbytes
-
         for child in node.inputs:
             sub.pending_consumers[child.nid] -= 1
             if (
@@ -378,4 +442,3 @@ class Simulator:
                     sub.live_bytes -= (
                         intermediate_nbytes(freed) * self.config.data_scale
                     )
-
