@@ -18,6 +18,7 @@ import numpy as np
 
 from ..config import SimulationConfig
 from ..engine.executor import execute
+from ..engine.memo import IntermediateCache
 from ..engine.scheduler import ExecutionResult
 from ..errors import ConvergenceError
 from ..plan.analysis import AnalysisReport
@@ -113,6 +114,7 @@ class AdaptiveParallelizer:
         verify: bool = False,
         runner: Runner | None = None,
         mutations_per_run: int = 1,
+        memoize: bool = True,
     ) -> None:
         if mutations_per_run < 1:
             raise ConvergenceError("mutations_per_run must be >= 1")
@@ -130,12 +132,19 @@ class AdaptiveParallelizer:
         # at the cost of coarser plan-evolution feedback.  The paper uses
         # 1 to study the evolution; raise it to converge faster.
         self.mutations_per_run = mutations_per_run
+        # Consecutive adaptive runs share almost their whole plan, so the
+        # default runner memoizes operator results across runs (keyed by
+        # structural fingerprint -- stale-free, no invalidation).  Only
+        # host wall-clock changes; simulated times are bit-identical.
+        self.memo: IntermediateCache | None = (
+            IntermediateCache() if memoize else None
+        )
 
     def _default_runner(self, plan: Plan, run_index: int) -> ExecutionResult:
         # A distinct seed per run lets noise vary between runs while
         # keeping the whole adaptive instance reproducible.
         config = self.config.with_seed(self.config.seed + run_index)
-        return execute(plan, config)
+        return execute(plan, config, memo=self.memo)
 
     # ------------------------------------------------------------------
     def optimize(self, plan: Plan) -> AdaptiveResult:

@@ -2,13 +2,16 @@
 
 from .executor import execute
 from .machine import HardwareThread, MachineState
+from .memo import CacheStats, IntermediateCache
 from .noise import NoiseModel
 from .profiler import OpRecord, QueryProfile
 from .scheduler import ExecutionResult, Simulator
 
 __all__ = [
+    "CacheStats",
     "ExecutionResult",
     "HardwareThread",
+    "IntermediateCache",
     "MachineState",
     "NoiseModel",
     "OpRecord",

@@ -6,6 +6,7 @@ from ..config import SimulationConfig
 from ..errors import PlanError
 from ..plan.analysis import analyze_plan
 from ..plan.graph import Plan
+from .memo import IntermediateCache
 from .scheduler import ExecutionResult, Simulator
 
 
@@ -14,6 +15,7 @@ def execute(
     config: SimulationConfig | None = None,
     *,
     analyze: bool = False,
+    memo: IntermediateCache | None = None,
 ) -> ExecutionResult:
     """Run ``plan`` alone on a fresh simulated machine.
 
@@ -24,6 +26,11 @@ def execute(
     first and a plan with ``error`` diagnostics is refused with a
     :class:`~repro.errors.PlanError` carrying the full report, instead
     of executing to a silently wrong (or crashing) result.
+
+    ``memo`` shares an :class:`~repro.engine.memo.IntermediateCache`
+    across calls so repeated executions of structurally overlapping
+    plans skip redundant host-side operator work; simulated results are
+    identical with or without it.
     """
     if analyze:
         report = analyze_plan(plan)
@@ -34,7 +41,7 @@ def execute(
             )
     if config is None:
         config = SimulationConfig()
-    simulator = Simulator(config)
+    simulator = Simulator(config, memo=memo)
     sid = simulator.submit(plan)
     simulator.run()
     return simulator.result(sid)

@@ -38,6 +38,7 @@ from ..operators.base import WorkProfile
 from ..plan.graph import Plan, PlanNode
 from ..storage.column import Intermediate, intermediate_nbytes
 from .machine import HardwareThread, MachineState
+from .memo import IntermediateCache
 from .noise import NoiseModel
 from .profiler import OpRecord, QueryProfile
 
@@ -75,6 +76,7 @@ class _Submission:
         "is_output",
         "consumers",
         "live_bytes",
+        "fingerprints",
     )
 
     def __init__(
@@ -85,6 +87,8 @@ class _Submission:
         client: str,
         max_threads: int,
         on_complete: Callable[["_Submission"], None] | None,
+        *,
+        want_fingerprints: bool = False,
     ) -> None:
         self.sid = sid
         self.plan = plan
@@ -109,6 +113,10 @@ class _Submission:
         self.running = 0
         self.live_bytes = 0.0
         self.ready: deque[PlanNode] = deque(n for n in nodes if not n.inputs)
+        # One shared O(nodes) walk; only needed when memoization is on.
+        self.fingerprints: dict[int, bytes] = (
+            plan.fingerprints() if want_fingerprints else {}
+        )
 
     @property
     def finished(self) -> bool:
@@ -125,6 +133,7 @@ class _Submission:
         self.pending_consumers = {}
         self.consumers = {}
         self.ready = deque()
+        self.fingerprints = {}
 
 
 class _Task:
@@ -171,10 +180,20 @@ class _Task:
 
 
 class Simulator:
-    """Shared simulated machine executing one or more plans."""
+    """Shared simulated machine executing one or more plans.
 
-    def __init__(self, config: SimulationConfig) -> None:
+    ``memo`` plugs in a cross-run :class:`~repro.engine.memo.IntermediateCache`:
+    operators whose plan fingerprint is cached skip real evaluation and
+    reuse the stored intermediate and work profile.  Simulated time is
+    unaffected -- the roofline model still charges the same work -- only
+    host wall-clock changes.
+    """
+
+    def __init__(
+        self, config: SimulationConfig, *, memo: IntermediateCache | None = None
+    ) -> None:
         self.config = config
+        self.memo = memo
         self.machine = MachineState(config.machine)
         self.cost_ctx = CostContext(machine=config.machine, data_scale=config.data_scale)
         self.noise = NoiseModel(config.noise, config.rng())
@@ -223,7 +242,15 @@ class Simulator:
             def wrapped(sub: _Submission, _cb=callback) -> None:
                 _cb(sub.sid)
 
-        sub = _Submission(sid, plan, self.now, client, limit, wrapped)
+        sub = _Submission(
+            sid,
+            plan,
+            self.now,
+            client,
+            limit,
+            wrapped,
+            want_fingerprints=self.memo is not None,
+        )
         self._submissions[sid] = sub
         if sub.finished:  # degenerate empty plan
             sub.profile.finish_time = self.now
@@ -270,9 +297,21 @@ class Simulator:
                 progress = True
 
     def _start_task(self, sub: _Submission, node: PlanNode, thread: HardwareThread) -> None:
-        inputs = [sub.values[child.nid] for child in node.inputs]
-        output = node.op.evaluate(inputs)
-        profile = node.op.work_profile(inputs, output)
+        memo = self.memo
+        cached = None
+        if memo is not None:
+            fingerprint = sub.fingerprints[node.nid]
+            cached = memo.get(fingerprint)
+        if cached is not None:
+            # Equal fingerprint == bit-identical value and counters; the
+            # real evaluate/work_profile calls are pure host-side cost.
+            output, profile = cached
+        else:
+            inputs = [sub.values[child.nid] for child in node.inputs]
+            output = node.op.evaluate(inputs)
+            profile = node.op.work_profile(inputs, output)
+            if memo is not None:
+                memo.put(fingerprint, output, profile)
         sub.values[node.nid] = output
         amortize = False
         if node.kind in ("join", "semijoin") and len(node.inputs) == 2:

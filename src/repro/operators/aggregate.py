@@ -84,5 +84,8 @@ class Aggregate(Operator):
             bytes_written=8,
         )
 
+    def params(self) -> tuple:
+        return (self.func,)
+
     def describe(self) -> str:
         return f"aggr({self.func})"

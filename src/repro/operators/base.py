@@ -13,6 +13,15 @@ those are edges of the plan graph.  Two methods matter:
     pattern).  The cost model (:mod:`repro.costmodel`) turns these into
     simulated cpu cycles and memory traffic; the engine turns *those* into
     simulated time given machine contention.
+
+``params()`` / ``cache_key()``
+    A stable, hashable description of the operator's configuration --
+    everything that, together with the input values, determines the
+    output.  Plan fingerprints (:meth:`repro.plan.graph.PlanNode.fingerprint`)
+    and the cross-run result memoization layer (:mod:`repro.engine.memo`)
+    are built on it: two operator instances with equal cache keys fed
+    bit-identical inputs produce bit-identical outputs, no matter which
+    plan copy or adaptive run they live in.
 """
 
 from __future__ import annotations
@@ -97,6 +106,27 @@ class Operator(ABC):
         dup = copy.copy(self)
         dup.uid = next(_op_counter)
         return dup
+
+    def params(self) -> tuple:
+        """Hashable parameters that (with the inputs) determine the output.
+
+        Subclasses with configuration (predicate bounds, aggregate
+        function, partition range, ...) must override this; the base
+        implementation covers parameter-free operators.  The tuple must
+        contain only primitives and nested tuples with deterministic
+        ``repr``, and must NOT include per-instance identity such as
+        ``uid`` -- clones of the same logical operator share one key.
+        """
+        return ()
+
+    def cache_key(self) -> tuple:
+        """Stable identity of this operator's computation.
+
+        Equal cache keys mean: given bit-identical inputs, ``evaluate``
+        returns bit-identical outputs and ``work_profile`` identical
+        counters.  Used by plan fingerprinting and result memoization.
+        """
+        return (type(self).__name__, self.kind, *self.params())
 
     def describe(self) -> str:
         """Short label for plan printing; subclasses add parameters."""

@@ -94,6 +94,9 @@ class Calc(Operator):
             bytes_written=written,
         )
 
+    def params(self) -> tuple:
+        return (self.op,)
+
     def describe(self) -> str:
         return f"calc({self.op})"
 

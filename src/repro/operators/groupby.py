@@ -128,6 +128,9 @@ class GroupAggregate(Operator):
             random_reads=n,
         )
 
+    def params(self) -> tuple:
+        return (self.func,)
+
     def describe(self) -> str:
         return f"groupby({self.func})"
 
@@ -170,6 +173,9 @@ class AggrMerge(Operator):
             bytes_written=output.nbytes,
             build_bytes=len(output) * 24,
         )
+
+    def params(self) -> tuple:
+        return (self.func,)
 
     def describe(self) -> str:
         return f"aggr_merge({self.func})"

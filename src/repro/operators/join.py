@@ -116,6 +116,9 @@ class SemiJoin(Operator):
         dtype = inputs[0].dtype if isinstance(inputs[0], BAT) else inputs[0].column.dtype
         return BAT(outer_heads[hit], outer_values[hit], dtype)
 
+    def params(self) -> tuple:
+        return (self.negate,)
+
     def work_profile(
         self, inputs: Sequence[Intermediate], output: Intermediate
     ) -> WorkProfile:

@@ -34,5 +34,8 @@ class Literal(Operator):
     ) -> WorkProfile:
         return WorkProfile(tuples_out=1)
 
+    def params(self) -> tuple:
+        return (self.value, self.dtype.name)
+
     def describe(self) -> str:
         return f"lit({self.value})"

@@ -90,6 +90,9 @@ class Fetch(Operator):
             random_reads=len(output),
         )
 
+    def params(self) -> tuple:
+        return (self.alignment,)
+
     def describe(self) -> str:
         return f"fetch[{self.alignment}]"
 

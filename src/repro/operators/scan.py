@@ -51,5 +51,10 @@ class Scan(Operator):
             )
         return Scan(self.column, self.lo, at), Scan(self.column, at, self.hi)
 
+    def params(self) -> tuple:
+        # Column identity (not content) is the leaf key: base columns
+        # are immutable, so (column, range) fully determines the slice.
+        return (self.column.cache_key(), self.lo, self.hi)
+
     def describe(self) -> str:
         return f"scan({self.column.name}[{self.lo}:{self.hi}])"

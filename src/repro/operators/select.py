@@ -30,6 +30,15 @@ class Predicate(ABC):
     def describe(self) -> str:
         """Human-readable form for plan printing."""
 
+    def cache_key(self) -> tuple:
+        """Stable identity of this predicate for plan fingerprinting.
+
+        The default derives the key from :meth:`describe`, which for a
+        well-behaved predicate spells out every parameter; subclasses
+        whose description is lossy must override with the raw values.
+        """
+        return (type(self).__name__, self.describe())
+
 
 class RangePredicate(Predicate):
     """``lo <= v <= hi`` with open ends expressed as ``None``."""
@@ -62,6 +71,9 @@ class RangePredicate(Predicate):
         hi_b = "]" if self.hi_inclusive else ")"
         return f"{lo_b}{self.lo}:{self.hi}{hi_b}"
 
+    def cache_key(self) -> tuple:
+        return ("range", self.lo, self.hi, self.lo_inclusive, self.hi_inclusive)
+
 
 class EqualsPredicate(Predicate):
     """``v == value`` (or ``v != value``); strings are raw strings."""
@@ -86,6 +98,9 @@ class EqualsPredicate(Predicate):
     def describe(self) -> str:
         op = "!=" if self.negate else "=="
         return f"{op}{self.value!r}"
+
+    def cache_key(self) -> tuple:
+        return ("equals", self.value, self.negate)
 
 
 class InPredicate(Predicate):
@@ -116,6 +131,9 @@ class InPredicate(Predicate):
         op = "not in" if self.negate else "in"
         return f"{op} {self.values!r}"
 
+    def cache_key(self) -> tuple:
+        return ("in", self.values, self.negate)
+
 
 class LikePredicate(Predicate):
     """SQL ``LIKE`` on a dictionary-encoded string column.
@@ -142,6 +160,9 @@ class LikePredicate(Predicate):
     def describe(self) -> str:
         op = "not like" if self.negate else "like"
         return f"{op} {self.pattern!r}"
+
+    def cache_key(self) -> tuple:
+        return ("like", self.pattern, self.negate)
 
 
 class Select(Operator):
@@ -203,6 +224,9 @@ class Select(Operator):
             bytes_read=scanned * width,
             bytes_written=len(output) * 8,
         )
+
+    def params(self) -> tuple:
+        return (self.predicate.cache_key(),)
 
     def describe(self) -> str:
         return f"select({self.predicate.describe()})"

@@ -77,6 +77,9 @@ class PartitionSlice(Operator):
         # Boundary marking only -- the view costs (almost) nothing.
         return WorkProfile(tuples_in=0, tuples_out=len(output))
 
+    def params(self) -> tuple:
+        return (self.lo, self.hi)
+
     def describe(self) -> str:
         lo_pct = 100.0 * self.lo / FRACTION_UNITS
         hi_pct = 100.0 * self.hi / FRACTION_UNITS
@@ -144,6 +147,9 @@ class ValuePartition(Operator):
             bytes_read=inputs[0].nbytes,
             bytes_written=output.nbytes,
         )
+
+    def params(self) -> tuple:
+        return (self.lo, self.hi)
 
     def describe(self) -> str:
         return f"vpartition[{self.lo}:{self.hi})"

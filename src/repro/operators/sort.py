@@ -51,6 +51,9 @@ class Sort(Operator):
             random_reads=n,
         )
 
+    def params(self) -> tuple:
+        return (self.descending, self.by)
+
     def describe(self) -> str:
         direction = "desc" if self.descending else "asc"
         return f"sort({self.by} {direction})"
@@ -84,6 +87,9 @@ class TopN(Operator):
             bytes_read=output.nbytes,
             bytes_written=output.nbytes,
         )
+
+    def params(self) -> tuple:
+        return (self.n,)
 
     def describe(self) -> str:
         return f"topn({self.n})"
@@ -123,6 +129,9 @@ class TailFilter(Operator):
             bytes_read=inputs[0].nbytes,
             bytes_written=output.nbytes,
         )
+
+    def params(self) -> tuple:
+        return (self.predicate.cache_key(),)
 
     def describe(self) -> str:
         return f"having({self.predicate.describe()})"

@@ -10,12 +10,56 @@ and removed, and the whole graph stays executable after every step.
 from __future__ import annotations
 
 import itertools
+from hashlib import blake2b
 from typing import Callable, Iterable, Iterator, Sequence
 
 from ..errors import PlanError
 from ..operators.base import Operator
 
 _node_counter = itertools.count(1)
+
+#: Digest width of plan fingerprints (collision odds are negligible at
+#: 16 bytes while keys stay cheap to hash and compare).
+_FINGERPRINT_BYTES = 16
+
+
+def _fingerprint_into(roots: Sequence["PlanNode"], memo: dict[int, bytes]) -> None:
+    """Fill ``memo`` (nid -> digest) for every node reachable from ``roots``.
+
+    Iterative post-order: children are digested before their consumers,
+    so arbitrarily deep partitioned plans do not hit the recursion limit.
+    """
+    _VISITING, _DONE = 0, 1
+    state: dict[int, int] = {nid: _DONE for nid in memo}
+    stack: list[PlanNode] = list(roots)
+    while stack:
+        node = stack[-1]
+        mark = state.get(node.nid)
+        if mark == _DONE:
+            stack.pop()
+            continue
+        if mark is None:
+            state[node.nid] = _VISITING
+            pending = [c for c in node.inputs if state.get(c.nid) != _DONE]
+            if pending:
+                for child in pending:
+                    if state.get(child.nid) == _VISITING:
+                        raise PlanError(
+                            f"plan contains a cycle near: {child.describe()}"
+                        )
+                stack.extend(pending)
+                continue
+        # All inputs digested: hash this node.  The digest mixes the
+        # operator's cache key, the order key, and the input digests in
+        # input order; fixed-width child digests keep the encoding
+        # unambiguous.
+        h = blake2b(digest_size=_FINGERPRINT_BYTES)
+        h.update(repr((node.op.cache_key(), node.order_key)).encode())
+        for child in node.inputs:
+            h.update(memo[child.nid])
+        memo[node.nid] = h.digest()
+        state[node.nid] = _DONE
+        stack.pop()
 
 
 class PlanNode:
@@ -45,6 +89,21 @@ class PlanNode:
     @property
     def kind(self) -> str:
         return self.op.kind
+
+    def fingerprint(self) -> bytes:
+        """Structural fingerprint of the value this node computes.
+
+        Derived from the operator's :meth:`~repro.operators.base.Operator.cache_key`,
+        the ``order_key``, and the input fingerprints (in input order);
+        leaves bottom out in :meth:`repro.storage.column.Column.cache_key`
+        identity.  Two nodes with equal fingerprints compute bit-identical
+        intermediates -- even across independent :meth:`Plan.copy` clones
+        or adaptive-run mutations -- which is what makes cross-run result
+        memoization (:mod:`repro.engine.memo`) stale-free by construction.
+        """
+        memo: dict[int, bytes] = {}
+        _fingerprint_into([self], memo)
+        return memo[self.nid]
 
     def describe(self) -> str:
         text = self.op.describe()
@@ -113,6 +172,16 @@ class Plan:
 
     def __iter__(self) -> Iterator[PlanNode]:
         return iter(self.nodes())
+
+    def fingerprints(self) -> dict[int, bytes]:
+        """Fingerprint of every reachable node, keyed by ``nid``.
+
+        One shared post-order walk, so the whole plan costs O(nodes)
+        regardless of DAG sharing; see :meth:`PlanNode.fingerprint`.
+        """
+        memo: dict[int, bytes] = {}
+        _fingerprint_into(self.outputs, memo)
+        return memo
 
     def consumers(self, target: PlanNode) -> list[PlanNode]:
         """Nodes that read ``target``'s output."""

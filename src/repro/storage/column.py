@@ -17,6 +17,7 @@ Two intermediate shapes flow between operators:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -25,11 +26,13 @@ import numpy as np
 from ..errors import AlignmentError, StorageError
 from .dtypes import DataType, OID_DTYPE, STR
 
+_column_counter = itertools.count()
+
 
 class Column:
     """An immutable base column over the global oid space ``[0, len)``."""
 
-    __slots__ = ("name", "dtype", "values", "dictionary")
+    __slots__ = ("name", "dtype", "values", "dictionary", "uid")
 
     def __init__(
         self,
@@ -54,6 +57,16 @@ class Column:
         self.dictionary: tuple[str, ...] | None = (
             tuple(dictionary) if dictionary is not None else None
         )
+        # Process-wide identity token.  Base columns are immutable, so
+        # the uid is a sound leaf key for plan fingerprints: two plans
+        # scanning the same Column object compute over the same bytes;
+        # distinct Column objects (even with equal contents) never share
+        # a fingerprint, which keeps memoization stale-free.
+        self.uid = next(_column_counter)
+
+    def cache_key(self) -> tuple:
+        """Leaf key used by plan fingerprinting (identity, not content)."""
+        return (self.uid, self.name, len(self.values))
 
     @classmethod
     def from_strings(cls, name: str, strings: Sequence[str]) -> "Column":

@@ -1,0 +1,122 @@
+"""Structural plan fingerprints: stability, sensitivity, sharing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.operators import (
+    Aggregate,
+    Fetch,
+    PartitionSlice,
+    RangePredicate,
+    Scan,
+    Select,
+)
+from repro.plan import Plan
+from repro.storage import Column, LNG
+
+
+def build_plan(col: Column, *, hi: float = 10) -> Plan:
+    plan = Plan()
+    scan = plan.add(Scan(col))
+    sel = plan.add(Select(RangePredicate(hi=hi)), [scan])
+    fetch = plan.add(Fetch(), [sel, scan])
+    agg = plan.add(Aggregate("sum"), [fetch])
+    plan.set_outputs([agg])
+    return plan
+
+
+@pytest.fixture()
+def column() -> Column:
+    return Column("v", LNG, np.arange(50))
+
+
+class TestStability:
+    def test_copy_clones_keep_fingerprints(self, column):
+        """Plan.copy() clones every node and operator, yet the values the
+        clones compute are the same -- fingerprints must agree."""
+        plan = build_plan(column)
+        a, b = plan.copy(), plan.copy()
+        fps_a = sorted(a.fingerprints().values())
+        fps_b = sorted(b.fingerprints().values())
+        assert fps_a == fps_b
+
+    def test_same_structure_same_fingerprint(self, column):
+        one = build_plan(column).outputs[0].fingerprint()
+        two = build_plan(column).outputs[0].fingerprint()
+        assert one == two
+
+    def test_plan_fingerprints_match_node_fingerprint(self, column):
+        plan = build_plan(column)
+        fps = plan.fingerprints()
+        for node in plan.nodes():
+            assert fps[node.nid] == node.fingerprint()
+
+    def test_digest_width(self, column):
+        fp = build_plan(column).outputs[0].fingerprint()
+        assert isinstance(fp, bytes) and len(fp) == 16
+
+
+class TestSensitivity:
+    def test_selection_bound_changes_fingerprint(self, column):
+        base = build_plan(column, hi=10).outputs[0].fingerprint()
+        other = build_plan(column, hi=11).outputs[0].fingerprint()
+        assert base != other
+
+    def test_partition_range_changes_fingerprint(self, column):
+        def sliced(lo: int, hi: int) -> bytes:
+            plan = Plan()
+            scan = plan.add(Scan(column))
+            part = plan.add(PartitionSlice(lo, hi), [scan])
+            plan.set_outputs([part])
+            return part.fingerprint()
+
+        assert sliced(0, 25) != sliced(25, 50)
+
+    def test_order_key_changes_fingerprint(self, column):
+        plan = build_plan(column)
+        fp_before = plan.outputs[0].fingerprint()
+        plan.outputs[0].order_key = 3
+        assert plan.outputs[0].fingerprint() != fp_before
+
+    def test_distinct_base_columns_differ(self):
+        """Equal contents in distinct Column objects must not collide:
+        leaf keys are identity-based, not value-based."""
+        col_a = Column("v", LNG, np.arange(50))
+        col_b = Column("v", LNG, np.arange(50))
+        assert (
+            build_plan(col_a).outputs[0].fingerprint()
+            != build_plan(col_b).outputs[0].fingerprint()
+        )
+
+    def test_input_fingerprint_propagates(self, column):
+        """Changing a leaf changes every downstream fingerprint."""
+        narrow = build_plan(column)
+        fps = narrow.fingerprints()
+        wide = build_plan(column, hi=20)
+        fps_wide = wide.fingerprints()
+        scan_fp = {fps[n.nid] for n in narrow.nodes() if n.kind == "scan"}
+        scan_fp_wide = {fps_wide[n.nid] for n in wide.nodes() if n.kind == "scan"}
+        assert scan_fp == scan_fp_wide  # the shared scan is unaffected
+        agg = narrow.outputs[0]
+        agg_wide = wide.outputs[0]
+        assert fps[agg.nid] != fps_wide[agg_wide.nid]
+
+
+class TestEdgeCases:
+    def test_cycle_raises(self, column):
+        plan = build_plan(column)
+        agg = plan.outputs[0]
+        sel = plan.find(lambda n: n.kind == "select")[0]
+        sel.inputs.append(agg)
+        with pytest.raises(PlanError, match="cycle"):
+            plan.fingerprints()
+
+    def test_shared_subdag_hashed_once(self, column):
+        """Diamond plans must fingerprint in O(nodes): the shared scan's
+        digest is computed once and reused by both consumers."""
+        plan = build_plan(column)
+        fps = plan.fingerprints()
+        assert len(fps) == len(plan.nodes())

@@ -1,0 +1,109 @@
+"""Property: memoization is invisible to everything but wall-clock.
+
+Whatever query shape and seed we draw, running a full adaptive
+parallelization instance with the cross-run cache on must produce the
+*same* simulated trace as with it off: identical per-run execution
+times, identical query outputs, and the same GME plan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import SimulationConfig, laptop_machine
+from repro.core import AdaptiveParallelizer, ConvergenceParams
+from repro.core.adaptive import intermediates_equal
+from repro.operators import Aggregate, Calc, Fetch, Join, RangePredicate, Scan, Select
+from repro.plan import Plan
+from repro.storage import Catalog, LNG, Table
+
+
+def build_catalog(seed: int) -> Catalog:
+    rng = np.random.default_rng(seed)
+    n, m = 3_000, 64
+    catalog = Catalog()
+    catalog.add(
+        Table.from_arrays(
+            "facts",
+            {
+                "fk": (LNG, rng.integers(0, m, n)),
+                "val": (LNG, rng.integers(0, 1_000, n)),
+                "qty": (LNG, rng.integers(1, 50, n)),
+            },
+        )
+    )
+    catalog.add(Table.from_arrays("dims", {"pk": (LNG, np.arange(m))}))
+    return catalog
+
+
+def build_plan(catalog: Catalog, hi: int, with_join: bool) -> Plan:
+    plan = Plan()
+    if with_join:
+        fk = plan.add(Scan(catalog.column("facts", "fk")))
+        pk = plan.add(Scan(catalog.column("dims", "pk")))
+        joined = plan.add(Join(), [fk, pk])
+        agg = plan.add(Aggregate("count"), [joined])
+    else:
+        val = plan.add(Scan(catalog.column("facts", "val")))
+        qty = plan.add(Scan(catalog.column("facts", "qty")))
+        sel = plan.add(Select(RangePredicate(hi=hi)), [val])
+        vals = plan.add(Fetch(), [sel, val])
+        qtys = plan.add(Fetch(), [sel, qty])
+        prod = plan.add(Calc("*"), [vals, qtys])
+        agg = plan.add(Aggregate("sum"), [prod])
+    plan.set_outputs([agg])
+    return plan
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    hi=st.integers(min_value=50, max_value=900),
+    with_join=st.booleans(),
+)
+def test_optimize_identical_with_and_without_cache(seed, hi, with_join):
+    catalog = build_catalog(seed % 7)
+    plan = build_plan(catalog, hi, with_join)
+    config = SimulationConfig(machine=laptop_machine(), seed=seed)
+    convergence = ConvergenceParams(
+        number_of_cores=config.effective_threads, extra_runs=3, max_runs=40
+    )
+
+    def run(memoize: bool):
+        parallelizer = AdaptiveParallelizer(
+            config, convergence=convergence, memoize=memoize
+        )
+        result = parallelizer.optimize(plan)
+        final = parallelizer.runner(result.best_plan, result.total_runs + 1)
+        return parallelizer, result, final
+
+    ap_on, res_on, final_on = run(True)
+    __, res_off, final_off = run(False)
+
+    # The simulated trace is bit-identical: same times, same GME choice.
+    assert res_on.exec_times() == res_off.exec_times()
+    assert res_on.serial_time == res_off.serial_time
+    assert res_on.gme_time == res_off.gme_time
+    assert res_on.gme_run == res_off.gme_run
+    assert res_on.total_runs == res_off.total_runs
+
+    # The chosen GME plans are structurally the same plan.
+    fp_on = [out.fingerprint() for out in res_on.best_plan.outputs]
+    fp_off = [out.fingerprint() for out in res_off.best_plan.outputs]
+    assert fp_on == fp_off
+
+    # Query outputs match value-for-value.
+    assert len(final_on.outputs) == len(final_off.outputs)
+    for a, b in zip(final_on.outputs, final_off.outputs):
+        assert intermediates_equal(a, b)
+
+    # And the cache actually worked: repeated runs mostly hit.
+    if res_on.total_runs > 2:
+        assert ap_on.memo is not None
+        assert ap_on.memo.stats.hits > 0
