@@ -1,0 +1,32 @@
+"""Host wall-clock of adaptive instances: intermediate cache off vs on.
+
+Unlike the fig* benchmarks this one measures *host* seconds, not
+simulated time: a full adaptive-parallelization instance is driven
+twice per workload -- cold (no cache) and warm (shared
+``IntermediateCache``) -- and the two traces are cross-checked for
+bit-identical simulated results.  ``repro bench --wallclock`` is the
+CLI entry point; this file makes the same run part of the benchmark
+suite and pins the regression gates.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.wallclock import check_report, format_report, run_wallclock
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def test_wallclock_quick(benchmark):
+    report = benchmark.pedantic(run_wallclock, args=(True,), rounds=1, iterations=1)
+    print("\n" + format_report(report))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "wallclock_quick.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    # Results must be indistinguishable from the uncached engine, and
+    # cross-run reuse must stay high (the adaptive loop re-executes
+    # almost the same plan every run).
+    check_report(report, min_hit_rate=0.5)

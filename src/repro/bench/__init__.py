@@ -1,5 +1,12 @@
 """Benchmark harness: experiment runners and paper-vs-measured reporting."""
 
 from .reporting import ComparisonRow, ExperimentReport
+from .wallclock import check_report, format_report, run_wallclock
 
-__all__ = ["ComparisonRow", "ExperimentReport"]
+__all__ = [
+    "ComparisonRow",
+    "ExperimentReport",
+    "check_report",
+    "format_report",
+    "run_wallclock",
+]

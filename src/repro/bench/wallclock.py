@@ -1,0 +1,255 @@
+"""Host wall-clock benchmark for the cross-run memoization layer.
+
+Everything else in :mod:`repro.bench` measures *simulated* time; this
+module measures how long the host actually takes to drive a full
+adaptive-parallelization instance (tens to hundreds of runs over the
+same query), with the :class:`~repro.engine.memo.IntermediateCache` off
+(cold) versus on (warm).  Because memoization must be invisible to the
+simulation, the benchmark also cross-checks that both instances produce
+identical per-run execution times, the same GME plan (by structural
+fingerprint), and equal query outputs -- a speedup that changed the
+results would be a bug, not a win.
+
+Results are written as JSON (``BENCH_wallclock.json``); see
+``docs/perf.md`` for how to read them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable
+
+import numpy as np
+
+from ..config import SimulationConfig
+from ..core import AdaptiveParallelizer, ConvergenceParams
+from ..core.adaptive import AdaptiveResult, intermediates_equal
+from ..engine import execute
+from ..errors import ReproError
+from ..operators import Calc, Fetch, GroupAggregate, RangePredicate, Scan, Select
+from ..plan import Plan
+from ..workloads import JoinMicroWorkload, TpchDataset
+
+#: Schema tag so downstream tooling can detect format changes.
+SCHEMA = "repro/bench_wallclock/v1"
+
+
+def q1_style_plan(dataset: TpchDataset) -> Plan:
+    """A TPC-H Q1-style aggregation over lineitem.
+
+    Date-range select, three fetches, an arithmetic calc, and two
+    grouped aggregates over a low-cardinality key -- the classic
+    scan-heavy reporting shape Q1 exercises (the generated lineitem has
+    no returnflag/linestatus, so ``l_tax`` serves as the group key).
+    """
+    cat = dataset.catalog
+    shipdate = cat.column("lineitem", "l_shipdate")
+    # Data-driven cutoff at ~70% selectivity keeps the plan meaningful
+    # at every scale factor without hard-coding the date encoding.
+    cutoff = float(np.percentile(shipdate.values, 70))
+    plan = Plan()
+
+    def scan(table: str, column: str):
+        return plan.add(Scan(cat.column(table, column)), label=f"{table}.{column}")
+
+    cands = plan.add(
+        Select(RangePredicate(hi=cutoff, hi_inclusive=False)),
+        [scan("lineitem", "l_shipdate")],
+    )
+    keys = plan.add(Fetch(), [cands, scan("lineitem", "l_tax")])
+    price = plan.add(Fetch(), [cands, scan("lineitem", "l_extendedprice")])
+    disc = plan.add(Fetch(), [cands, scan("lineitem", "l_discount")])
+    volume = plan.add(Calc("*"), [price, disc])
+    sums = plan.add(GroupAggregate("sum"), [keys, volume])
+    counts = plan.add(GroupAggregate("count"), [keys])
+    plan.set_outputs([sums, counts])
+    return plan
+
+
+@dataclass
+class WorkloadSpec:
+    """One benchmark workload: a plan plus how to run it adaptively."""
+
+    name: str
+    build: Callable[[], tuple[Plan, SimulationConfig]]
+    max_runs: int
+
+
+def _specs(quick: bool) -> list[WorkloadSpec]:
+    def tpch() -> tuple[Plan, SimulationConfig]:
+        # Quick mode keeps generation cheap for CI; full mode uses
+        # enough rows that per-run operator work dominates scheduling
+        # overhead, which is what the cache can remove.
+        dataset = TpchDataset(scale_factor=1 if quick else 120)
+        return q1_style_plan(dataset), dataset.sim_config(seed=29)
+
+    def join() -> tuple[Plan, SimulationConfig]:
+        micro = JoinMicroWorkload(outer_mb=640 if quick else 3200, inner_mb=16)
+        return micro.plan(), micro.sim_config(seed=31)
+
+    limit = 60 if quick else 500
+    return [
+        WorkloadSpec("tpch_q1_style", tpch, limit),
+        WorkloadSpec("join_micro", join, limit),
+    ]
+
+
+@dataclass
+class WorkloadOutcome:
+    """Cold-vs-warm measurement of one workload."""
+
+    name: str
+    total_runs: int
+    serial_ms: float
+    gme_ms: float
+    gme_run: int
+    sim_speedup: float
+    cold_seconds: float
+    warm_seconds: float
+    cache: dict = field(default_factory=dict)
+    identical: bool = False
+
+    @property
+    def wallclock_speedup(self) -> float:
+        return self.cold_seconds / self.warm_seconds if self.warm_seconds else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "total_runs": self.total_runs,
+            "serial_ms": round(self.serial_ms, 4),
+            "gme_ms": round(self.gme_ms, 4),
+            "gme_run": self.gme_run,
+            "sim_speedup": round(self.sim_speedup, 3),
+            "cold_seconds": round(self.cold_seconds, 4),
+            "warm_seconds": round(self.warm_seconds, 4),
+            "wallclock_speedup": round(self.wallclock_speedup, 3),
+            "cache": self.cache,
+            "identical": self.identical,
+        }
+
+
+def _identical(
+    cold: AdaptiveResult, warm: AdaptiveResult, config: SimulationConfig
+) -> bool:
+    """The cache changed nothing the simulation can observe."""
+    if cold.exec_times() != warm.exec_times():
+        return False
+    if (cold.gme_run, cold.gme_time, cold.total_runs) != (
+        warm.gme_run,
+        warm.gme_time,
+        warm.total_runs,
+    ):
+        return False
+    cold_fps = [out.fingerprint() for out in cold.best_plan.outputs]
+    warm_fps = [out.fingerprint() for out in warm.best_plan.outputs]
+    if cold_fps != warm_fps:
+        return False
+    cold_out = execute(cold.best_plan, config).outputs
+    warm_out = execute(warm.best_plan, config).outputs
+    return len(cold_out) == len(warm_out) and all(
+        intermediates_equal(a, b) for a, b in zip(cold_out, warm_out)
+    )
+
+
+def _measure(spec: WorkloadSpec) -> WorkloadOutcome:
+    plan, config = spec.build()
+    convergence = ConvergenceParams(
+        number_of_cores=config.effective_threads, max_runs=spec.max_runs
+    )
+
+    def instance(memoize: bool) -> tuple[AdaptiveParallelizer, AdaptiveResult, float]:
+        parallelizer = AdaptiveParallelizer(
+            config, convergence=convergence, memoize=memoize
+        )
+        start = perf_counter()
+        result = parallelizer.optimize(plan)
+        return parallelizer, result, perf_counter() - start
+
+    # Cold first so the warm instance cannot ride the OS page cache of
+    # freshly generated data more than the cold one did.
+    __, cold_res, cold_s = instance(memoize=False)
+    warm_ap, warm_res, warm_s = instance(memoize=True)
+    assert warm_ap.memo is not None
+    return WorkloadOutcome(
+        name=spec.name,
+        total_runs=warm_res.total_runs,
+        serial_ms=warm_res.serial_time * 1000,
+        gme_ms=warm_res.gme_time * 1000,
+        gme_run=warm_res.gme_run,
+        sim_speedup=warm_res.speedup,
+        cold_seconds=cold_s,
+        warm_seconds=warm_s,
+        cache=warm_ap.memo.stats.as_dict(),
+        identical=_identical(cold_res, warm_res, config),
+    )
+
+
+def run_wallclock(quick: bool = False) -> dict:
+    """Run every workload cold and warm; JSON-ready report."""
+    outcomes = [_measure(spec) for spec in _specs(quick)]
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "workloads": [o.as_dict() for o in outcomes],
+        "summary": {
+            "min_wallclock_speedup": round(
+                min(o.wallclock_speedup for o in outcomes), 3
+            ),
+            "min_hit_rate": round(
+                min(o.cache["hit_rate"] for o in outcomes), 4
+            ),
+            "all_identical": all(o.identical for o in outcomes),
+        },
+    }
+
+
+def check_report(
+    report: dict,
+    *,
+    min_hit_rate: float | None = None,
+    min_speedup: float | None = None,
+) -> None:
+    """Raise :class:`ReproError` if the report misses its gates.
+
+    Used by CI: results must stay bit-identical, and reuse/speedup must
+    not regress below the requested floors.
+    """
+    summary = report["summary"]
+    if not summary["all_identical"]:
+        broken = [w["name"] for w in report["workloads"] if not w["identical"]]
+        raise ReproError(
+            "memoized results diverged from uncached results on: "
+            + ", ".join(broken)
+        )
+    if min_hit_rate is not None and summary["min_hit_rate"] < min_hit_rate:
+        raise ReproError(
+            f"cache hit rate {summary['min_hit_rate']:.2%} is below the "
+            f"required {min_hit_rate:.2%}"
+        )
+    if min_speedup is not None and summary["min_wallclock_speedup"] < min_speedup:
+        raise ReproError(
+            f"wall-clock speedup x{summary['min_wallclock_speedup']:.2f} is "
+            f"below the required x{min_speedup:.2f}"
+        )
+
+
+def format_report(report: dict) -> str:
+    """Human-readable rendering of a wall-clock report."""
+    lines = [f"wall-clock benchmark ({'quick' if report['quick'] else 'full'} mode)"]
+    for w in report["workloads"]:
+        lines.append(
+            f"  {w['name']}: {w['total_runs']} runs, "
+            f"cold {w['cold_seconds']:.2f}s -> warm {w['warm_seconds']:.2f}s "
+            f"(x{w['wallclock_speedup']:.2f} host), "
+            f"hit rate {w['cache']['hit_rate']:.1%}, "
+            f"identical={'yes' if w['identical'] else 'NO'}"
+        )
+    s = report["summary"]
+    lines.append(
+        f"  summary: min speedup x{s['min_wallclock_speedup']:.2f}, "
+        f"min hit rate {s['min_hit_rate']:.1%}, "
+        f"all identical={'yes' if s['all_identical'] else 'NO'}"
+    )
+    return "\n".join(lines)

@@ -15,7 +15,9 @@ Commands
     non-zero on errors (and, with ``--strict``, on warnings).
 ``bench NAME``
     Run one of the paper's experiments (``fig11``, ``fig12`` ...) and
-    print its paper-vs-measured report.
+    print its paper-vs-measured report.  ``bench --wallclock`` instead
+    measures host wall-clock of full adaptive instances with the
+    cross-run result cache off vs on (see ``docs/perf.md``).
 """
 
 from __future__ import annotations
@@ -103,8 +105,37 @@ def _build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="run one of the paper's experiments")
     bench.add_argument(
         "name",
+        nargs="?",
         choices=sorted(_EXPERIMENTS) + ["list"],
         help="experiment id (or 'list')",
+    )
+    bench.add_argument(
+        "--wallclock",
+        action="store_true",
+        help="measure host wall-clock of adaptive instances, cache off vs on",
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="wallclock: smaller data, fewer runs"
+    )
+    bench.add_argument(
+        "--output",
+        metavar="FILE",
+        default="BENCH_wallclock.json",
+        help="wallclock: where to write the JSON report",
+    )
+    bench.add_argument(
+        "--min-hit-rate",
+        type=float,
+        default=None,
+        metavar="X",
+        help="wallclock: fail if any workload's cache hit rate is below X",
+    )
+    bench.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="wallclock: fail if any workload's host speedup is below X",
     )
     return parser
 
@@ -250,6 +281,10 @@ def _cmd_lint(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    if args.wallclock:
+        return _cmd_bench_wallclock(args)
+    if args.name is None:
+        raise ReproError("bench needs an experiment name (or --wallclock)")
     if args.name == "list":
         for name, (module, __) in sorted(_EXPERIMENTS.items()):
             print(f"  {name}: repro.bench.experiments.{module}")
@@ -260,6 +295,24 @@ def _cmd_bench(args) -> int:
     module = importlib.import_module(f"repro.bench.experiments.{module_name}")
     result = getattr(module, func_name)()
     result.report.print()
+    return 0
+
+
+def _cmd_bench_wallclock(args) -> int:
+    import json
+
+    from .bench.wallclock import check_report, format_report, run_wallclock
+
+    report = run_wallclock(quick=args.quick)
+    print(format_report(report))
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    check_report(
+        report, min_hit_rate=args.min_hit_rate, min_speedup=args.min_speedup
+    )
     return 0
 
 

@@ -26,20 +26,38 @@ class HardwareThread:
 
 @dataclass
 class MachineState:
-    """Mutable occupancy state of a machine during simulation."""
+    """Mutable occupancy state of a machine during simulation.
+
+    Occupancy is tracked incrementally (per-core and per-socket busy
+    counts maintained by :meth:`acquire`/:meth:`release`), so the
+    placement policy and rate model stay O(threads) per *dispatch*, not
+    O(threads^2) -- this sits on the simulator's hottest path.
+    """
 
     spec: MachineSpec
     threads: list[HardwareThread] = field(default_factory=list)
+    _core_busy: list[int] = field(default_factory=list, repr=False)
+    _socket_busy: list[int] = field(default_factory=list, repr=False)
+    _busy_total: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
-        if self.threads:
-            return
-        tid = 0
-        for core in range(self.spec.physical_cores):
-            socket = self.spec.socket_of_core(core)
-            for __ in range(self.spec.threads_per_core):
-                self.threads.append(HardwareThread(tid, core, socket))
-                tid += 1
+        if not self.threads:
+            tid = 0
+            for core in range(self.spec.physical_cores):
+                socket = self.spec.socket_of_core(core)
+                for __ in range(self.spec.threads_per_core):
+                    self.threads.append(HardwareThread(tid, core, socket))
+                    tid += 1
+        n_sockets = 1 + max(t.socket_id for t in self.threads)
+        n_cores = 1 + max(t.core_id for t in self.threads)
+        self._core_busy = [0] * n_cores
+        self._socket_busy = [0] * n_sockets
+        self._busy_total = 0
+        for t in self.threads:  # honour pre-set busy flags
+            if t.busy:
+                self._core_busy[t.core_id] += 1
+                self._socket_busy[t.socket_id] += 1
+                self._busy_total += 1
 
     # ------------------------------------------------------------------
     def siblings(self, thread: HardwareThread) -> list[HardwareThread]:
@@ -50,16 +68,16 @@ class MachineState:
         ]
 
     def core_occupancy(self, core_id: int) -> int:
-        return sum(1 for t in self.threads if t.core_id == core_id and t.busy)
+        return self._core_busy[core_id]
 
     def socket_busy_threads(self, socket_id: int) -> int:
-        return sum(1 for t in self.threads if t.socket_id == socket_id and t.busy)
+        return self._socket_busy[socket_id]
 
     def idle_threads(self) -> list[HardwareThread]:
         return [t for t in self.threads if not t.busy]
 
     def busy_count(self) -> int:
-        return sum(1 for t in self.threads if t.busy)
+        return self._busy_total
 
     # ------------------------------------------------------------------
     def pick_thread(self) -> HardwareThread | None:
@@ -69,28 +87,37 @@ class MachineState:
         rate), then spread across the least-loaded socket so concurrent
         memory-bound operators aggregate bandwidth across sockets.
         """
-        idle = self.idle_threads()
-        if not idle:
+        if self._busy_total == len(self.threads):
             return None
-
-        def score(t: HardwareThread) -> tuple[int, int, int]:
-            return (
-                self.core_occupancy(t.core_id),  # 0 = idle physical core
-                self.socket_busy_threads(t.socket_id),
-                t.thread_id,
-            )
-
-        return min(idle, key=score)
+        core_busy = self._core_busy
+        socket_busy = self._socket_busy
+        best: HardwareThread | None = None
+        best_score = (0, 0)
+        for t in self.threads:
+            if t.busy:
+                continue
+            score = (core_busy[t.core_id], socket_busy[t.socket_id])
+            if best is None or score < best_score:
+                # thread_id ascends, so the first minimum wins the tie.
+                best = t
+                best_score = score
+        return best
 
     def acquire(self, thread: HardwareThread) -> None:
         if thread.busy:
             raise SchedulerError(f"thread {thread.thread_id} already busy")
         thread.busy = True
+        self._core_busy[thread.core_id] += 1
+        self._socket_busy[thread.socket_id] += 1
+        self._busy_total += 1
 
     def release(self, thread: HardwareThread) -> None:
         if not thread.busy:
             raise SchedulerError(f"thread {thread.thread_id} already idle")
         thread.busy = False
+        self._core_busy[thread.core_id] -= 1
+        self._socket_busy[thread.socket_id] -= 1
+        self._busy_total -= 1
 
     # ------------------------------------------------------------------
     def compute_rate(self, thread: HardwareThread) -> float:
@@ -100,6 +127,7 @@ class MachineState:
         busy hyperthread sibling, the core's total throughput is
         ``hyperthread_yield`` split evenly.
         """
-        sibling_busy = any(t.busy for t in self.siblings(thread))
+        occupancy = self._core_busy[thread.core_id]
+        sibling_busy = occupancy > (1 if thread.busy else 0)
         factor = self.spec.hyperthread_yield / 2.0 if sibling_busy else 1.0
         return self.spec.cycles_per_second * factor

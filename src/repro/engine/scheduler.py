@@ -373,7 +373,10 @@ class Simulator:
             del demand[socket]
 
     def _rates(self) -> list[tuple[float, float]]:
-        """(cpu_rate, mem_rate) for each running task, given contention."""
+        """(cpu_rate, mem_rate) for each running task, given contention.
+
+        Kept for instrumentation; the event loop inlines the same math.
+        """
         machine = self.machine
         socket_demand = self._socket_mem_demand
         socket_bw = self.config.machine.mem_bandwidth_gbps * 1e9
@@ -393,23 +396,59 @@ class Simulator:
         return rates
 
     def _advance(self) -> None:
-        rates = self._rates()
+        # The innermost simulator loop: runs once per event over every
+        # running task, so the rate model is inlined (same math as
+        # ``_rates``/``MachineState.compute_rate``) and per-task values
+        # are kept in parallel lists instead of tuples.
+        tasks = self._tasks
+        spec = self.config.machine
+        core_busy = self.machine._core_busy
+        full_rate = spec.cycles_per_second
+        ht_rate = full_rate * (spec.hyperthread_yield / 2.0)
+        socket_demand = self._socket_mem_demand
+        socket_bw = spec.mem_bandwidth_gbps * 1e9
+        thread_cap = self._thread_cap
+        remote_factor = spec.numa_remote_factor
+
+        cpu_rates = []
+        mem_rates = []
         finish_in = []
-        for task, (cpu_rate, mem_rate) in zip(self._tasks, rates):
+        dt = None
+        for task in tasks:
+            thread = task.thread
+            # A running task's thread is busy, so a sibling is busy iff
+            # more than one thread of the core is.
+            cpu_rate = full_rate if core_busy[thread.core_id] == 1 else ht_rate
+            n_mem = socket_demand.get(thread.socket_id, 0)
+            if n_mem > 0:
+                mem_rate = socket_bw / n_mem
+                if thread_cap < mem_rate:
+                    mem_rate = thread_cap
+            else:
+                mem_rate = thread_cap
+            if task.remote:
+                mem_rate *= remote_factor
             cpu_t = task.cpu_rem / cpu_rate if task.cpu_rem > _EPS else 0.0
             mem_t = task.mem_rem / mem_rate if task.mem_rem > _EPS else 0.0
-            finish_in.append(max(cpu_t, mem_t))
-        dt = min(finish_in)
+            horizon = cpu_t if cpu_t > mem_t else mem_t
+            cpu_rates.append(cpu_rate)
+            mem_rates.append(mem_rate)
+            finish_in.append(horizon)
+            if dt is None or horizon < dt:
+                dt = horizon
         self.now += dt
         completed = []
-        for task, (cpu_rate, mem_rate), horizon in zip(self._tasks, rates, finish_in):
-            task.cpu_rem = max(0.0, task.cpu_rem - dt * cpu_rate)
-            task.mem_rem = max(0.0, task.mem_rem - dt * mem_rate)
-            if horizon <= dt + _EPS:
-                task.cpu_rem = 0.0
-                task.mem_rem = 0.0
+        deadline = dt + _EPS
+        for i, task in enumerate(tasks):
+            cpu_rem = task.cpu_rem - dt * cpu_rates[i]
+            mem_rem = task.mem_rem - dt * mem_rates[i]
+            if finish_in[i] <= deadline:
+                cpu_rem = 0.0
+                mem_rem = 0.0
                 completed.append(task)
-            if task.mem_active and task.mem_rem <= _EPS:
+            task.cpu_rem = cpu_rem if cpu_rem > 0.0 else 0.0
+            task.mem_rem = mem_rem if mem_rem > 0.0 else 0.0
+            if task.mem_active and mem_rem <= _EPS:
                 self._deactivate_mem(task)
         for task in completed:
             self._complete(task)

@@ -144,27 +144,37 @@ class Plan:
     # ------------------------------------------------------------------
     def nodes(self) -> list[PlanNode]:
         """All nodes reachable from the outputs, in topological order
-        (inputs before consumers)."""
+        (inputs before consumers).
+
+        Iterative DFS with the exact visit order of the recursive
+        formulation (children in input order, post-order append): this
+        runs on every mutation, analysis, and submission, so deep
+        partitioned plans must neither recurse to the limit nor pay a
+        Python call per node.
+        """
         order: list[PlanNode] = []
         state: dict[int, int] = {}  # 0 visiting, 1 done
-
-        def visit(node: PlanNode, stack: list[PlanNode]) -> None:
-            mark = state.get(node.nid)
-            if mark == 1:
-                return
-            if mark == 0:
-                cycle = " -> ".join(n.describe() for n in stack[-4:])
-                raise PlanError(f"plan contains a cycle near: {cycle}")
-            state[node.nid] = 0
-            stack.append(node)
-            for child in node.inputs:
-                visit(child, stack)
-            stack.pop()
-            state[node.nid] = 1
-            order.append(node)
-
-        for out in self.outputs:
-            visit(out, [])
+        for root in self.outputs:
+            if state.get(root.nid) == 1:
+                continue
+            state[root.nid] = 0
+            stack = [(root, iter(root.inputs))]
+            while stack:
+                node, pending = stack[-1]
+                for child in pending:
+                    mark = state.get(child.nid)
+                    if mark == 1:
+                        continue
+                    if mark == 0:
+                        cycle = " -> ".join(n.describe() for n, __ in stack[-4:])
+                        raise PlanError(f"plan contains a cycle near: {cycle}")
+                    state[child.nid] = 0
+                    stack.append((child, iter(child.inputs)))
+                    break
+                else:
+                    state[node.nid] = 1
+                    order.append(node)
+                    stack.pop()
         return order
 
     def __len__(self) -> int:

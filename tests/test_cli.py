@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -222,3 +224,42 @@ class TestBench:
     def test_bench_rejects_unknown(self):
         with pytest.raises(SystemExit):
             main(["bench", "fig99"])
+
+    def test_bench_requires_name_or_wallclock(self, capsys):
+        assert main(["bench"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bench_wallclock_quick(self, capsys, tmp_path):
+        out_file = tmp_path / "wallclock.json"
+        code = main(
+            [
+                "bench",
+                "--wallclock",
+                "--quick",
+                "--output",
+                str(out_file),
+                "--min-hit-rate",
+                "0.5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tpch_q1_style" in out and "join_micro" in out
+        report = json.loads(out_file.read_text())
+        assert report["summary"]["all_identical"] is True
+        assert report["summary"]["min_hit_rate"] > 0.5
+
+    def test_bench_wallclock_gate_failure(self, capsys, tmp_path):
+        code = main(
+            [
+                "bench",
+                "--wallclock",
+                "--quick",
+                "--output",
+                str(tmp_path / "w.json"),
+                "--min-hit-rate",
+                "0.999",
+            ]
+        )
+        assert code == 1
+        assert "hit rate" in capsys.readouterr().err
