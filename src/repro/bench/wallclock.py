@@ -1,14 +1,22 @@
-"""Host wall-clock benchmark for the cross-run memoization layer.
+"""Host wall-clock benchmark: memoization and the evaluation pool.
 
 Everything else in :mod:`repro.bench` measures *simulated* time; this
 module measures how long the host actually takes to drive a full
 adaptive-parallelization instance (tens to hundreds of runs over the
-same query), with the :class:`~repro.engine.memo.IntermediateCache` off
-(cold) versus on (warm).  Because memoization must be invisible to the
-simulation, the benchmark also cross-checks that both instances produce
-identical per-run execution times, the same GME plan (by structural
-fingerprint), and equal query outputs -- a speedup that changed the
-results would be a bug, not a win.
+same query), along two axes that must both be invisible to the
+simulation:
+
+* the cross-run :class:`~repro.engine.memo.IntermediateCache` (cold
+  versus warm), and
+* the :class:`~repro.engine.evalpool.EvalPool` worker count (a sweep
+  over ``--workers``; every ready operator batch is evaluated on that
+  many host threads).
+
+Because neither layer may change what the simulation observes, the
+benchmark cross-checks that every instance produces identical per-run
+execution times, the same GME plan (by structural fingerprint), and
+equal query outputs -- a speedup that changed the results would be a
+bug, not a win.
 
 Results are written as JSON (``BENCH_wallclock.json``); see
 ``docs/perf.md`` for how to read them.
@@ -18,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -26,13 +34,15 @@ from ..config import SimulationConfig
 from ..core import AdaptiveParallelizer, ConvergenceParams
 from ..core.adaptive import AdaptiveResult, intermediates_equal
 from ..engine import execute
+from ..engine.evalpool import default_workers
 from ..errors import ReproError
 from ..operators import Calc, Fetch, GroupAggregate, RangePredicate, Scan, Select
 from ..plan import Plan
 from ..workloads import JoinMicroWorkload, TpchDataset
 
-#: Schema tag so downstream tooling can detect format changes.
-SCHEMA = "repro/bench_wallclock/v1"
+#: Schema tag so downstream tooling can detect format changes.  v2 adds
+#: the evaluation-pool worker sweep and per-stage host timings.
+SCHEMA = "repro/bench_wallclock/v2"
 
 
 def q1_style_plan(dataset: TpchDataset) -> Plan:
@@ -95,9 +105,45 @@ def _specs(quick: bool) -> list[WorkloadSpec]:
     ]
 
 
+def resolve_workers(workers: Sequence[int] | None) -> tuple[int, ...]:
+    """The worker counts to sweep (always starting at 1, deduplicated).
+
+    ``None`` sweeps ``1`` and the host CPU count -- on a single-core
+    host that collapses to just ``(1,)``.
+    """
+    if workers is None:
+        counts = [1, default_workers()]
+    else:
+        counts = [1, *workers]
+    seen: list[int] = []
+    for count in counts:
+        count = int(count)
+        if count < 1:
+            raise ReproError(f"worker counts must be >= 1, got {count}")
+        if count not in seen:
+            seen.append(count)
+    return tuple(sorted(seen))
+
+
+@dataclass
+class ColdRun:
+    """One uncached adaptive instance at a fixed pool worker count."""
+
+    workers: int
+    seconds: float
+    pool: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "seconds": round(self.seconds, 4),
+            "pool": self.pool,
+        }
+
+
 @dataclass
 class WorkloadOutcome:
-    """Cold-vs-warm measurement of one workload."""
+    """Cold-sweep plus warm measurement of one workload."""
 
     name: str
     total_runs: int
@@ -105,14 +151,27 @@ class WorkloadOutcome:
     gme_ms: float
     gme_run: int
     sim_speedup: float
-    cold_seconds: float
+    cold_runs: list[ColdRun]
     warm_seconds: float
+    warm_workers: int
+    build_seconds: float
     cache: dict = field(default_factory=dict)
     identical: bool = False
 
     @property
+    def cold_seconds(self) -> float:
+        """The single-threaded uncached time (the sweep baseline)."""
+        return self.cold_runs[0].seconds
+
+    @property
     def wallclock_speedup(self) -> float:
         return self.cold_seconds / self.warm_seconds if self.warm_seconds else 0.0
+
+    @property
+    def worker_speedup(self) -> float:
+        """Uncached workers=1 over uncached workers=max of the sweep."""
+        best = self.cold_runs[-1].seconds
+        return self.cold_seconds / best if best else 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -122,56 +181,91 @@ class WorkloadOutcome:
             "gme_ms": round(self.gme_ms, 4),
             "gme_run": self.gme_run,
             "sim_speedup": round(self.sim_speedup, 3),
+            "stages": {
+                "build_seconds": round(self.build_seconds, 4),
+                "cold_seconds": round(self.cold_seconds, 4),
+                "warm_seconds": round(self.warm_seconds, 4),
+            },
+            "cold": [run.as_dict() for run in self.cold_runs],
             "cold_seconds": round(self.cold_seconds, 4),
             "warm_seconds": round(self.warm_seconds, 4),
+            "warm_workers": self.warm_workers,
             "wallclock_speedup": round(self.wallclock_speedup, 3),
+            "worker_speedup": round(self.worker_speedup, 3),
             "cache": self.cache,
             "identical": self.identical,
         }
 
 
+def _traces_equal(a: AdaptiveResult, b: AdaptiveResult) -> bool:
+    """Same simulated trace: times, GME choice, and best-plan shape."""
+    if a.exec_times() != b.exec_times():
+        return False
+    if (a.gme_run, a.gme_time, a.total_runs) != (b.gme_run, b.gme_time, b.total_runs):
+        return False
+    a_fps = [out.fingerprint() for out in a.best_plan.outputs]
+    b_fps = [out.fingerprint() for out in b.best_plan.outputs]
+    return a_fps == b_fps
+
+
 def _identical(
-    cold: AdaptiveResult, warm: AdaptiveResult, config: SimulationConfig
+    baseline: AdaptiveResult, other: AdaptiveResult, config: SimulationConfig
 ) -> bool:
-    """The cache changed nothing the simulation can observe."""
-    if cold.exec_times() != warm.exec_times():
+    """Nothing the simulation can observe changed, outputs included."""
+    if not _traces_equal(baseline, other):
         return False
-    if (cold.gme_run, cold.gme_time, cold.total_runs) != (
-        warm.gme_run,
-        warm.gme_time,
-        warm.total_runs,
-    ):
-        return False
-    cold_fps = [out.fingerprint() for out in cold.best_plan.outputs]
-    warm_fps = [out.fingerprint() for out in warm.best_plan.outputs]
-    if cold_fps != warm_fps:
-        return False
-    cold_out = execute(cold.best_plan, config).outputs
-    warm_out = execute(warm.best_plan, config).outputs
-    return len(cold_out) == len(warm_out) and all(
-        intermediates_equal(a, b) for a, b in zip(cold_out, warm_out)
+    base_out = execute(baseline.best_plan, config).outputs
+    other_out = execute(other.best_plan, config).outputs
+    return len(base_out) == len(other_out) and all(
+        intermediates_equal(a, b) for a, b in zip(base_out, other_out)
     )
 
 
-def _measure(spec: WorkloadSpec) -> WorkloadOutcome:
+def _measure(spec: WorkloadSpec, worker_counts: Sequence[int]) -> WorkloadOutcome:
+    build_start = perf_counter()
     plan, config = spec.build()
+    build_s = perf_counter() - build_start
     convergence = ConvergenceParams(
         number_of_cores=config.effective_threads, max_runs=spec.max_runs
     )
 
-    def instance(memoize: bool) -> tuple[AdaptiveParallelizer, AdaptiveResult, float]:
+    def instance(
+        memoize: bool, workers: int
+    ) -> tuple[AdaptiveParallelizer, AdaptiveResult, float]:
         parallelizer = AdaptiveParallelizer(
-            config, convergence=convergence, memoize=memoize
+            config, convergence=convergence, memoize=memoize, workers=workers
         )
-        start = perf_counter()
-        result = parallelizer.optimize(plan)
-        return parallelizer, result, perf_counter() - start
+        try:
+            start = perf_counter()
+            result = parallelizer.optimize(plan)
+            return parallelizer, result, perf_counter() - start
+        finally:
+            parallelizer.close()
 
-    # Cold first so the warm instance cannot ride the OS page cache of
-    # freshly generated data more than the cold one did.
-    __, cold_res, cold_s = instance(memoize=False)
-    warm_ap, warm_res, warm_s = instance(memoize=True)
+    # Cold sweep first (workers ascending) so the warm instance cannot
+    # ride the OS page cache of freshly generated data more than any
+    # cold one did.
+    cold_runs: list[ColdRun] = []
+    cold_results: list[AdaptiveResult] = []
+    for workers in worker_counts:
+        cold_ap, cold_res, cold_s = instance(memoize=False, workers=workers)
+        pool_stats = (
+            cold_ap.evalpool.stats().as_dict() if cold_ap.evalpool is not None else {}
+        )
+        cold_runs.append(ColdRun(workers=workers, seconds=cold_s, pool=pool_stats))
+        cold_results.append(cold_res)
+
+    warm_workers = worker_counts[-1]
+    warm_ap, warm_res, warm_s = instance(memoize=True, workers=warm_workers)
     assert warm_ap.memo is not None
+
+    # One identity verdict covers both axes: every cold worker count
+    # must match the workers=1 trace exactly, and the warm (memoized)
+    # instance must match it down to the query outputs.
+    identical = all(
+        _traces_equal(cold_results[0], other) for other in cold_results[1:]
+    ) and _identical(cold_results[0], warm_res, config)
+
     return WorkloadOutcome(
         name=spec.name,
         total_runs=warm_res.total_runs,
@@ -179,27 +273,43 @@ def _measure(spec: WorkloadSpec) -> WorkloadOutcome:
         gme_ms=warm_res.gme_time * 1000,
         gme_run=warm_res.gme_run,
         sim_speedup=warm_res.speedup,
-        cold_seconds=cold_s,
+        cold_runs=cold_runs,
         warm_seconds=warm_s,
-        cache=warm_ap.memo.stats.as_dict(),
-        identical=_identical(cold_res, warm_res, config),
+        warm_workers=warm_workers,
+        build_seconds=build_s,
+        cache=warm_ap.memo.stats().as_dict(),
+        identical=identical,
     )
 
 
-def run_wallclock(quick: bool = False) -> dict:
-    """Run every workload cold and warm; JSON-ready report."""
-    outcomes = [_measure(spec) for spec in _specs(quick)]
+def run_wallclock(
+    quick: bool = False, workers: Sequence[int] | None = None
+) -> dict:
+    """Sweep every workload over the worker counts; JSON-ready report."""
+    counts = resolve_workers(workers)
+    outcomes = [_measure(spec, counts) for spec in _specs(quick)]
     return {
         "schema": SCHEMA,
         "quick": quick,
+        "host_cpus": default_workers(),
+        "workers_swept": list(counts),
         "workloads": [o.as_dict() for o in outcomes],
         "summary": {
             "min_wallclock_speedup": round(
                 min(o.wallclock_speedup for o in outcomes), 3
             ),
-            "min_hit_rate": round(
-                min(o.cache["hit_rate"] for o in outcomes), 4
+            "min_worker_speedup": round(
+                min(o.worker_speedup for o in outcomes), 3
             ),
+            "max_worker_slowdown": round(
+                max(
+                    run.seconds / o.cold_seconds if o.cold_seconds else 1.0
+                    for o in outcomes
+                    for run in o.cold_runs
+                ),
+                3,
+            ),
+            "min_hit_rate": round(min(o.cache["hit_rate"] for o in outcomes), 4),
             "all_identical": all(o.identical for o in outcomes),
         },
     }
@@ -210,17 +320,20 @@ def check_report(
     *,
     min_hit_rate: float | None = None,
     min_speedup: float | None = None,
+    max_worker_slowdown: float | None = None,
 ) -> None:
     """Raise :class:`ReproError` if the report misses its gates.
 
-    Used by CI: results must stay bit-identical, and reuse/speedup must
-    not regress below the requested floors.
+    Used by CI: results must stay bit-identical, reuse/speedup must not
+    regress below the requested floors, and no swept worker count may
+    run more than ``max_worker_slowdown`` times slower than workers=1
+    (multi-worker evaluation must never cost, only pay).
     """
     summary = report["summary"]
     if not summary["all_identical"]:
         broken = [w["name"] for w in report["workloads"] if not w["identical"]]
         raise ReproError(
-            "memoized results diverged from uncached results on: "
+            "pooled/memoized results diverged from the serial engine on: "
             + ", ".join(broken)
         )
     if min_hit_rate is not None and summary["min_hit_rate"] < min_hit_rate:
@@ -233,22 +346,39 @@ def check_report(
             f"wall-clock speedup x{summary['min_wallclock_speedup']:.2f} is "
             f"below the required x{min_speedup:.2f}"
         )
+    if (
+        max_worker_slowdown is not None
+        and summary["max_worker_slowdown"] > max_worker_slowdown
+    ):
+        raise ReproError(
+            f"a pooled run was x{summary['max_worker_slowdown']:.2f} slower "
+            f"than workers=1 (tolerance x{max_worker_slowdown:.2f})"
+        )
 
 
 def format_report(report: dict) -> str:
     """Human-readable rendering of a wall-clock report."""
-    lines = [f"wall-clock benchmark ({'quick' if report['quick'] else 'full'} mode)"]
+    swept = ",".join(str(w) for w in report["workers_swept"])
+    lines = [
+        f"wall-clock benchmark ({'quick' if report['quick'] else 'full'} mode, "
+        f"workers {swept} on a {report['host_cpus']}-cpu host)"
+    ]
     for w in report["workloads"]:
+        cold = " ".join(
+            f"w{run['workers']}={run['seconds']:.2f}s" for run in w["cold"]
+        )
         lines.append(
-            f"  {w['name']}: {w['total_runs']} runs, "
-            f"cold {w['cold_seconds']:.2f}s -> warm {w['warm_seconds']:.2f}s "
-            f"(x{w['wallclock_speedup']:.2f} host), "
+            f"  {w['name']}: {w['total_runs']} runs, cold [{cold}] -> "
+            f"warm {w['warm_seconds']:.2f}s "
+            f"(memo x{w['wallclock_speedup']:.2f}, "
+            f"pool x{w['worker_speedup']:.2f} host), "
             f"hit rate {w['cache']['hit_rate']:.1%}, "
             f"identical={'yes' if w['identical'] else 'NO'}"
         )
     s = report["summary"]
     lines.append(
-        f"  summary: min speedup x{s['min_wallclock_speedup']:.2f}, "
+        f"  summary: min memo speedup x{s['min_wallclock_speedup']:.2f}, "
+        f"min pool speedup x{s['min_worker_speedup']:.2f}, "
         f"min hit rate {s['min_hit_rate']:.1%}, "
         f"all identical={'yes' if s['all_identical'] else 'NO'}"
     )

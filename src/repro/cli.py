@@ -85,6 +85,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace", action="store_true", help="print the per-run trace"
     )
     adapt.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="host threads evaluating ready operators "
+        "(default: host cpu count; results are identical for any N)",
+    )
+    adapt.add_argument(
         "--verbose",
         action="store_true",
         help="print each mutation with its analyzer summary",
@@ -136,6 +144,21 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="X",
         help="wallclock: fail if any workload's host speedup is below X",
+    )
+    bench.add_argument(
+        "--workers",
+        default=None,
+        metavar="N[,M...]",
+        help="wallclock: comma-separated evaluation-pool worker counts to "
+        "sweep (workers=1 is always included; default: 1 and host cpu count)",
+    )
+    bench.add_argument(
+        "--max-worker-slowdown",
+        type=float,
+        default=None,
+        metavar="X",
+        help="wallclock: fail if any pooled run is more than X times "
+        "slower than workers=1",
     )
     return parser
 
@@ -227,7 +250,14 @@ def _cmd_adapt(args) -> int:
     else:
         plan = plan_sql(args.sql, dataset.catalog)
         name = "ad-hoc query"
-    adaptive = AdaptiveParallelizer(config).optimize(plan)
+    from .engine.evalpool import default_workers
+
+    workers = args.workers if args.workers is not None else default_workers()
+    parallelizer = AdaptiveParallelizer(config, workers=workers)
+    try:
+        adaptive = parallelizer.optimize(plan)
+    finally:
+        parallelizer.close()
     print(f"{name}: serial {adaptive.serial_time * 1000:.2f} ms -> "
           f"GME {adaptive.gme_time * 1000:.2f} ms "
           f"(x{adaptive.speedup:.1f}) at run {adaptive.gme_run}; "
@@ -303,7 +333,15 @@ def _cmd_bench_wallclock(args) -> int:
 
     from .bench.wallclock import check_report, format_report, run_wallclock
 
-    report = run_wallclock(quick=args.quick)
+    workers = None
+    if args.workers is not None:
+        try:
+            workers = [int(part) for part in str(args.workers).split(",") if part]
+        except ValueError:
+            raise ReproError(
+                f"--workers wants comma-separated integers, got {args.workers!r}"
+            ) from None
+    report = run_wallclock(quick=args.quick, workers=workers)
     print(format_report(report))
     if args.output:
         with open(args.output, "w") as handle:
@@ -311,7 +349,10 @@ def _cmd_bench_wallclock(args) -> int:
             handle.write("\n")
         print(f"wrote {args.output}")
     check_report(
-        report, min_hit_rate=args.min_hit_rate, min_speedup=args.min_speedup
+        report,
+        min_hit_rate=args.min_hit_rate,
+        min_speedup=args.min_speedup,
+        max_worker_slowdown=args.max_worker_slowdown,
     )
     return 0
 

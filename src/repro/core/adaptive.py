@@ -17,6 +17,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..config import SimulationConfig
+from ..engine.evalpool import EvalPool
 from ..engine.executor import execute
 from ..engine.memo import IntermediateCache
 from ..engine.scheduler import ExecutionResult
@@ -115,6 +116,7 @@ class AdaptiveParallelizer:
         runner: Runner | None = None,
         mutations_per_run: int = 1,
         memoize: bool = True,
+        workers: int | None = None,
     ) -> None:
         if mutations_per_run < 1:
             raise ConvergenceError("mutations_per_run must be >= 1")
@@ -139,12 +141,25 @@ class AdaptiveParallelizer:
         self.memo: IntermediateCache | None = (
             IntermediateCache() if memoize else None
         )
+        # Host evaluation pool: every run's simultaneously-ready
+        # operators are evaluated on ``workers`` host threads, with a
+        # dispatch-order commit barrier keeping simulated results
+        # bit-identical for any worker count.  ``None``/1 evaluates
+        # inline; the pool is shared across all runs of the instance.
+        self.evalpool: EvalPool | None = (
+            EvalPool(workers) if workers is not None and workers > 1 else None
+        )
+
+    def close(self) -> None:
+        """Release the host evaluation pool's threads (idempotent)."""
+        if self.evalpool is not None:
+            self.evalpool.close()
 
     def _default_runner(self, plan: Plan, run_index: int) -> ExecutionResult:
         # A distinct seed per run lets noise vary between runs while
         # keeping the whole adaptive instance reproducible.
         config = self.config.with_seed(self.config.seed + run_index)
-        return execute(plan, config, memo=self.memo)
+        return execute(plan, config, memo=self.memo, evalpool=self.evalpool)
 
     # ------------------------------------------------------------------
     def optimize(self, plan: Plan) -> AdaptiveResult:

@@ -1,5 +1,6 @@
 """Discrete-event multi-core execution engine."""
 
+from .evalpool import EvalPool, PoolStats, default_workers
 from .executor import execute
 from .machine import HardwareThread, MachineState
 from .memo import CacheStats, IntermediateCache
@@ -9,13 +10,16 @@ from .scheduler import ExecutionResult, Simulator
 
 __all__ = [
     "CacheStats",
+    "EvalPool",
     "ExecutionResult",
     "HardwareThread",
     "IntermediateCache",
     "MachineState",
     "NoiseModel",
     "OpRecord",
+    "PoolStats",
     "QueryProfile",
     "Simulator",
+    "default_workers",
     "execute",
 ]

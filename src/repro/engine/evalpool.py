@@ -1,0 +1,149 @@
+"""Host-side parallel evaluation of ready operators.
+
+The simulator schedules operators on *simulated* cores, but the real
+numpy work of ``Operator.evaluate``/``work_profile`` used to run
+serially on one host core.  Every dispatch round of
+:class:`~repro.engine.scheduler.Simulator` collects the operators whose
+inputs are all materialized -- by construction they are mutually
+independent, so their host evaluation is embarrassingly parallel.  The
+:class:`EvalPool` runs one such batch on a ``ThreadPoolExecutor``
+(numpy kernels release the GIL, so threads scale on multi-core hosts)
+and returns results **in submission order**.
+
+Determinism contract: the pool only ever computes pure functions of
+already-materialized inputs, and the scheduler consumes the results
+through a dispatch-order commit barrier (see
+``Simulator._commit_dispatch``).  Simulated times, noise draws, memo
+counters, profiles, and query outputs are therefore bit-identical for
+any worker count, including ``workers=1`` (which evaluates inline and
+never starts a thread).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Callable, Sequence
+
+from ..errors import ReproError
+
+#: Batches smaller than this are evaluated inline even when a pool is
+#: available -- submitting one job to a thread costs more than the GIL
+#: handoff saves.
+MIN_PARALLEL_BATCH = 2
+
+
+def default_workers() -> int:
+    """The host's CPU count (the default ``--workers``)."""
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Host-side counters of one :class:`EvalPool` (immutable snapshot)."""
+
+    batches: int = 0
+    parallel_batches: int = 0
+    jobs: int = 0
+    inline_jobs: int = 0
+    eval_seconds: float = 0.0
+    max_batch: int = 0
+
+    def as_dict(self) -> dict[str, float | int]:
+        """JSON-ready counters (used by the wall-clock benchmark)."""
+        return {
+            "batches": self.batches,
+            "parallel_batches": self.parallel_batches,
+            "jobs": self.jobs,
+            "inline_jobs": self.inline_jobs,
+            "eval_seconds": round(self.eval_seconds, 4),
+            "max_batch": self.max_batch,
+        }
+
+
+class EvalPool:
+    """Evaluates batches of independent thunks, preserving batch order.
+
+    ``workers=1`` is the degenerate inline pool: no threads are created
+    and ``run_batch`` is a plain loop.  ``workers>1`` lazily starts a
+    ``ThreadPoolExecutor`` on first use and keeps it alive across
+    batches (an adaptive instance runs tens of thousands of dispatch
+    rounds; executor startup must not be paid per round).
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        workers = default_workers() if workers is None else int(workers)
+        if workers < 1:
+            raise ReproError(f"evaluation pool needs >= 1 worker, got {workers}")
+        self.workers = workers
+        self._executor: ThreadPoolExecutor | None = None
+        self._batches = 0
+        self._parallel_batches = 0
+        self._jobs = 0
+        self._inline_jobs = 0
+        self._eval_seconds = 0.0
+        self._max_batch = 0
+
+    # ------------------------------------------------------------------
+    def run_batch(self, jobs: Sequence[Callable[[], Any]]) -> list[Any]:
+        """Evaluate every thunk; results come back in ``jobs`` order.
+
+        A thunk that raises aborts the batch: the first exception in
+        batch order propagates (the same exception the serial engine
+        would have raised first), after all submitted thunks have run.
+        """
+        n = len(jobs)
+        self._batches += 1
+        self._jobs += n
+        if n > self._max_batch:
+            self._max_batch = n
+        start = perf_counter()
+        try:
+            if self.workers == 1 or n < MIN_PARALLEL_BATCH:
+                self._inline_jobs += n
+                return [job() for job in jobs]
+            self._parallel_batches += 1
+            futures: list[Future[Any]] = [
+                self._ensure_executor().submit(job) for job in jobs
+            ]
+            # ``result()`` re-raises in submission order, which is the
+            # dispatch order -- identical to the serial engine.
+            return [future.result() for future in futures]
+        finally:
+            self._eval_seconds += perf_counter() - start
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-eval"
+            )
+        return self._executor
+
+    # ------------------------------------------------------------------
+    def stats(self) -> PoolStats:
+        """An immutable snapshot of the pool's host-side counters."""
+        return PoolStats(
+            batches=self._batches,
+            parallel_batches=self._parallel_batches,
+            jobs=self._jobs,
+            inline_jobs=self._inline_jobs,
+            eval_seconds=self._eval_seconds,
+            max_batch=self._max_batch,
+        )
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent; inline pools are no-ops)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "EvalPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"EvalPool(workers={self.workers}, batches={self._batches})"

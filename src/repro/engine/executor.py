@@ -6,6 +6,7 @@ from ..config import SimulationConfig
 from ..errors import PlanError
 from ..plan.analysis import analyze_plan
 from ..plan.graph import Plan
+from .evalpool import EvalPool
 from .memo import IntermediateCache
 from .scheduler import ExecutionResult, Simulator
 
@@ -16,6 +17,8 @@ def execute(
     *,
     analyze: bool = False,
     memo: IntermediateCache | None = None,
+    evalpool: EvalPool | None = None,
+    workers: int | None = None,
 ) -> ExecutionResult:
     """Run ``plan`` alone on a fresh simulated machine.
 
@@ -31,6 +34,11 @@ def execute(
     across calls so repeated executions of structurally overlapping
     plans skip redundant host-side operator work; simulated results are
     identical with or without it.
+
+    ``evalpool`` shares an :class:`~repro.engine.evalpool.EvalPool` that
+    evaluates simultaneously-ready operators on host threads; passing
+    ``workers=N`` instead spins up (and tears down) a pool for just this
+    call.  Simulated results are bit-identical for any worker count.
     """
     if analyze:
         report = analyze_plan(plan)
@@ -41,7 +49,13 @@ def execute(
             )
     if config is None:
         config = SimulationConfig()
-    simulator = Simulator(config, memo=memo)
+    if evalpool is None and workers is not None and workers > 1:
+        with EvalPool(workers) as pool:
+            simulator = Simulator(config, memo=memo, evalpool=pool)
+            sid = simulator.submit(plan)
+            simulator.run()
+            return simulator.result(sid)
+    simulator = Simulator(config, memo=memo, evalpool=evalpool)
     sid = simulator.submit(plan)
     simulator.run()
     return simulator.result(sid)

@@ -28,6 +28,7 @@ evictions, and insertions so benchmarks can report reuse rates.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -54,9 +55,13 @@ def _entry_bytes(value: Intermediate) -> int:
     return value.nbytes + _ENTRY_OVERHEAD
 
 
-@dataclass
+@dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss/eviction counters of one :class:`IntermediateCache`."""
+    """Immutable snapshot of one :class:`IntermediateCache`'s counters.
+
+    Returned by :meth:`IntermediateCache.stats`; the live counters stay
+    private so concurrent readers never observe half-updated state.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -94,6 +99,12 @@ class IntermediateCache:
     ``evaluate``/``work_profile`` calls entirely.  Reusing the stored
     objects is safe because operators treat inputs as read-only and
     intermediates are never mutated after production.
+
+    Thread safety: one lock guards every entry and counter mutation, so
+    a cache may be shared between executors running on different host
+    threads (the evaluation pool exposed races in the bare counters).
+    Counters are only readable through :meth:`stats`, which returns an
+    immutable snapshot taken under the lock.
     """
 
     def __init__(self, capacity_bytes: int = DEFAULT_CAPACITY_BYTES) -> None:
@@ -101,49 +112,84 @@ class IntermediateCache:
             raise ReproError("cache capacity must be positive")
         self.capacity_bytes = capacity_bytes
         self.current_bytes = 0
-        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._insertions = 0
+        self._oversized = 0
         self._entries: OrderedDict[bytes, tuple[Intermediate, WorkProfile, int]] = (
             OrderedDict()
         )
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> CacheStats:
+        """An immutable snapshot of the hit/miss/eviction counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                insertions=self._insertions,
+                oversized=self._oversized,
+            )
 
     def get(self, key: bytes) -> tuple[Intermediate, WorkProfile] | None:
         """The cached (value, profile) for ``key``, refreshing recency."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry[0], entry[1]
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry[0], entry[1]
+
+    def peek(self, key: bytes) -> tuple[Intermediate, WorkProfile] | None:
+        """Like :meth:`get` but touches neither counters nor recency.
+
+        The scheduler's batch-evaluation phase uses this to decide which
+        operators still need real evaluation; the commit phase then
+        replays the counting :meth:`get`/:meth:`put` sequence in
+        dispatch order, so the observable counter trace is identical to
+        the serial engine's.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            return entry[0], entry[1]
 
     def put(self, key: bytes, value: Intermediate, profile: WorkProfile) -> None:
         """Store a freshly computed result, evicting LRU entries to fit."""
         size = _entry_bytes(value)
-        if size > self.capacity_bytes:
-            self.stats.oversized += 1
-            return
-        old = self._entries.pop(key, None)
-        if old is not None:
-            self.current_bytes -= old[2]
-        while self.current_bytes + size > self.capacity_bytes and self._entries:
-            __, (__, __, evicted_size) = self._entries.popitem(last=False)
-            self.current_bytes -= evicted_size
-            self.stats.evictions += 1
-        self._entries[key] = (value, profile, size)
-        self.current_bytes += size
-        self.stats.insertions += 1
+        with self._lock:
+            if size > self.capacity_bytes:
+                self._oversized += 1
+                return
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.current_bytes -= old[2]
+            while self.current_bytes + size > self.capacity_bytes and self._entries:
+                __, (__, __, evicted_size) = self._entries.popitem(last=False)
+                self.current_bytes -= evicted_size
+                self._evictions += 1
+            self._entries[key] = (value, profile, size)
+            self.current_bytes += size
+            self._insertions += 1
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
-        self._entries.clear()
-        self.current_bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self.current_bytes = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
-            f"IntermediateCache(n={len(self)}, "
+            f"IntermediateCache(n={len(self._entries)}, "
             f"bytes={self.current_bytes}/{self.capacity_bytes}, "
-            f"hit_rate={self.stats.hit_rate:.2f})"
+            f"hit_rate={self.stats().hit_rate:.2f})"
         )

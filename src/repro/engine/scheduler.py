@@ -34,9 +34,10 @@ from typing import Callable, Sequence
 from ..config import SimulationConfig
 from ..costmodel.model import CostContext, compute_work, thread_bandwidth_cap
 from ..errors import SchedulerError
-from ..operators.base import WorkProfile
+from ..operators.base import Operator, WorkProfile
 from ..plan.graph import Plan, PlanNode
 from ..storage.column import Intermediate, intermediate_nbytes
+from .evalpool import EvalPool
 from .machine import HardwareThread, MachineState
 from .memo import IntermediateCache
 from .noise import NoiseModel
@@ -179,6 +180,46 @@ class _Task:
         self.mem_active = mem_work > _EPS
 
 
+class _PendingDispatch:
+    """One collected dispatch awaiting evaluation and commit.
+
+    ``_dispatch`` first *collects* every runnable (submission, node,
+    thread) triple in deterministic scheduler order, then evaluates the
+    batch (optionally on the host evaluation pool), then *commits* each
+    entry strictly in collection order.  All simulated-state mutation --
+    noise draws, memo counters, cost charging, NUMA homing -- happens at
+    commit time on the main thread, which is what keeps results
+    bit-identical for any host worker count.
+    """
+
+    __slots__ = ("sub", "node", "thread", "fingerprint", "peeked", "job_index")
+
+    def __init__(
+        self, sub: _Submission, node: PlanNode, thread: HardwareThread
+    ) -> None:
+        self.sub = sub
+        self.node = node
+        self.thread = thread
+        #: Plan fingerprint of ``node`` (only when memoization is on).
+        self.fingerprint: bytes | None = None
+        #: (value, profile) held from a lock-free memo peek; keeping the
+        #: reference pins it even if a same-batch commit evicts it.
+        self.peeked: tuple[Intermediate, WorkProfile] | None = None
+        #: Index into the batch's evaluation-job results, -1 when the
+        #: result comes from ``peeked`` instead.
+        self.job_index = -1
+
+
+def _make_eval_job(
+    op: Operator, inputs: list[Intermediate]
+) -> Callable[[], tuple[Intermediate, WorkProfile]]:
+    def job() -> tuple[Intermediate, WorkProfile]:
+        output = op.evaluate(inputs)
+        return output, op.work_profile(inputs, output)
+
+    return job
+
+
 class Simulator:
     """Shared simulated machine executing one or more plans.
 
@@ -187,13 +228,24 @@ class Simulator:
     reuse the stored intermediate and work profile.  Simulated time is
     unaffected -- the roofline model still charges the same work -- only
     host wall-clock changes.
+
+    ``evalpool`` plugs in an :class:`~repro.engine.evalpool.EvalPool`
+    that evaluates each dispatch round's ready operators concurrently on
+    host threads.  Results are committed in dispatch order regardless of
+    host completion order, so simulated results are bit-identical with
+    or without the pool, at any worker count.
     """
 
     def __init__(
-        self, config: SimulationConfig, *, memo: IntermediateCache | None = None
+        self,
+        config: SimulationConfig,
+        *,
+        memo: IntermediateCache | None = None,
+        evalpool: EvalPool | None = None,
     ) -> None:
         self.config = config
         self.memo = memo
+        self.evalpool = evalpool
         self.machine = MachineState(config.machine)
         self.cost_ctx = CostContext(machine=config.machine, data_scale=config.data_scale)
         self.noise = NoiseModel(config.noise, config.rng())
@@ -283,6 +335,22 @@ class Simulator:
     # Dispatch
     # ------------------------------------------------------------------
     def _dispatch(self) -> None:
+        batch = self._collect_dispatches()
+        if not batch:
+            return
+        results = self._evaluate_batch(batch)
+        for entry in batch:
+            self._commit_dispatch(entry, results)
+
+    def _collect_dispatches(self) -> list[_PendingDispatch]:
+        """Claim every runnable (submission, node, thread) triple.
+
+        Thread acquisition and the per-submission running count advance
+        here so the collection order is exactly the order the serial
+        engine dispatched in; evaluation and all remaining bookkeeping
+        are deferred to :meth:`_commit_dispatch`.
+        """
+        batch: list[_PendingDispatch] = []
         progress = True
         while progress:
             progress = False
@@ -291,27 +359,87 @@ class Simulator:
                     continue
                 thread = self.machine.pick_thread()
                 if thread is None:
-                    return
+                    return batch
                 node = sub.ready.popleft()
-                self._start_task(sub, node, thread)
+                self.machine.acquire(thread)
+                sub.running += 1
+                batch.append(_PendingDispatch(sub, node, thread))
                 progress = True
+        return batch
 
-    def _start_task(self, sub: _Submission, node: PlanNode, thread: HardwareThread) -> None:
+    def _evaluate_batch(
+        self, batch: list[_PendingDispatch]
+    ) -> list[tuple[Intermediate, WorkProfile]]:
+        """Run the real operator work for a collected batch.
+
+        With memoization on, each entry is first resolved against the
+        cache without touching its counters (``peek``): already-cached
+        nodes carry the peeked value, and same-batch duplicates (clones
+        with equal fingerprints) share one evaluation -- the commit
+        phase replays the exact hit/miss sequence the serial engine
+        produces.  The remaining unique jobs run on the evaluation pool
+        when one is attached, inline otherwise; either way the returned
+        list is in job-submission order.
+        """
         memo = self.memo
-        cached = None
-        if memo is not None:
-            fingerprint = sub.fingerprints[node.nid]
-            cached = memo.get(fingerprint)
-        if cached is not None:
-            # Equal fingerprint == bit-identical value and counters; the
-            # real evaluate/work_profile calls are pure host-side cost.
-            output, profile = cached
-        else:
-            inputs = [sub.values[child.nid] for child in node.inputs]
-            output = node.op.evaluate(inputs)
-            profile = node.op.work_profile(inputs, output)
+        jobs: list[Callable[[], tuple[Intermediate, WorkProfile]]] = []
+        job_of_fp: dict[bytes, int] = {}
+        for entry in batch:
+            sub, node = entry.sub, entry.node
             if memo is not None:
+                fingerprint = sub.fingerprints[node.nid]
+                entry.fingerprint = fingerprint
+                peeked = memo.peek(fingerprint)
+                if peeked is not None:
+                    entry.peeked = peeked
+                    continue
+                shared = job_of_fp.get(fingerprint)
+                if shared is not None:
+                    entry.job_index = shared
+                    continue
+                job_of_fp[fingerprint] = len(jobs)
+            entry.job_index = len(jobs)
+            inputs = [sub.values[child.nid] for child in node.inputs]
+            jobs.append(_make_eval_job(node.op, inputs))
+        if not jobs:
+            return []
+        if self.evalpool is not None:
+            return self.evalpool.run_batch(jobs)
+        return [job() for job in jobs]
+
+    def _commit_dispatch(
+        self,
+        entry: _PendingDispatch,
+        results: list[tuple[Intermediate, WorkProfile]],
+    ) -> None:
+        """Turn one evaluated dispatch into a running simulated task.
+
+        Runs on the main thread in collection order -- the barrier that
+        keeps memo counters, noise draws, and simulated time identical
+        for any worker count.
+        """
+        sub, node, thread = entry.sub, entry.node, entry.thread
+        memo = self.memo
+        if memo is not None:
+            fingerprint = entry.fingerprint
+            assert fingerprint is not None
+            cached = memo.get(fingerprint)
+            if cached is not None:
+                # Equal fingerprint == bit-identical value and counters;
+                # the real evaluate/work_profile calls were skipped.
+                output, profile = cached
+            else:
+                # First committer of this fingerprint (or a peeked entry
+                # whose value a same-batch commit just evicted).
+                if entry.job_index >= 0:
+                    output, profile = results[entry.job_index]
+                else:
+                    peeked = entry.peeked
+                    assert peeked is not None
+                    output, profile = peeked
                 memo.put(fingerprint, output, profile)
+        else:
+            output, profile = results[entry.job_index]
         sub.values[node.nid] = output
         amortize = False
         if node.kind in ("join", "semijoin") and len(node.inputs) == 2:
@@ -340,7 +468,8 @@ class Simulator:
             ]
             remote_count = sum(1 for h in homes if h != thread.socket_id)
             remote = remote_count * 2 > len(homes)
-        self.machine.acquire(thread)
+        # The thread was acquired (and ``sub.running`` advanced) at
+        # collection time so the placement policy saw it as busy.
         task = _Task(
             sub,
             node,
@@ -350,7 +479,6 @@ class Simulator:
             start=self.now,
             remote=remote,
         )
-        sub.running += 1
         task.index = len(self._tasks)
         self._tasks.append(task)
         if task.mem_active:

@@ -1,5 +1,6 @@
 """Physical relational operators over the BAT storage model."""
 
+from . import fastpath
 from .aggregate import Aggregate
 from .base import Operator, WorkProfile
 from .calc import Calc
@@ -59,6 +60,7 @@ __all__ = [
     "ValuePartition",
     "WorkProfile",
     "equal_partitions",
+    "fastpath",
     "value_partition_bounds",
     "hash_join_pairs",
     "merge_func_for",

@@ -35,7 +35,7 @@ import numpy as np
 
 from ..errors import OperatorError
 from ..storage.column import BAT, Candidates, ColumnSlice, Intermediate, Scalar
-from ..storage.dtypes import OID_DTYPE
+from ..storage.dtypes import DataType, OID, OID_DTYPE
 
 _op_counter = itertools.count()
 
@@ -140,12 +140,18 @@ def pairs_of(value: Intermediate, *, what: str = "input") -> tuple[np.ndarray, n
     """View an intermediate as (head oids, tail values).
 
     Column slices have a dense (virtual) head; BATs carry theirs
-    explicitly.  Candidate lists have no values and are rejected.
+    explicitly.  A candidate list is its own head *and* tail (MonetDB's
+    ``oid -> oid`` identity view), which lets join/group-by probe sides
+    and calc chains consume selection output directly -- no
+    materializing ``Fetch`` in between, and no copy here: both arrays
+    are the shared read-only oid buffer.
     """
     if isinstance(value, ColumnSlice):
         return value.oids(), value.values
     if isinstance(value, BAT):
         return value.head, value.tail
+    if isinstance(value, Candidates):
+        return value.oids, value.oids
     raise OperatorError(f"{what} must be a BAT or column slice, got {type(value).__name__}")
 
 
@@ -156,6 +162,32 @@ def values_of(value: Intermediate, *, what: str = "input") -> np.ndarray:
     if isinstance(value, BAT):
         return value.tail
     raise OperatorError(f"{what} must be a BAT or column slice, got {type(value).__name__}")
+
+
+def dtype_of(value: Intermediate, *, what: str = "input") -> DataType:
+    """The value dtype an intermediate carries.
+
+    Candidate lists carry oids, so their value dtype is :data:`OID` --
+    consistent with the identity view :func:`pairs_of` gives them.
+    """
+    if isinstance(value, ColumnSlice):
+        return value.column.dtype
+    if isinstance(value, BAT):
+        return value.dtype
+    if isinstance(value, Candidates):
+        return OID
+    if isinstance(value, Scalar):
+        return value.dtype
+    raise OperatorError(f"{what} has no dtype: {type(value).__name__}")
+
+
+def dictionary_of(value: Intermediate) -> tuple[str, ...] | None:
+    """The string dictionary travelling with an intermediate, if any."""
+    if isinstance(value, ColumnSlice):
+        return value.column.dictionary
+    if isinstance(value, BAT):
+        return value.dictionary
+    return None
 
 
 def input_nbytes(inputs: Sequence[Intermediate]) -> int:

@@ -11,9 +11,9 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import OperatorError
-from ..storage.column import BAT, ColumnSlice, Intermediate, Scalar
+from ..storage.column import BAT, Intermediate, Scalar
 from ..storage.dtypes import DBL, LNG, DataType
-from .base import Operator, WorkProfile, pairs_of
+from .base import Operator, WorkProfile, dtype_of, pairs_of
 
 _OPS = {
     "+": np.add,
@@ -61,11 +61,11 @@ class Calc(Operator):
         if isinstance(a, Scalar):
             heads, b_values = pairs_of(b, what="calc rhs")
             result = func(a.value, b_values)
-            return BAT(heads, result, self._result_dtype(a.dtype, _dtype_of(b)))
+            return BAT(heads, result, self._result_dtype(a.dtype, dtype_of(b)))
         if isinstance(b, Scalar):
             heads, a_values = pairs_of(a, what="calc lhs")
             result = func(a_values, b.value)
-            return BAT(heads, result, self._result_dtype(_dtype_of(a), b.dtype))
+            return BAT(heads, result, self._result_dtype(dtype_of(a), b.dtype))
         a_heads, a_values = pairs_of(a, what="calc lhs")
         b_heads, b_values = pairs_of(b, what="calc rhs")
         if not _heads_aligned(a_heads, b_heads):
@@ -74,7 +74,7 @@ class Calc(Operator):
                 f"({len(a_heads)} vs {len(b_heads)} tuples)"
             )
         result = func(a_values, b_values)
-        return BAT(a_heads, result, self._result_dtype(_dtype_of(a), _dtype_of(b)))
+        return BAT(a_heads, result, self._result_dtype(dtype_of(a), dtype_of(b)))
 
     def _result_dtype(self, a: DataType, b: DataType) -> DataType:
         if self.op == "/" or a is DBL or b is DBL:
@@ -99,13 +99,3 @@ class Calc(Operator):
 
     def describe(self) -> str:
         return f"calc({self.op})"
-
-
-def _dtype_of(value: Intermediate) -> DataType:
-    if isinstance(value, ColumnSlice):
-        return value.column.dtype
-    if isinstance(value, BAT):
-        return value.dtype
-    if isinstance(value, Scalar):
-        return value.dtype
-    raise OperatorError(f"no dtype for {type(value).__name__}")

@@ -47,12 +47,21 @@ class Pack(Operator):
                 raise OperatorError("pack inputs must all be candidate lists")
             arrays.append(value.oids)
         merged = np.concatenate(arrays) if arrays else np.empty(0, dtype=np.int64)
-        if len(merged) > 1 and not np.all(merged[1:] >= merged[:-1]):
-            raise OperatorError(
-                "packed candidates are out of order: pack inputs must follow "
-                "the mutation-sequence (slice) order"
-            )
-        return Candidates(merged, check_sorted=False)
+        unique: bool | None = True
+        if len(merged) > 1:
+            # One pass settles both the ordering invariant and the
+            # uniqueness flag: strictly increasing implies sorted, so
+            # the (common) duplicate-free case never pays a second scan.
+            if bool(np.all(merged[1:] > merged[:-1])):
+                unique = True
+            elif np.all(merged[1:] >= merged[:-1]):
+                unique = False
+            else:
+                raise OperatorError(
+                    "packed candidates are out of order: pack inputs must "
+                    "follow the mutation-sequence (slice) order"
+                )
+        return Candidates(merged, check_sorted=False, unique=unique)
 
     def _pack_bats(self, inputs: Sequence[Intermediate]) -> BAT:
         heads, tails = [], []

@@ -22,7 +22,7 @@ import numpy as np
 from ..errors import OperatorError
 from ..storage.column import BAT, Intermediate
 from ..storage.dtypes import DBL, LNG, DataType
-from .base import Operator, WorkProfile, pairs_of
+from .base import Operator, WorkProfile, dtype_of, pairs_of
 
 #: Aggregate function name -> (grouped reducer, merge function name).
 AGG_FUNCS = {
@@ -110,8 +110,7 @@ class GroupAggregate(Operator):
         keys, agg = _reduce_by_group(key_values.astype(np.int64), value_values, self.func)
         value_dtype = None
         if self.func != "count":
-            src = inputs[1]
-            value_dtype = src.dtype if isinstance(src, BAT) else src.column.dtype
+            value_dtype = dtype_of(inputs[1])
         return BAT(keys, agg, _agg_dtype(self.func, value_dtype))
 
     def work_profile(

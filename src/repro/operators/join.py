@@ -23,7 +23,7 @@ import numpy as np
 from ..errors import OperatorError
 from ..storage.column import BAT, Intermediate
 from ..storage.dtypes import OID
-from .base import Operator, WorkProfile, pairs_of
+from .base import Operator, WorkProfile, dictionary_of, dtype_of, pairs_of
 
 
 def hash_join_pairs(
@@ -113,8 +113,12 @@ class SemiJoin(Operator):
         outer_heads, outer_values = pairs_of(inputs[0], what="semijoin outer")
         __, inner_values = pairs_of(inputs[1], what="semijoin inner")
         hit = np.isin(outer_values, inner_values, invert=self.negate)
-        dtype = inputs[0].dtype if isinstance(inputs[0], BAT) else inputs[0].column.dtype
-        return BAT(outer_heads[hit], outer_values[hit], dtype)
+        return BAT(
+            outer_heads[hit],
+            outer_values[hit],
+            dtype_of(inputs[0]),
+            dictionary_of(inputs[0]),
+        )
 
     def params(self) -> tuple:
         return (self.negate,)

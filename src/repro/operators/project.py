@@ -15,6 +15,7 @@ import numpy as np
 
 from ..errors import OperatorError
 from ..storage.column import BAT, Candidates, ColumnSlice, Intermediate, align_candidates
+from . import fastpath
 from .base import Operator, WorkProfile
 
 
@@ -50,8 +51,26 @@ class Fetch(Operator):
             )
         if isinstance(rowids, Candidates):
             cands = align_candidates(rowids, view, strict=self.alignment == "strict")
-            values = view.column.values[cands.oids]
-            return BAT(cands.oids, values, view.dtype, view.column.dictionary)
+            oids = cands.oids
+            n = len(oids)
+            if (
+                fastpath.enabled()
+                and n
+                and cands.unique
+                and int(oids[-1]) - int(oids[0]) + 1 == n
+            ):
+                # A duplicate-free sorted run whose span equals its
+                # length is dense: the gather degenerates to the
+                # identity over a contiguous stretch of the base
+                # column, so share views of the oid buffer and the
+                # base values instead of materializing either.  The
+                # uniqueness guarantee matters -- ``[1, 1, 3]`` spans
+                # its length too but is not dense.
+                lo = int(oids[0])
+                values = view.column.values[lo : lo + n]
+                return BAT(oids, values, view.dtype, view.column.dictionary)
+            values = view.column.values[oids]
+            return BAT(oids, values, view.dtype, view.column.dictionary)
         if isinstance(rowids, BAT):
             tail_oids = rowids.tail.astype(np.int64, copy=False)
             if len(tail_oids) and not (

@@ -16,6 +16,8 @@ import numpy as np
 
 from ..errors import OperatorError
 from ..storage.column import Candidates, ColumnSlice, Intermediate
+from ..storage.dtypes import OID_DTYPE
+from . import fastpath
 from .base import Operator, WorkProfile, as_oid_array
 
 
@@ -188,14 +190,40 @@ class Select(Operator):
                 f"select input 0 must be a column slice, got {type(view).__name__}"
             )
         if len(inputs) == 2:
-            cands = as_oid_array(inputs[1], what="select candidates")
-            cands = cands[(cands >= view.lo) & (cands < view.hi)]
+            source = inputs[1]
+            cands = as_oid_array(source, what="select candidates")
+            unique = source.unique if isinstance(source, Candidates) else None
+            if fastpath.enabled():
+                # The candidate list is sorted, so the in-slice range is
+                # a contiguous run: two binary searches replace the full
+                # boolean scan, and the run itself is a zero-copy view.
+                start = int(np.searchsorted(cands, view.lo, side="left"))
+                stop = int(np.searchsorted(cands, view.hi, side="left"))
+                cands = cands[start:stop]
+            else:
+                cands = cands[(cands >= view.lo) & (cands < view.hi)]
             local = cands - view.lo
             mask = self.predicate.mask(view.values[local], view.column.dictionary)
-            return Candidates(cands[mask], check_sorted=False)
+            # A sorted sub-list of a unique list stays unique.
+            unique = True if unique else None
+            if fastpath.enabled() and bool(mask.all()):
+                # Every candidate qualified: share the restricted run
+                # instead of copying it through ``cands[mask]``.
+                return Candidates(cands, check_sorted=False, unique=unique)
+            return Candidates(cands[mask], check_sorted=False, unique=unique)
         mask = self.predicate.mask(view.values, view.column.dictionary)
-        hits = np.flatnonzero(mask).astype(np.int64) + view.lo
-        return Candidates(hits, check_sorted=False)
+        if fastpath.enabled():
+            # ``flatnonzero`` already allocates a fresh strictly
+            # increasing array; offset it in place instead of paying a
+            # second allocation for ``.astype(...) + lo``.
+            hits = np.flatnonzero(mask)
+            if hits.dtype != OID_DTYPE:
+                hits = hits.astype(OID_DTYPE)
+            if view.lo:
+                hits += view.lo
+        else:
+            hits = np.flatnonzero(mask).astype(np.int64) + view.lo
+        return Candidates(hits, check_sorted=False, unique=True)
 
     def work_profile(
         self, inputs: Sequence[Intermediate], output: Intermediate
@@ -242,7 +270,7 @@ class CandUnion(Operator):
             raise OperatorError("cand_union needs at least one input")
         arrays = [as_oid_array(value, what="cand_union input") for value in inputs]
         merged = np.unique(np.concatenate(arrays))
-        return Candidates(merged, check_sorted=False)
+        return Candidates(merged, check_sorted=False, unique=True)
 
     def work_profile(
         self, inputs: Sequence[Intermediate], output: Intermediate
@@ -268,7 +296,7 @@ class CandIntersect(Operator):
         result = arrays[0]
         for arr in arrays[1:]:
             result = np.intersect1d(result, arr, assume_unique=True)
-        return Candidates(result, check_sorted=False)
+        return Candidates(result, check_sorted=False, unique=True)
 
     def work_profile(
         self, inputs: Sequence[Intermediate], output: Intermediate

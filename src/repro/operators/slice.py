@@ -64,7 +64,11 @@ class PartitionSlice(Operator):
         if isinstance(source, ColumnSlice):
             return ColumnSlice(source.column, source.lo + lo, source.lo + hi)
         if isinstance(source, Candidates):
-            return Candidates(source.oids[lo:hi], check_sorted=False)
+            return Candidates(
+                source.oids[lo:hi],
+                check_sorted=False,
+                unique=True if source.unique else None,
+            )
         if isinstance(source, BAT):
             return BAT(
                 source.head[lo:hi], source.tail[lo:hi], source.dtype, source.dictionary
@@ -128,14 +132,12 @@ class ValuePartition(Operator):
             mask &= values >= self.lo
         if self.hi is not None:
             mask &= values < self.hi
+        from .base import dictionary_of, dtype_of
+
         source = inputs[0]
-        dtype = source.dtype if isinstance(source, BAT) else source.column.dtype
-        dictionary = (
-            source.dictionary
-            if isinstance(source, BAT)
-            else source.column.dictionary
+        return BAT(
+            heads[mask], values[mask], dtype_of(source), dictionary_of(source)
         )
-        return BAT(heads[mask], values[mask], dtype, dictionary)
 
     def work_profile(
         self, inputs: Sequence[Intermediate], output: Intermediate

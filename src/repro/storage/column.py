@@ -100,7 +100,7 @@ class Column:
 class ColumnSlice:
     """A zero-copy view of a column restricted to oids ``[lo, hi)``."""
 
-    __slots__ = ("column", "lo", "hi")
+    __slots__ = ("column", "lo", "hi", "_oids")
 
     def __init__(self, column: Column, lo: int, hi: int) -> None:
         if not 0 <= lo <= hi <= len(column):
@@ -111,6 +111,7 @@ class ColumnSlice:
         self.column = column
         self.lo = int(lo)
         self.hi = int(hi)
+        self._oids: np.ndarray | None = None
 
     def __len__(self) -> int:
         return self.hi - self.lo
@@ -128,8 +129,20 @@ class ColumnSlice:
         return len(self) * self.column.dtype.width
 
     def oids(self) -> np.ndarray:
-        """The (dense) global oids covered by this slice."""
-        return np.arange(self.lo, self.hi, dtype=OID_DTYPE)
+        """The (dense) global oids covered by this slice.
+
+        The array is materialized once and cached (read-only), so
+        repeated projections over the same pass-through slice share one
+        buffer instead of re-running ``np.arange``.  The lazy build is
+        idempotent, so the unlocked benign race under the evaluation
+        pool at worst builds the array twice.
+        """
+        oids = self._oids
+        if oids is None:
+            oids = np.arange(self.lo, self.hi, dtype=OID_DTYPE)
+            oids.setflags(write=False)
+            self._oids = oids
+        return oids
 
     def split(self, at: int | None = None) -> tuple["ColumnSlice", "ColumnSlice"]:
         """Split into two adjacent sub-slices at ``at`` (default midpoint).
@@ -153,16 +166,37 @@ class ColumnSlice:
 
 
 class Candidates:
-    """A sorted list of qualifying global oids (a candidate list)."""
+    """A sorted list of qualifying global oids (a candidate list).
 
-    __slots__ = ("oids",)
+    ``unique`` tracks whether the oids are known to be *strictly*
+    increasing: ``True`` when proven (selections over base oids,
+    ``np.unique`` outputs, sub-ranges of unique lists), ``False`` when
+    duplicates were observed, ``None`` when unknown.  The zero-copy
+    projection fast path needs the guarantee: a dense-looking run
+    (``last - first + 1 == len``) only implies contiguity when the list
+    is duplicate-free.
+    """
 
-    def __init__(self, oids: np.ndarray, *, check_sorted: bool = True) -> None:
+    __slots__ = ("oids", "unique")
+
+    def __init__(
+        self,
+        oids: np.ndarray,
+        *,
+        check_sorted: bool = True,
+        unique: bool | None = None,
+    ) -> None:
         oids = np.asarray(oids, dtype=OID_DTYPE)
-        if check_sorted and len(oids) > 1 and not np.all(oids[1:] >= oids[:-1]):
-            raise StorageError("candidate oids must be sorted")
+        if check_sorted and len(oids) > 1:
+            if not np.all(oids[1:] >= oids[:-1]):
+                raise StorageError("candidate oids must be sorted")
+            if unique is None:
+                unique = bool(np.all(oids[1:] > oids[:-1]))
+        if unique is None and len(oids) <= 1:
+            unique = True
         self.oids = oids
         self.oids.setflags(write=False)
+        self.unique = unique
 
     def __len__(self) -> int:
         return len(self.oids)
@@ -175,7 +209,13 @@ class Candidates:
         """Candidates falling inside ``[lo, hi)`` -- cheap (binary search)."""
         start = int(np.searchsorted(self.oids, lo, side="left"))
         stop = int(np.searchsorted(self.oids, hi, side="left"))
-        return Candidates(self.oids[start:stop], check_sorted=False)
+        # Only the positive guarantee survives slicing: a sub-range of a
+        # duplicate-bearing list may itself be duplicate-free.
+        return Candidates(
+            self.oids[start:stop],
+            check_sorted=False,
+            unique=True if self.unique else None,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Candidates(n={len(self)})"

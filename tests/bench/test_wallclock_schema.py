@@ -1,0 +1,77 @@
+"""Unit tests for the wall-clock report helpers (no heavy runs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.wallclock import SCHEMA, check_report, resolve_workers
+from repro.errors import ReproError
+
+
+class TestResolveWorkers:
+    def test_default_includes_one_and_host(self):
+        counts = resolve_workers(None)
+        assert counts[0] == 1
+        assert counts == tuple(sorted(set(counts)))
+
+    def test_explicit_list_keeps_one_and_dedupes(self):
+        assert resolve_workers([4, 2, 4]) == (1, 2, 4)
+
+    def test_one_alone_collapses(self):
+        assert resolve_workers([1]) == (1,)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            resolve_workers([0])
+
+
+def _report(
+    *,
+    identical: bool = True,
+    hit_rate: float = 0.9,
+    speedup: float = 2.0,
+    slowdown: float = 1.0,
+) -> dict:
+    return {
+        "schema": SCHEMA,
+        "quick": True,
+        "host_cpus": 1,
+        "workers_swept": [1, 2],
+        "workloads": [{"name": "w", "identical": identical}],
+        "summary": {
+            "min_wallclock_speedup": speedup,
+            "min_worker_speedup": 1.0 / slowdown if slowdown else 0.0,
+            "max_worker_slowdown": slowdown,
+            "min_hit_rate": hit_rate,
+            "all_identical": identical,
+        },
+    }
+
+
+class TestCheckReport:
+    def test_passes_within_gates(self):
+        check_report(
+            _report(),
+            min_hit_rate=0.5,
+            min_speedup=1.0,
+            max_worker_slowdown=1.2,
+        )
+
+    def test_divergence_always_fails(self):
+        with pytest.raises(ReproError, match="diverged"):
+            check_report(_report(identical=False))
+
+    def test_hit_rate_gate(self):
+        with pytest.raises(ReproError, match="hit rate"):
+            check_report(_report(hit_rate=0.1), min_hit_rate=0.5)
+
+    def test_speedup_gate(self):
+        with pytest.raises(ReproError, match="speedup"):
+            check_report(_report(speedup=1.1), min_speedup=1.5)
+
+    def test_worker_slowdown_gate(self):
+        with pytest.raises(ReproError, match="slower"):
+            check_report(_report(slowdown=1.4), max_worker_slowdown=1.15)
+
+    def test_worker_slowdown_unchecked_by_default(self):
+        check_report(_report(slowdown=3.0))

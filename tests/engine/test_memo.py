@@ -47,13 +47,13 @@ class TestCachePolicy:
         assert cache.get(b"a") is not None
         assert cache.get(b"c") is not None
         assert cache.get(b"d") is not None
-        assert cache.stats.evictions == 1
+        assert cache.stats().evictions == 1
 
     def test_oversized_entry_refused(self):
         cache = IntermediateCache(256)
         cache.put(b"big", make_bat(1024), profile())
         assert len(cache) == 0
-        assert cache.stats.oversized == 1
+        assert cache.stats().oversized == 1
         assert cache.current_bytes == 0
 
     def test_replacement_does_not_leak_bytes(self):
@@ -77,16 +77,16 @@ class TestCachePolicy:
         cache.get(b"k")
         cache.clear()
         assert len(cache) == 0 and cache.current_bytes == 0
-        assert cache.stats.hits == 1 and cache.stats.insertions == 1
+        assert cache.stats().hits == 1 and cache.stats().insertions == 1
 
     def test_stats_hit_rate(self):
         cache = IntermediateCache()
-        assert cache.stats.hit_rate == 0.0
+        assert cache.stats().hit_rate == 0.0
         cache.put(b"k", make_bat(4), profile())
         cache.get(b"k")
         cache.get(b"missing")
-        assert cache.stats.hit_rate == pytest.approx(0.5)
-        as_dict = cache.stats.as_dict()
+        assert cache.stats().hit_rate == pytest.approx(0.5)
+        as_dict = cache.stats().as_dict()
         assert as_dict["hits"] == 1 and as_dict["misses"] == 1
 
 
@@ -101,16 +101,50 @@ def small_plan() -> Plan:
     return plan
 
 
+class TestThreadSafety:
+    def test_concurrent_get_put_keeps_counters_consistent(self):
+        """Hammer one cache from many threads; invariants must hold.
+
+        The evaluation pool only ever *reads* inputs concurrently (all
+        cache mutation happens on the commit path), but the cache's
+        single-lock design is meant to survive arbitrary interleaving.
+        """
+        import threading
+
+        cache = IntermediateCache(capacity_bytes=64 * 1024)
+        profile = WorkProfile(tuples_out=8)
+        rounds = 200
+
+        def worker(tid: int) -> None:
+            for i in range(rounds):
+                key = f"{tid % 3}:{i % 17}".encode()
+                if cache.get(key) is None:
+                    cache.put(key, make_bat(8), profile)
+                cache.peek(key)
+                len(cache)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = cache.stats()
+        assert stats.hits + stats.misses == 8 * rounds
+        # Every miss is followed by exactly one (small) put.
+        assert stats.insertions == stats.misses
+        assert stats.lookups == stats.hits + stats.misses
+
+
 class TestEngineIntegration:
     def test_repeat_execution_hits_cache(self):
         config = SimulationConfig(seed=7)
         memo = IntermediateCache()
         plan = small_plan()
         execute(plan.copy(), config, memo=memo)
-        first_misses = memo.stats.misses
+        first_misses = memo.stats().misses
         execute(plan.copy(), config, memo=memo)
-        assert memo.stats.hits == first_misses  # every operator reused
-        assert memo.stats.misses == first_misses
+        assert memo.stats().hits == first_misses  # every operator reused
+        assert memo.stats().misses == first_misses
 
     def test_cached_results_identical(self):
         config = SimulationConfig(seed=7)

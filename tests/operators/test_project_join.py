@@ -160,9 +160,17 @@ class TestJoin:
         assert profile.build_bytes == 3 * 8  # the inner column's bytes
         assert profile.random_reads == 2
 
-    def test_join_rejects_candidates(self):
-        with pytest.raises(OperatorError):
-            Join().evaluate([Candidates(np.array([1])), Candidates(np.array([1]))])
+    def test_join_accepts_candidates_as_identity_views(self):
+        # A candidate list joins as its own (oid, oid) identity view --
+        # equivalent to joining the mirrored BAT, without the Mirror.
+        outer = Candidates(np.array([1, 3, 5]))
+        inner = Candidates(np.array([3, 5, 7]))
+        out = Join().evaluate([outer, inner])
+        mirrored = Join().evaluate(
+            [Mirror().evaluate([outer]), Mirror().evaluate([inner])]
+        )
+        np.testing.assert_array_equal(out.head, mirrored.head)
+        np.testing.assert_array_equal(out.tail, mirrored.tail)
 
 
 class TestSemiJoin:

@@ -106,4 +106,4 @@ def test_optimize_identical_with_and_without_cache(seed, hi, with_join):
     # And the cache actually worked: repeated runs mostly hit.
     if res_on.total_runs > 2:
         assert ap_on.memo is not None
-        assert ap_on.memo.stats.hits > 0
+        assert ap_on.memo.stats().hits > 0

@@ -240,6 +240,10 @@ class TestBench:
                 str(out_file),
                 "--min-hit-rate",
                 "0.5",
+                "--workers",
+                "2",
+                "--max-worker-slowdown",
+                "2.0",
             ]
         )
         assert code == 0
@@ -248,6 +252,12 @@ class TestBench:
         report = json.loads(out_file.read_text())
         assert report["summary"]["all_identical"] is True
         assert report["summary"]["min_hit_rate"] > 0.5
+        assert report["workers_swept"] == [1, 2]
+        for workload in report["workloads"]:
+            assert [run["workers"] for run in workload["cold"]] == [1, 2]
+            assert workload["stages"]["build_seconds"] >= 0
+            # The pooled run reports its host-side batch counters.
+            assert workload["cold"][1]["pool"]["jobs"] > 0
 
     def test_bench_wallclock_gate_failure(self, capsys, tmp_path):
         code = main(
