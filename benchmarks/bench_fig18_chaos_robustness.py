@@ -1,0 +1,24 @@
+"""Figure 18 under chaos: AP converges near-GME with injected faults."""
+
+from repro.bench.experiments import fig18_chaos
+
+QUERIES = ("q6", "q14")  # a representative fast subset
+
+
+def test_fig18_chaos_robustness(benchmark, tpch, report_sink):
+    result = benchmark.pedantic(
+        lambda: fig18_chaos.run(tpch, queries=QUERIES),
+        rounds=1,
+        iterations=1,
+    )
+    report_sink("fig18_chaos_robustness", result.report)
+    for query in QUERIES:
+        chaotic = result.chaos[query]
+        # Chaos was actually injected and absorbed.
+        assert result.injected[query] > 0
+        # The instance still converged: the GME is not the last run.
+        assert chaotic.gme_run < chaotic.total_runs
+        # The adapted plan still beats serial despite the chaos ...
+        assert chaotic.gme_time < chaotic.serial_time
+        # ... and lands near the fault-free global minimum.
+        assert result.gme_ratio(query) <= 2.0

@@ -17,6 +17,20 @@ Quickstart::
     print(result.speedup, result.gme_run, result.total_runs)
 """
 
+from .chaos import (
+    CHAOS_HEAVY,
+    CHAOS_LIGHT,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+)
+from .concurrency import (
+    ClientSpec,
+    ConcurrentWorkload,
+    ResilienceConfig,
+    ResilientWorkload,
+    WorkloadReport,
+)
 from .config import (
     NOISY,
     QUIET,
@@ -50,12 +64,19 @@ __all__ = [
     "AdaptiveParallelizer",
     "AdaptiveResult",
     "BAT",
+    "CHAOS_HEAVY",
+    "CHAOS_LIGHT",
     "Candidates",
     "Catalog",
+    "ClientSpec",
     "Column",
+    "ConcurrentWorkload",
     "ConvergenceParams",
     "ConvergenceTracker",
     "ExecutionResult",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
     "HeuristicParallelizer",
     "MachineSpec",
     "NOISY",
@@ -65,6 +86,8 @@ __all__ = [
     "PlanMutator",
     "QUIET",
     "ReproError",
+    "ResilienceConfig",
+    "ResilientWorkload",
     "Scalar",
     "SimulationConfig",
     "Simulator",
@@ -73,6 +96,7 @@ __all__ = [
     "TpchDataset",
     "WorkStealingConfig",
     "WorkStealingExecutor",
+    "WorkloadReport",
     "execute",
     "format_plan",
     "four_socket_machine",

@@ -9,6 +9,7 @@ from . import (
     fig15_join,
     fig16_workload,
     fig17_tpcds,
+    fig18_chaos,
     fig18_robustness,
     fig19_util,
 )
@@ -22,6 +23,7 @@ __all__ = [
     "fig15_join",
     "fig16_workload",
     "fig17_tpcds",
+    "fig18_chaos",
     "fig18_robustness",
     "fig19_util",
 ]

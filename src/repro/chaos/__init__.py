@@ -1,0 +1,35 @@
+"""Fault injection for chaos testing the simulated column store.
+
+The paper's evaluation leans on behaviour *under duress*: Figures 1 and
+16 saturate the machine with 32 closed-loop clients, Figure 18 shows
+convergence surviving noisy, outlier-ridden measurements.  This package
+supplies the duress deterministically: a seeded
+:class:`~repro.chaos.injector.FaultInjector` driven by a declarative
+:class:`~repro.chaos.faults.FaultPlan` injects operator crashes,
+stragglers, memory-pressure spikes, and client disconnects into the
+engine -- with a bit-reproducible schedule at any host worker count.
+
+See ``docs/robustness.md`` for the fault model and determinism
+guarantees.
+"""
+
+from .faults import (
+    CHAOS_HEAVY,
+    CHAOS_LIGHT,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    FaultStats,
+)
+from .injector import FaultDecision, FaultInjector
+
+__all__ = [
+    "CHAOS_HEAVY",
+    "CHAOS_LIGHT",
+    "FaultDecision",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultStats",
+]

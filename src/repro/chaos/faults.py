@@ -1,0 +1,205 @@
+"""The fault model: what can go wrong, and how often.
+
+The paper's robustness claims (Figures 1, 16, 18) rest on adaptive
+parallelization surviving a hostile environment: 32 closed-loop clients
+saturating the box, noisy measurements, occasional large interference
+peaks.  This module describes the perturbations the chaos harness can
+inject into the simulator, as data:
+
+* ``OPERATOR_EXCEPTION`` -- a dispatched operator raises instead of
+  producing its intermediate (a crashed worker / poisoned input).
+* ``STRAGGLER`` -- a dispatched operator runs several times slower than
+  the cost model predicts (a descheduled thread, a cache-cold NUMA hop).
+* ``MEM_PRESSURE`` -- a transient memory-pressure spike multiplies the
+  operator's memory traffic (a co-tenant flushing the shared cache).
+* ``CLIENT_DISCONNECT`` -- a closed-loop client abandons an in-flight
+  query and reconnects later (a dropped connection).
+
+A :class:`FaultPlan` is pure configuration -- frozen, hashable,
+seed-free.  The schedule of *concrete* faults is produced by
+:class:`~repro.chaos.injector.FaultInjector`, which owns the seeded
+random stream; the split keeps one plan reusable across seeds and makes
+"same seed => same schedule" trivially auditable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ChaosError
+
+
+class FaultKind(enum.Enum):
+    """The kinds of perturbation the injector can produce."""
+
+    OPERATOR_EXCEPTION = "operator-exception"
+    STRAGGLER = "straggler"
+    MEM_PRESSURE = "mem-pressure"
+    CLIENT_DISCONNECT = "client-disconnect"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Rates and magnitudes of injectable faults (configuration only).
+
+    Dispatch-level rates (``operator_exception_rate``, ``straggler_rate``,
+    ``mem_pressure_rate``) are per *operator dispatch*: each time the
+    scheduler commits an operator, at most one of the three fires.
+    ``disconnect_rate`` is per *query submission* and is consumed by the
+    workload service layer, not the scheduler.
+    """
+
+    #: Probability a dispatched operator raises an injected failure.
+    operator_exception_rate: float = 0.0
+    #: Probability a dispatched operator is slowed down.
+    straggler_rate: float = 0.0
+    #: Maximum straggler slowdown; the actual factor is drawn uniformly
+    #: from ``[1, straggler_slowdown]``.
+    straggler_slowdown: float = 8.0
+    #: Probability a dispatched operator suffers a memory-pressure spike.
+    mem_pressure_rate: float = 0.0
+    #: Maximum multiplier on the operator's memory traffic under a spike.
+    mem_pressure_factor: float = 4.0
+    #: Probability a submitted query's client disconnects before reading
+    #: the result (consumed by the workload service layer).
+    disconnect_rate: float = 0.0
+    #: Hard cap on total injected faults (None = unbounded).
+    max_faults: int | None = None
+
+    def __post_init__(self) -> None:
+        rates = (
+            self.operator_exception_rate,
+            self.straggler_rate,
+            self.mem_pressure_rate,
+            self.disconnect_rate,
+        )
+        if any(rate < 0.0 or rate > 1.0 for rate in rates):
+            raise ChaosError("fault rates must be in [0, 1]")
+        dispatch_total = (
+            self.operator_exception_rate
+            + self.straggler_rate
+            + self.mem_pressure_rate
+        )
+        if dispatch_total > 1.0:
+            raise ChaosError(
+                "dispatch fault rates must sum to <= 1 "
+                f"(got {dispatch_total:.3f})"
+            )
+        if self.straggler_slowdown < 1.0:
+            raise ChaosError("straggler_slowdown must be >= 1")
+        if self.mem_pressure_factor < 1.0:
+            raise ChaosError("mem_pressure_factor must be >= 1")
+        if self.max_faults is not None and self.max_faults < 0:
+            raise ChaosError("max_faults must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault can ever fire."""
+        if self.max_faults == 0:
+            return False
+        return (
+            self.operator_exception_rate > 0
+            or self.straggler_rate > 0
+            or self.mem_pressure_rate > 0
+            or self.disconnect_rate > 0
+        )
+
+    @property
+    def dispatch_rate(self) -> float:
+        """Total probability of any dispatch-level fault."""
+        return (
+            self.operator_exception_rate
+            + self.straggler_rate
+            + self.mem_pressure_rate
+        )
+
+
+#: A mild chaos profile: rare crashes, occasional stragglers.
+CHAOS_LIGHT = FaultPlan(
+    operator_exception_rate=0.002,
+    straggler_rate=0.02,
+    straggler_slowdown=4.0,
+    mem_pressure_rate=0.01,
+    mem_pressure_factor=2.0,
+    disconnect_rate=0.01,
+)
+
+#: A hostile profile: frequent crashes, heavy stragglers, flappy clients.
+CHAOS_HEAVY = FaultPlan(
+    operator_exception_rate=0.02,
+    straggler_rate=0.08,
+    straggler_slowdown=8.0,
+    mem_pressure_rate=0.05,
+    mem_pressure_factor=4.0,
+    disconnect_rate=0.05,
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One concrete injected fault, as recorded in the schedule.
+
+    The ordered tuple of events is the run's *fault schedule*; two runs
+    with the same seed and workload must produce identical schedules,
+    which is what the bit-reproducibility tests compare.
+    """
+
+    kind: FaultKind
+    #: Simulated time of the injection decision.
+    when: float
+    #: Submission the fault hit (-1 when not applicable).
+    sid: int = -1
+    #: Plan node the fault hit (-1 for submission-level faults).
+    nid: int = -1
+    #: Client that owned the submission ("" when unknown).
+    client: str = ""
+    #: Kind-specific magnitude (slowdown / traffic multiplier; 0 when
+    #: the kind has none).
+    magnitude: float = 0.0
+
+    def as_tuple(self) -> tuple:
+        """A plain-data projection, convenient for equality asserts."""
+        return (
+            self.kind.value,
+            self.when,
+            self.sid,
+            self.nid,
+            self.client,
+            self.magnitude,
+        )
+
+
+@dataclass
+class FaultStats:
+    """Counters of injected faults by kind."""
+
+    operator_exceptions: int = 0
+    stragglers: int = 0
+    mem_pressure_spikes: int = 0
+    disconnects: int = 0
+    #: Dispatch decisions consulted (fault or not).
+    dispatch_draws: int = 0
+    #: Submission decisions consulted (fault or not).
+    submission_draws: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total faults actually injected."""
+        return (
+            self.operator_exceptions
+            + self.stragglers
+            + self.mem_pressure_spikes
+            + self.disconnects
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "operator_exceptions": self.operator_exceptions,
+            "stragglers": self.stragglers,
+            "mem_pressure_spikes": self.mem_pressure_spikes,
+            "disconnects": self.disconnects,
+            "dispatch_draws": self.dispatch_draws,
+            "submission_draws": self.submission_draws,
+            "total": self.total,
+        }

@@ -18,6 +18,12 @@ Commands
     print its paper-vs-measured report.  ``bench --wallclock`` instead
     measures host wall-clock of full adaptive instances with the
     cross-run result cache off vs on (see ``docs/perf.md``).
+``chaos``
+    Fault-injection demo (see ``docs/robustness.md``): a resilient
+    closed-loop workload rides out injected operator crashes,
+    stragglers, and disconnects, then an adaptive-parallelization
+    instance converges under the same chaos; both are bit-reproducible
+    for a fixed ``--seed``.
 """
 
 from __future__ import annotations
@@ -45,6 +51,7 @@ _EXPERIMENTS = {
     "fig16": ("fig16_workload", "run"),
     "fig17": ("fig17_tpcds", "run"),
     "fig18": ("fig18_robustness", "run"),
+    "fig18chaos": ("fig18_chaos", "run"),
     "fig19": ("fig19_util", "run"),
 }
 
@@ -159,6 +166,51 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="X",
         help="wallclock: fail if any pooled run is more than X times "
         "slower than workers=1",
+    )
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection demo: resilience + convergence under chaos"
+    )
+    _dataset_args(chaos)
+    chaos.add_argument(
+        "--query", default="q6", help="workload query to hammer (default: q6)"
+    )
+    chaos.add_argument(
+        "--clients", type=int, default=6, help="closed-loop clients (default: 6)"
+    )
+    chaos.add_argument(
+        "--horizon",
+        type=float,
+        default=2.0,
+        help="workload horizon, simulated seconds (default: 2.0)",
+    )
+    chaos.add_argument(
+        "--level",
+        choices=("light", "heavy"),
+        default="light",
+        help="fault-plan preset (default: light)",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=20160315, help="simulation seed"
+    )
+    chaos.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="client-side timeout per submission, simulated seconds",
+    )
+    chaos.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="host threads evaluating ready operators "
+        "(results are identical for any N)",
+    )
+    chaos.add_argument(
+        "--no-adapt",
+        action="store_true",
+        help="skip the adaptive-convergence-under-chaos half",
     )
     return parser
 
@@ -357,6 +409,73 @@ def _cmd_bench_wallclock(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from .chaos import CHAOS_HEAVY, CHAOS_LIGHT, FaultInjector
+    from .concurrency import ClientSpec, ResilienceConfig, ResilientWorkload
+
+    dataset = _dataset(args)
+    config = _config(args, dataset).with_seed(args.seed)
+    fault_plan = CHAOS_LIGHT if args.level == "light" else CHAOS_HEAVY
+    serial = dataset.plan(args.query)
+    plan = HeuristicParallelizer(config.effective_threads).parallelize(serial)
+
+    print(f"chaos level: {args.level} "
+          f"(exception {fault_plan.operator_exception_rate:.3f}, "
+          f"straggler {fault_plan.straggler_rate:.3f}, "
+          f"mem-pressure {fault_plan.mem_pressure_rate:.3f}, "
+          f"disconnect {fault_plan.disconnect_rate:.3f})")
+
+    workload = ResilientWorkload(
+        config,
+        [ClientSpec(name=f"c{i}", plans=[plan]) for i in range(args.clients)],
+        horizon=args.horizon,
+        faults=fault_plan,
+        resilience=ResilienceConfig(timeout=args.timeout),
+        workers=args.workers,
+    )
+    report = workload.run()
+    print(f"workload: {args.clients} clients x {args.horizon:g}s simulated on "
+          f"{args.query} -- {report.completed()} completed, "
+          f"{report.throughput():.1f} q/s")
+    print(f"  faults injected: {report.faults_injected} "
+          f"(retries {report.retries}, timeouts {report.timeouts}, "
+          f"disconnects {report.disconnects}, DOP sheds {report.shed_dop}, "
+          f"abandoned {report.abandoned})")
+    print(f"  admission: peak in-flight {report.peak_in_flight}, "
+          f"waits {report.admission_waits}, "
+          f"peak queue depth {report.peak_queue_depth}")
+    if report.completed():
+        print(f"  response: p50 {report.p50_response * 1000:.1f} ms, "
+              f"p99 {report.p99_response * 1000:.1f} ms")
+    else:
+        print("  response: no queries completed inside the horizon")
+
+    if args.no_adapt:
+        return 0
+    # The convergence half runs under the calibrated Figure-18 chaos
+    # mix: service-preset exception rates abort roughly half of all
+    # adaptive runs (hundreds of dispatches each), which no bounded
+    # retry budget survives -- the workload layer absorbs those, the
+    # adaptive driver must outlast a rarer hard-failure rate.
+    from .bench.experiments.fig18_chaos import CHAOS_PLAN
+
+    clean = AdaptiveParallelizer(config).optimize(serial)
+    injector = FaultInjector(CHAOS_PLAN, seed=config.derive_seed("cli.chaos"))
+    chaotic = AdaptiveParallelizer(config, faults=injector).optimize(serial)
+    ratio = chaotic.gme_time / clean.gme_time
+    print(f"adaptive convergence on {args.query}:")
+    print(f"  fault-free: serial {clean.serial_time * 1000:.2f} ms -> "
+          f"GME {clean.gme_time * 1000:.2f} ms (x{clean.speedup:.1f}) "
+          f"at run {clean.gme_run}/{clean.total_runs}")
+    print(f"  under chaos: serial {chaotic.serial_time * 1000:.2f} ms -> "
+          f"GME {chaotic.gme_time * 1000:.2f} ms (x{chaotic.speedup:.1f}) "
+          f"at run {chaotic.gme_run}/{chaotic.total_runs}, "
+          f"{injector.stats.total} faults absorbed, "
+          f"{chaotic.fault_retries} runs retried")
+    print(f"  chaos GME / clean GME: {ratio:.2f}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
@@ -372,6 +491,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_lint(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

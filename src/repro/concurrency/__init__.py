@@ -2,5 +2,13 @@
 
 from .client import ClientSpec, ClientState
 from .runner import ConcurrentWorkload, WorkloadReport
+from .service import ResilienceConfig, ResilientWorkload
 
-__all__ = ["ClientSpec", "ClientState", "ConcurrentWorkload", "WorkloadReport"]
+__all__ = [
+    "ClientSpec",
+    "ClientState",
+    "ConcurrentWorkload",
+    "ResilienceConfig",
+    "ResilientWorkload",
+    "WorkloadReport",
+]

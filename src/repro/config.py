@@ -8,6 +8,7 @@ describing noise, scaling, and scheduling knobs.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -210,6 +211,18 @@ class SimulationConfig:
     def rng(self) -> np.random.Generator:
         """A fresh deterministic generator for this configuration."""
         return np.random.default_rng(self.seed)
+
+    def derive_seed(self, stream: str) -> int:
+        """A deterministic per-purpose seed derived from ``seed``.
+
+        Subsystems that need their own random stream (fault injection,
+        client scheduling) must not share the simulator's noise
+        generator -- consuming draws from one would perturb the other.
+        Deriving from the config seed plus a stream label keeps every
+        stream independent yet fully determined by the one user-visible
+        seed.
+        """
+        return (self.seed * 1_000_003 + zlib.crc32(stream.encode("utf-8"))) % 2**32
 
     def with_threads(self, max_threads: int | None) -> "SimulationConfig":
         """A copy with a different per-query thread cap."""

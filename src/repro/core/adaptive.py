@@ -16,12 +16,14 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..chaos.faults import FaultPlan
+from ..chaos.injector import FaultInjector
 from ..config import SimulationConfig
 from ..engine.evalpool import EvalPool
 from ..engine.executor import execute
 from ..engine.memo import IntermediateCache
 from ..engine.scheduler import ExecutionResult
-from ..errors import ConvergenceError
+from ..errors import ConvergenceError, InjectedFaultError
 from ..plan.analysis import AnalysisReport
 from ..plan.graph import Plan
 from ..storage.column import BAT, Candidates, ColumnSlice, Intermediate, Scalar
@@ -74,6 +76,9 @@ class AdaptiveResult:
     reports: list[AnalysisReport | None] = field(default_factory=list)
     #: Mutations the analyzer vetoed and rolled back along the way.
     rejections: list[MutationRejection] = field(default_factory=list)
+    #: Runs re-executed after an injected operator exception (only
+    #: nonzero when the instance runs under the chaos harness).
+    fault_retries: int = 0
 
     @property
     def speedup(self) -> float:
@@ -117,9 +122,13 @@ class AdaptiveParallelizer:
         mutations_per_run: int = 1,
         memoize: bool = True,
         workers: int | None = None,
+        faults: FaultInjector | FaultPlan | None = None,
+        fault_retries: int = 5,
     ) -> None:
         if mutations_per_run < 1:
             raise ConvergenceError("mutations_per_run must be >= 1")
+        if fault_retries < 0:
+            raise ConvergenceError("fault_retries must be >= 0")
         self.config = config if config is not None else SimulationConfig()
         if convergence is None:
             convergence = ConvergenceParams(
@@ -149,6 +158,21 @@ class AdaptiveParallelizer:
         self.evalpool: EvalPool | None = (
             EvalPool(workers) if workers is not None and workers > 1 else None
         )
+        # Chaos harness: the robustness experiment (Figure 18 under
+        # faults) runs the whole adaptive loop with injected operator
+        # exceptions, stragglers, and memory-pressure spikes.  Timing
+        # faults only perturb the observed run times; an injected
+        # exception makes the default runner re-execute that run, up to
+        # ``fault_retries`` times per run.  The injector is a single
+        # stream across all runs, so a fixed seed reproduces the exact
+        # fault placement and hence the exact convergence trace.
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(
+                faults, seed=self.config.derive_seed("adaptive.chaos")
+            )
+        self.faults = faults
+        self.fault_retries = fault_retries
+        self._fault_retries_used = 0
 
     def close(self) -> None:
         """Release the host evaluation pool's threads (idempotent)."""
@@ -159,12 +183,30 @@ class AdaptiveParallelizer:
         # A distinct seed per run lets noise vary between runs while
         # keeping the whole adaptive instance reproducible.
         config = self.config.with_seed(self.config.seed + run_index)
-        return execute(plan, config, memo=self.memo, evalpool=self.evalpool)
+        attempts = 1 + (self.fault_retries if self.faults is not None else 0)
+        for attempt in range(attempts):
+            try:
+                return execute(
+                    plan,
+                    config,
+                    memo=self.memo,
+                    evalpool=self.evalpool,
+                    faults=self.faults,
+                )
+            except InjectedFaultError as error:
+                if attempt + 1 >= attempts:
+                    raise ConvergenceError(
+                        f"run {run_index} kept failing after "
+                        f"{self.fault_retries} fault retries: {error}"
+                    ) from error
+                self._fault_retries_used += 1
+        raise AssertionError("unreachable")
 
     # ------------------------------------------------------------------
     def optimize(self, plan: Plan) -> AdaptiveResult:
         """Adaptively parallelize ``plan``; the input plan is not touched."""
         working = plan.copy()
+        self._fault_retries_used = 0
         mutator = PlanMutator(working, pack_fanin_limit=self.pack_fanin_limit)
         tracker = ConvergenceTracker(self.convergence)
         history = PlanHistory()
@@ -219,6 +261,7 @@ class AdaptiveParallelizer:
             final_plan=working,
             reports=reports,
             rejections=list(mutator.rejections),
+            fault_retries=self._fault_retries_used,
         )
 
     def _check_outputs(

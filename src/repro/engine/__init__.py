@@ -1,6 +1,6 @@
 """Discrete-event multi-core execution engine."""
 
-from .evalpool import EvalPool, PoolStats, default_workers
+from .evalpool import EvalFailure, EvalPool, PoolStats, default_workers, settle_job
 from .executor import execute
 from .machine import HardwareThread, MachineState
 from .memo import CacheStats, IntermediateCache
@@ -10,6 +10,7 @@ from .scheduler import ExecutionResult, Simulator
 
 __all__ = [
     "CacheStats",
+    "EvalFailure",
     "EvalPool",
     "ExecutionResult",
     "HardwareThread",
@@ -22,4 +23,5 @@ __all__ = [
     "Simulator",
     "default_workers",
     "execute",
+    "settle_job",
 ]

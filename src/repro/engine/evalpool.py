@@ -40,6 +40,42 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+class EvalFailure:
+    """A settled evaluation error: the thunk raised instead of returning.
+
+    Failures travel through the batch as *values* so a raising operator
+    cannot abort its siblings mid-flight: every thunk runs, results come
+    back in submission order, and the scheduler's dispatch-order commit
+    barrier decides -- deterministically, at any worker count -- which
+    submission a failure kills and whether it propagates or is retried.
+    """
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: Exception) -> None:
+        self.error = error
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"EvalFailure({self.error!r})"
+
+
+def settle_job(job: Callable[[], Any]) -> Callable[[], Any]:
+    """Wrap ``job`` so an exception settles into an :class:`EvalFailure`.
+
+    ``KeyboardInterrupt``/``SystemExit`` still propagate; everything
+    else -- genuine operator bugs and injected chaos alike -- is
+    captured for the commit barrier to resolve in dispatch order.
+    """
+
+    def settled() -> Any:
+        try:
+            return job()
+        except Exception as exc:  # noqa: BLE001 - settled by design
+            return EvalFailure(exc)
+
+    return settled
+
+
 @dataclass(frozen=True)
 class PoolStats:
     """Host-side counters of one :class:`EvalPool` (immutable snapshot)."""

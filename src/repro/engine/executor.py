@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from ..chaos.faults import FaultPlan
+from ..chaos.injector import FaultInjector
 from ..config import SimulationConfig
 from ..errors import PlanError
 from ..plan.analysis import analyze_plan
@@ -9,6 +11,17 @@ from ..plan.graph import Plan
 from .evalpool import EvalPool
 from .memo import IntermediateCache
 from .scheduler import ExecutionResult, Simulator
+
+
+def _resolve_faults(
+    faults: FaultInjector | FaultPlan | None, config: SimulationConfig
+) -> FaultInjector | None:
+    """Accept a ready injector or a bare plan (seeded from the config)."""
+    if faults is None:
+        return None
+    if isinstance(faults, FaultPlan):
+        return FaultInjector(faults, seed=config.derive_seed("chaos"))
+    return faults
 
 
 def execute(
@@ -19,6 +32,7 @@ def execute(
     memo: IntermediateCache | None = None,
     evalpool: EvalPool | None = None,
     workers: int | None = None,
+    faults: FaultInjector | FaultPlan | None = None,
 ) -> ExecutionResult:
     """Run ``plan`` alone on a fresh simulated machine.
 
@@ -39,6 +53,15 @@ def execute(
     evaluates simultaneously-ready operators on host threads; passing
     ``workers=N`` instead spins up (and tears down) a pool for just this
     call.  Simulated results are bit-identical for any worker count.
+
+    ``faults`` injects chaos: pass a
+    :class:`~repro.chaos.faults.FaultPlan` (an injector is derived from
+    the config seed) or a prepared
+    :class:`~repro.chaos.injector.FaultInjector`.  Stragglers and
+    memory-pressure spikes only perturb simulated timing; an injected
+    operator exception aborts this execution with
+    :class:`~repro.errors.InjectedFaultError` (retry policies live in
+    the :mod:`repro.concurrency` service layer).
     """
     if analyze:
         report = analyze_plan(plan)
@@ -49,13 +72,14 @@ def execute(
             )
     if config is None:
         config = SimulationConfig()
+    injector = _resolve_faults(faults, config)
     if evalpool is None and workers is not None and workers > 1:
         with EvalPool(workers) as pool:
-            simulator = Simulator(config, memo=memo, evalpool=pool)
+            simulator = Simulator(config, memo=memo, evalpool=pool, faults=injector)
             sid = simulator.submit(plan)
             simulator.run()
             return simulator.result(sid)
-    simulator = Simulator(config, memo=memo, evalpool=evalpool)
+    simulator = Simulator(config, memo=memo, evalpool=evalpool, faults=injector)
     sid = simulator.submit(plan)
     simulator.run()
     return simulator.result(sid)

@@ -26,18 +26,21 @@ incrementally instead of rescanning every task at every event.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from ..chaos.faults import FaultKind
+from ..chaos.injector import FaultDecision, FaultInjector
 from ..config import SimulationConfig
 from ..costmodel.model import CostContext, compute_work, thread_bandwidth_cap
 from ..errors import SchedulerError
 from ..operators.base import Operator, WorkProfile
 from ..plan.graph import Plan, PlanNode
 from ..storage.column import Intermediate, intermediate_nbytes
-from .evalpool import EvalPool
+from .evalpool import EvalFailure, EvalPool, settle_job
 from .machine import HardwareThread, MachineState
 from .memo import IntermediateCache
 from .noise import NoiseModel
@@ -67,6 +70,8 @@ class _Submission:
         "client",
         "max_threads",
         "on_complete",
+        "on_failure",
+        "failed",
         "profile",
         "values",
         "waiting",
@@ -78,6 +83,7 @@ class _Submission:
         "consumers",
         "live_bytes",
         "fingerprints",
+        "node_index",
     )
 
     def __init__(
@@ -89,13 +95,18 @@ class _Submission:
         max_threads: int,
         on_complete: Callable[["_Submission"], None] | None,
         *,
+        on_failure: Callable[[int, Exception], None] | None = None,
         want_fingerprints: bool = False,
+        want_node_index: bool = False,
     ) -> None:
         self.sid = sid
         self.plan = plan
         self.client = client
         self.max_threads = max_threads
         self.on_complete = on_complete
+        self.on_failure = on_failure
+        #: The exception that killed this submission (None while alive).
+        self.failed: Exception | None = None
         self.profile = QueryProfile(submit_time=submit_time)
         self.values: dict[int, Intermediate] = {}
         nodes = plan.nodes()
@@ -118,6 +129,16 @@ class _Submission:
         self.fingerprints: dict[int, bytes] = (
             plan.fingerprints() if want_fingerprints else {}
         )
+        # Plan-relative node position (nid -> index in topological
+        # order).  ``PlanNode.nid`` comes from a process-global counter,
+        # so raw nids are not reproducible across runs; the fault
+        # schedule records these stable indices instead.  Only needed
+        # when fault injection is on.
+        self.node_index: dict[int, int] = (
+            {node.nid: i for i, node in enumerate(nodes)}
+            if want_node_index
+            else {}
+        )
 
     @property
     def finished(self) -> bool:
@@ -135,6 +156,7 @@ class _Submission:
         self.consumers = {}
         self.ready = deque()
         self.fingerprints = {}
+        self.node_index = {}
 
 
 class _Task:
@@ -192,7 +214,15 @@ class _PendingDispatch:
     bit-identical for any host worker count.
     """
 
-    __slots__ = ("sub", "node", "thread", "fingerprint", "peeked", "job_index")
+    __slots__ = (
+        "sub",
+        "node",
+        "thread",
+        "fingerprint",
+        "peeked",
+        "job_index",
+        "fault",
+    )
 
     def __init__(
         self, sub: _Submission, node: PlanNode, thread: HardwareThread
@@ -208,6 +238,10 @@ class _PendingDispatch:
         #: Index into the batch's evaluation-job results, -1 when the
         #: result comes from ``peeked`` instead.
         self.job_index = -1
+        #: Injected-fault decision for this dispatch (chaos harness);
+        #: drawn at collection time on the main thread so the schedule
+        #: is deterministic for any host worker count.
+        self.fault: FaultDecision | None = None
 
 
 def _make_eval_job(
@@ -234,6 +268,16 @@ class Simulator:
     host threads.  Results are committed in dispatch order regardless of
     host completion order, so simulated results are bit-identical with
     or without the pool, at any worker count.
+
+    ``faults`` plugs in a :class:`~repro.chaos.injector.FaultInjector`:
+    every committed dispatch consults it (in dispatch order, on the main
+    thread) and may crash, slow down, or memory-starve the operator.
+    Submissions killed by a fault -- injected or a genuine operator
+    exception -- are cleaned up without poisoning the simulator: the
+    thread is released, pending work is dropped, and the exception
+    either goes to the submission's ``on_failure`` handler or is raised
+    from :meth:`run` in dispatch order, after the machine state has been
+    restored, so the same simulator keeps serving other submissions.
     """
 
     def __init__(
@@ -242,10 +286,12 @@ class Simulator:
         *,
         memo: IntermediateCache | None = None,
         evalpool: EvalPool | None = None,
+        faults: FaultInjector | None = None,
     ) -> None:
         self.config = config
         self.memo = memo
         self.evalpool = evalpool
+        self.faults = faults
         self.machine = MachineState(config.machine)
         self.cost_ctx = CostContext(machine=config.machine, data_scale=config.data_scale)
         self.noise = NoiseModel(config.noise, config.rng())
@@ -266,6 +312,15 @@ class Simulator:
         # Number of memory-bound running tasks per socket -- the
         # bandwidth-sharing denominator, maintained incrementally.
         self._socket_mem_demand: dict[int, int] = {}
+        # Simulated-time timers: (when, seq, callback) heap.  The seq
+        # tiebreak keeps same-instant callbacks firing in registration
+        # order, which the determinism guarantees depend on.
+        self._timers: list[tuple[float, int, Callable[[], None]]] = []
+        self._timer_seq = itertools.count()
+        # Exceptions of failed submissions without an on_failure handler,
+        # in failure (dispatch) order, raised from the event loop once
+        # the machine state is consistent again.
+        self._pending_failures: deque[Exception] = deque()
 
     # ------------------------------------------------------------------
     # Public API
@@ -277,12 +332,17 @@ class Simulator:
         client: str = "client-0",
         max_threads: int | None = None,
         on_complete: Callable[[int], None] | None = None,
+        on_failure: Callable[[int, Exception], None] | None = None,
     ) -> int:
         """Register a plan for execution at the current simulated time.
 
         Returns a submission id usable with :meth:`result`.
         ``on_complete`` (called with the submission id) may submit
         follow-up queries -- that is how closed-loop clients are built.
+        ``on_failure`` (called with the submission id and the exception)
+        absorbs operator failures -- injected or genuine -- instead of
+        letting them propagate out of :meth:`run`; resilient workload
+        layers use it to retry with backoff.
         """
         limit = max_threads if max_threads is not None else self.config.effective_threads
         limit = min(limit, self.config.machine.hardware_threads)
@@ -301,7 +361,9 @@ class Simulator:
             client,
             limit,
             wrapped,
+            on_failure=on_failure,
             want_fingerprints=self.memo is not None,
+            want_node_index=self.faults is not None,
         )
         self._submissions[sid] = sub
         if sub.finished:  # degenerate empty plan
@@ -311,10 +373,24 @@ class Simulator:
         return sid
 
     def run(self) -> None:
-        """Advance simulated time until no work remains."""
+        """Advance simulated time until no work remains.
+
+        An unhandled submission failure raises here *after* the machine
+        state has been restored; calling :meth:`run` again resumes the
+        remaining submissions (and raises the next unhandled failure, in
+        dispatch order, if there is one).
+        """
         while True:
+            self._fire_timers()
             self._dispatch()
             if not self._tasks:
+                if self._timers:
+                    # Idle until the next timer: jump simulated time.
+                    when = self._timers[0][0]
+                    if when > self.now:
+                        self.now = when
+                    self._fire_timers()
+                    continue
                 if self._queue:
                     stuck = [s.sid for s in self._queue]
                     raise SchedulerError(
@@ -324,23 +400,53 @@ class Simulator:
                 return
             self._advance()
 
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at simulated time ``when`` (>= now).
+
+        Timers fire on the main thread, between dispatch rounds;
+        same-instant timers fire in registration order.  This is the
+        primitive behind simulated-time backoff and client timeouts in
+        the resilient workload layer.
+        """
+        if when < self.now - _EPS:
+            raise SchedulerError(
+                f"cannot schedule a timer in the past ({when} < {self.now})"
+            )
+        heapq.heappush(self._timers, (when, next(self._timer_seq), callback))
+
     def result(self, sid: int) -> ExecutionResult:
         sub = self._submissions[sid]
+        if sub.failed is not None:
+            raise sub.failed
         if not sub.finished:
             raise SchedulerError(f"submission {sid} has not finished")
         outputs = [sub.values[out.nid] for out in sub.plan.outputs]
         return ExecutionResult(outputs=outputs, profile=sub.profile)
 
     # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def _fire_timers(self) -> None:
+        """Run every timer whose deadline has been reached."""
+        timers = self._timers
+        while timers and timers[0][0] <= self.now + _EPS:
+            __, __, callback = heapq.heappop(timers)
+            callback()
+
+    # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
     def _dispatch(self) -> None:
         batch = self._collect_dispatches()
-        if not batch:
-            return
-        results = self._evaluate_batch(batch)
-        for entry in batch:
-            self._commit_dispatch(entry, results)
+        if batch:
+            results = self._evaluate_batch(batch)
+            for entry in batch:
+                self._commit_dispatch(entry, results)
+        if self._pending_failures:
+            # Raised only after the whole batch committed, so every
+            # thread claimed this round is accounted for and the
+            # simulator stays consistent (and reusable).
+            raise self._pending_failures.popleft()
 
     def _collect_dispatches(self) -> list[_PendingDispatch]:
         """Claim every runnable (submission, node, thread) triple.
@@ -363,7 +469,18 @@ class Simulator:
                 node = sub.ready.popleft()
                 self.machine.acquire(thread)
                 sub.running += 1
-                batch.append(_PendingDispatch(sub, node, thread))
+                entry = _PendingDispatch(sub, node, thread)
+                if self.faults is not None:
+                    # Drawn here, on the main thread, in collection
+                    # order: the fault schedule is a pure function of
+                    # simulated dispatch order, not host parallelism.
+                    entry.fault = self.faults.draw_dispatch(
+                        sid=sub.sid,
+                        nid=sub.node_index[node.nid],
+                        client=sub.client,
+                        now=self.now,
+                    )
+                batch.append(entry)
                 progress = True
         return batch
 
@@ -386,6 +503,11 @@ class Simulator:
         job_of_fp: dict[bytes, int] = {}
         for entry in batch:
             sub, node = entry.sub, entry.node
+            fault = entry.fault
+            if fault is not None and fault.kind is FaultKind.OPERATOR_EXCEPTION:
+                # The operator will be killed at commit; evaluating it
+                # would only waste host work.
+                continue
             if memo is not None:
                 fingerprint = sub.fingerprints[node.nid]
                 entry.fingerprint = fingerprint
@@ -400,7 +522,7 @@ class Simulator:
                 job_of_fp[fingerprint] = len(jobs)
             entry.job_index = len(jobs)
             inputs = [sub.values[child.nid] for child in node.inputs]
-            jobs.append(_make_eval_job(node.op, inputs))
+            jobs.append(settle_job(_make_eval_job(node.op, inputs)))
         if not jobs:
             return []
         if self.evalpool is not None:
@@ -416,9 +538,25 @@ class Simulator:
 
         Runs on the main thread in collection order -- the barrier that
         keeps memo counters, noise draws, and simulated time identical
-        for any worker count.
+        for any worker count.  Failures -- injected faults and genuine
+        operator exceptions (settled into :class:`EvalFailure` slots by
+        the evaluation phase) -- are resolved here too, in the same
+        order, so "which submission died first" is deterministic.
         """
         sub, node, thread = entry.sub, entry.node, entry.thread
+        if sub.failed is not None:
+            # A same-batch entry already killed this submission; the
+            # claimed thread is simply returned.
+            self._drop_claim(sub, thread)
+            return
+        fault = entry.fault
+        if fault is not None and fault.kind is FaultKind.OPERATOR_EXCEPTION:
+            assert self.faults is not None
+            error = self.faults.error_for(
+                sid=sub.sid, nid=sub.node_index[node.nid], now=self.now
+            )
+            self._fail_submission(sub, thread, error)
+            return
         memo = self.memo
         if memo is not None:
             fingerprint = entry.fingerprint
@@ -432,14 +570,22 @@ class Simulator:
                 # First committer of this fingerprint (or a peeked entry
                 # whose value a same-batch commit just evicted).
                 if entry.job_index >= 0:
-                    output, profile = results[entry.job_index]
+                    settled = results[entry.job_index]
                 else:
                     peeked = entry.peeked
                     assert peeked is not None
-                    output, profile = peeked
+                    settled = peeked
+                if isinstance(settled, EvalFailure):
+                    self._fail_submission(sub, thread, settled.error)
+                    return
+                output, profile = settled
                 memo.put(fingerprint, output, profile)
         else:
-            output, profile = results[entry.job_index]
+            settled = results[entry.job_index]
+            if isinstance(settled, EvalFailure):
+                self._fail_submission(sub, thread, settled.error)
+                return
+            output, profile = settled
         sub.values[node.nid] = output
         amortize = False
         if node.kind in ("join", "semijoin") and len(node.inputs) == 2:
@@ -456,6 +602,14 @@ class Simulator:
         if sub.live_bytes > sub.profile.peak_memory_bytes:
             sub.profile.peak_memory_bytes = sub.live_bytes
         factor = self.noise.factor()
+        mem_extra = 1.0
+        if fault is not None:
+            # Timing-only faults: the operator's *result* is untouched,
+            # only its simulated duration grows.
+            if fault.kind is FaultKind.STRAGGLER:
+                factor *= fault.magnitude
+            elif fault.kind is FaultKind.MEM_PRESSURE:
+                mem_extra = fault.magnitude
         remote = False
         if not self.config.machine.numa_first_touch and node.inputs:
             # Strict NUMA: reading inputs homed on another socket is slow.
@@ -475,7 +629,7 @@ class Simulator:
             node,
             thread,
             cpu_work=max(work.cpu_cycles * factor, 1.0),
-            mem_work=max(work.mem_bytes * factor, 0.0),
+            mem_work=max(work.mem_bytes * factor * mem_extra, 0.0),
             start=self.now,
             remote=remote,
         )
@@ -485,6 +639,48 @@ class Simulator:
             demand = self._socket_mem_demand
             socket = thread.socket_id
             demand[socket] = demand.get(socket, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Submission failure
+    # ------------------------------------------------------------------
+    def _drop_claim(self, sub: _Submission, thread: HardwareThread) -> None:
+        """Return a collected-but-uncommitted dispatch's thread."""
+        self.machine.release(thread)
+        sub.running -= 1
+        if sub.failed is not None and sub.running == 0:
+            self._settle_failed(sub)
+
+    def _fail_submission(
+        self, sub: _Submission, thread: HardwareThread, error: Exception
+    ) -> None:
+        """Kill ``sub``: drop its pending work, keep the machine sane.
+
+        In-flight simulated tasks of the submission are left to finish
+        (their threads are released on completion, results discarded);
+        once the last one drains, the failure is settled -- delivered to
+        the ``on_failure`` handler or queued for :meth:`run` to raise.
+        """
+        sub.failed = error
+        if sub in self._queue:
+            self._queue.remove(sub)
+        sub.ready.clear()
+        self._drop_claim(sub, thread)
+
+    def _settle_failed(self, sub: _Submission) -> None:
+        """Final bookkeeping once a failed submission has fully drained."""
+        sub.profile.finish_time = self.now
+        self._hash_built.pop(sub.sid, None)
+        self._home_socket.pop(sub.sid, None)
+        error = sub.failed
+        assert error is not None
+        on_failure = sub.on_failure
+        sub.values = {}
+        sub.live_bytes = 0.0
+        sub.release_bookkeeping()
+        if on_failure is not None:
+            on_failure(sub.sid, error)
+        else:
+            self._pending_failures.append(error)
 
     # ------------------------------------------------------------------
     # Time advance
@@ -564,6 +760,13 @@ class Simulator:
             finish_in.append(horizon)
             if dt is None or horizon < dt:
                 dt = horizon
+        if self._timers:
+            # Never step past a timer deadline: the callback (a backoff
+            # retry, a client timeout) must observe the machine at its
+            # scheduled instant.
+            window = self._timers[0][0] - self.now
+            if window < dt:
+                dt = window if window > 0.0 else 0.0
         self.now += dt
         completed = []
         deadline = dt + _EPS
@@ -594,6 +797,14 @@ class Simulator:
         self._remove_task(task)
         self.machine.release(task.thread)
         sub = task.submission
+        if sub.failed is not None:
+            # A task of an already-failed submission draining out: no
+            # consumers to wake, no profile to record.
+            self._last_profiles.pop((sub.sid, task.node.nid), None)
+            sub.running -= 1
+            if sub.running == 0:
+                self._settle_failed(sub)
+            return
         if not self.config.machine.numa_first_touch:
             self._home_socket.setdefault(sub.sid, {})[task.node.nid] = (
                 task.thread.socket_id

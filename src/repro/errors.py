@@ -62,3 +62,24 @@ class SqlPlanError(SqlError):
 
 class WorkloadError(ReproError):
     """Workload generation or query lookup failed."""
+
+
+class ChaosError(ReproError):
+    """Fault-injection configuration or usage errors."""
+
+
+class InjectedFaultError(ReproError):
+    """A deliberately injected operator failure (chaos testing).
+
+    Carries enough context (submission, node, simulated time) for a
+    resilience layer to decide whether to retry; distinct from
+    :class:`OperatorError` so genuine engine bugs are never retried as
+    if they were injected chaos.
+    """
+
+    def __init__(self, message: str, *, sid: int = -1, nid: int = -1,
+                 when: float = 0.0) -> None:
+        super().__init__(message)
+        self.sid = sid
+        self.nid = nid
+        self.when = when

@@ -16,6 +16,7 @@ from repro.bench.experiments import (
     fig12_skew,
     fig16_workload,
     fig17_tpcds,
+    fig18_chaos,
     fig18_robustness,
     fig19_util,
 )
@@ -73,6 +74,12 @@ class TestRunnersExecute:
         lo, hi = result.spread("q6", "total_runs")
         assert 0 < lo <= hi
         assert "q6 A: total runs" in result.report.format()
+
+    def test_fig18_chaos(self, tiny_tpch):
+        result = fig18_chaos.run(tiny_tpch, queries=("q6",))
+        assert result.injected["q6"] > 0
+        assert result.chaos["q6"].gme_time <= result.chaos["q6"].serial_time
+        assert "q6 C: faults absorbed" in result.report.format()
 
     def test_fig19(self, tiny_tpch):
         result = fig19_util.run(tiny_tpch)

@@ -1,0 +1,179 @@
+"""The chaos harness: fault plans, the seeded injector, engine hooks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import (
+    CHAOS_HEAVY,
+    CHAOS_LIGHT,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+)
+from repro.config import SimulationConfig, laptop_machine
+from repro.engine import execute
+from repro.errors import ChaosError, InjectedFaultError
+from repro.operators import RangePredicate
+from repro.plan import PlanBuilder
+
+
+@pytest.fixture()
+def config() -> SimulationConfig:
+    return SimulationConfig(machine=laptop_machine(4), data_scale=100.0)
+
+
+def make_plan(small_catalog):
+    b = PlanBuilder(small_catalog)
+    sel = b.select(b.scan("facts", "val"), RangePredicate(hi=500))
+    proj = b.fetch(sel, b.scan("facts", "qty"))
+    return b.build(b.aggregate("sum", proj))
+
+
+class TestFaultPlan:
+    def test_rates_validated(self):
+        with pytest.raises(ChaosError):
+            FaultPlan(operator_exception_rate=1.5)
+        with pytest.raises(ChaosError):
+            FaultPlan(straggler_rate=-0.1)
+        with pytest.raises(ChaosError):
+            FaultPlan(operator_exception_rate=0.5, straggler_rate=0.6)
+        with pytest.raises(ChaosError):
+            FaultPlan(straggler_slowdown=0.5)
+        with pytest.raises(ChaosError):
+            FaultPlan(mem_pressure_factor=0.0)
+        with pytest.raises(ChaosError):
+            FaultPlan(max_faults=-1)
+
+    def test_enabled_and_dispatch_rate(self):
+        assert not FaultPlan().enabled
+        assert FaultPlan(straggler_rate=0.1).enabled
+        assert not FaultPlan(straggler_rate=0.1, max_faults=0).enabled
+        plan = FaultPlan(
+            operator_exception_rate=0.1,
+            straggler_rate=0.2,
+            mem_pressure_rate=0.3,
+        )
+        assert plan.dispatch_rate == pytest.approx(0.6)
+
+    def test_presets_are_valid_and_enabled(self):
+        for preset in (CHAOS_LIGHT, CHAOS_HEAVY):
+            assert preset.enabled
+            assert preset.dispatch_rate <= 1.0
+
+
+class TestFaultInjector:
+    def test_rejects_non_plan(self):
+        with pytest.raises(ChaosError):
+            FaultInjector("not a plan", seed=1)  # type: ignore[arg-type]
+
+    def test_same_seed_same_schedule(self):
+        plan = FaultPlan(
+            operator_exception_rate=0.1,
+            straggler_rate=0.3,
+            mem_pressure_rate=0.2,
+            disconnect_rate=0.2,
+        )
+        schedules = []
+        for _ in range(2):
+            inj = FaultInjector(plan, seed=77)
+            for i in range(200):
+                inj.draw_dispatch(sid=i % 5, nid=i, client=f"c{i % 3}", now=i * 0.5)
+            for i in range(50):
+                inj.draw_disconnect(sid=i, client=f"c{i % 3}", now=i * 2.0)
+            schedules.append(tuple(e.as_tuple() for e in inj.schedule))
+        assert schedules[0] == schedules[1]
+        assert len(schedules[0]) > 0
+
+    def test_spawn_resets_state(self):
+        plan = FaultPlan(straggler_rate=0.5)
+        inj = FaultInjector(plan, seed=3)
+        for i in range(100):
+            inj.draw_dispatch(sid=0, nid=i, client="c", now=0.0)
+        fresh = inj.spawn()
+        assert fresh.schedule == ()
+        assert fresh.stats.total == 0
+        for i in range(100):
+            fresh.draw_dispatch(sid=0, nid=i, client="c", now=0.0)
+        assert tuple(e.as_tuple() for e in fresh.schedule) == tuple(
+            e.as_tuple() for e in inj.schedule
+        )
+
+    def test_max_faults_budget(self):
+        plan = FaultPlan(straggler_rate=1.0, max_faults=5)
+        inj = FaultInjector(plan, seed=1)
+        for i in range(100):
+            inj.draw_dispatch(sid=0, nid=i, client="c", now=0.0)
+        assert len(inj.schedule) == 5
+        assert inj.exhausted
+        assert not inj.draw_disconnect(sid=0, client="c", now=0.0)
+
+    def test_magnitudes_within_declared_bounds(self):
+        plan = FaultPlan(
+            straggler_rate=0.5,
+            straggler_slowdown=6.0,
+            mem_pressure_rate=0.5,
+            mem_pressure_factor=3.0,
+        )
+        inj = FaultInjector(plan, seed=9)
+        for i in range(500):
+            inj.draw_dispatch(sid=0, nid=i, client="c", now=0.0)
+        stragglers = [
+            e for e in inj.schedule if e.kind is FaultKind.STRAGGLER
+        ]
+        spikes = [
+            e for e in inj.schedule if e.kind is FaultKind.MEM_PRESSURE
+        ]
+        assert stragglers and spikes
+        assert all(1.0 <= e.magnitude <= 6.0 for e in stragglers)
+        assert all(1.0 <= e.magnitude <= 3.0 for e in spikes)
+
+    def test_error_for_carries_context(self):
+        inj = FaultInjector(FaultPlan(operator_exception_rate=1.0), seed=1)
+        error = inj.error_for(sid=4, nid=7, now=1.25)
+        assert isinstance(error, InjectedFaultError)
+        assert error.sid == 4 and error.nid == 7 and error.when == 1.25
+
+    def test_stats_as_dict_sums(self):
+        plan = FaultPlan(
+            operator_exception_rate=0.2,
+            straggler_rate=0.2,
+            mem_pressure_rate=0.2,
+            disconnect_rate=0.5,
+        )
+        inj = FaultInjector(plan, seed=5)
+        for i in range(100):
+            inj.draw_dispatch(sid=0, nid=i, client="c", now=0.0)
+            inj.draw_disconnect(sid=i, client="c", now=0.0)
+        stats = inj.stats.as_dict()
+        assert stats["dispatch_draws"] == 100
+        assert stats["submission_draws"] == 100
+        assert stats["total"] == len(inj.schedule) == inj.stats.total > 0
+
+
+class TestEngineIntegration:
+    def test_timing_faults_keep_results_exact(self, small_catalog, config):
+        plan = make_plan(small_catalog)
+        clean = execute(plan.copy(), config)
+        faults = FaultPlan(
+            straggler_rate=0.3,
+            straggler_slowdown=8.0,
+            mem_pressure_rate=0.3,
+            mem_pressure_factor=4.0,
+        )
+        chaotic = execute(plan.copy(), config, faults=faults)
+        assert chaotic.outputs[0].value == clean.outputs[0].value
+        # Stragglers and memory pressure can only slow the run down.
+        assert chaotic.response_time >= clean.response_time
+
+    def test_injected_exception_aborts_execution(self, small_catalog, config):
+        plan = make_plan(small_catalog)
+        with pytest.raises(InjectedFaultError):
+            execute(plan, config, faults=FaultPlan(operator_exception_rate=1.0))
+
+    def test_fault_free_plan_is_a_no_op(self, small_catalog, config):
+        plan = make_plan(small_catalog)
+        clean = execute(plan.copy(), config)
+        gated = execute(plan.copy(), config, faults=FaultPlan())
+        assert gated.response_time == clean.response_time
+        assert gated.outputs[0].value == clean.outputs[0].value

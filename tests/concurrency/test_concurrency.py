@@ -98,6 +98,27 @@ class TestConcurrentWorkload:
         )
         assert workload.run().throughput() > 0
 
+    def test_throughput_uses_actual_span_when_run_ends_early(
+        self, catalog, config
+    ):
+        # Regression: a run bounded by ``max_queries`` ends long before
+        # the configured horizon; throughput must be computed over the
+        # actual last-completion time, not the (here absurdly large)
+        # horizon.
+        plan = make_plan(catalog)
+        workload = ConcurrentWorkload(
+            config,
+            [ClientSpec(name="c0", plans=[plan], max_queries=3)],
+            horizon=100.0,
+        )
+        report = workload.run()
+        assert 0 < report.last_completion < report.horizon
+        assert report.elapsed == report.last_completion
+        assert report.throughput() == pytest.approx(3 / report.last_completion)
+        # The old horizon-based rate would be ~3/100; the real rate is
+        # orders of magnitude higher.
+        assert report.throughput() > 3 / report.horizon * 10
+
     def test_invalid_horizon(self, catalog, config):
         with pytest.raises(ReproError):
             ConcurrentWorkload(config, [], horizon=0.0)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -47,3 +49,15 @@ def small_catalog(rng: np.random.Generator) -> Catalog:
 def sim_config() -> SimulationConfig:
     """A small, fast simulated machine for unit tests."""
     return SimulationConfig(machine=laptop_machine(8), data_scale=100.0)
+
+
+@pytest.fixture()
+def host_workers() -> int | None:
+    """Evaluation-pool width for suites honoring the CI chaos matrix.
+
+    The chaos-matrix CI job runs the chaos/resilience suites with
+    ``REPRO_TEST_WORKERS`` set to 1 and 2; simulated results must be
+    bit-identical either way.  Unset locally (= inline evaluation).
+    """
+    value = os.environ.get("REPRO_TEST_WORKERS")
+    return int(value) if value else None

@@ -119,6 +119,74 @@ class TestOptimize:
         assert calls[0] == 0 and len(calls) >= 2
 
 
+class TestOptimizeUnderChaos:
+    """The adaptive driver with the chaos harness attached."""
+
+    def _faults(self, exception_rate=0.0005):
+        from repro.chaos import FaultPlan
+
+        return FaultPlan(
+            operator_exception_rate=exception_rate,
+            straggler_rate=0.05,
+            straggler_slowdown=4.0,
+            mem_pressure_rate=0.03,
+            mem_pressure_factor=3.0,
+        )
+
+    def test_converges_despite_faults(self, catalog, config):
+        from repro.chaos import FaultInjector
+
+        injector = FaultInjector(self._faults(), seed=17)
+        result = AdaptiveParallelizer(config, faults=injector).optimize(
+            make_plan(catalog)
+        )
+        assert injector.stats.total > 0
+        assert result.gme_time < result.serial_time
+        validate_plan(result.best_plan)
+
+    def test_fault_plan_accepted_directly(self, catalog, config):
+        result = AdaptiveParallelizer(
+            config, faults=self._faults()
+        ).optimize(make_plan(catalog))
+        assert result.gme_time <= result.serial_time
+
+    def test_injected_failures_are_retried_and_counted(self, catalog, config):
+        from repro.chaos import FaultInjector
+
+        # A high exception rate guarantees some runs abort and retry.
+        injector = FaultInjector(self._faults(0.01), seed=3)
+        result = AdaptiveParallelizer(
+            config, faults=injector, fault_retries=50
+        ).optimize(make_plan(catalog))
+        assert result.fault_retries > 0
+        assert injector.stats.operator_exceptions > 0
+
+    def test_retry_budget_exhaustion_raises(self, catalog, config):
+        from repro.chaos import FaultPlan
+
+        certain_failure = FaultPlan(operator_exception_rate=1.0)
+        with pytest.raises(ConvergenceError, match="fault retries"):
+            AdaptiveParallelizer(
+                config, faults=certain_failure, fault_retries=2
+            ).optimize(make_plan(catalog))
+
+    def test_chaos_outcome_deterministic(self, catalog, config):
+        plan = make_plan(catalog)
+        traces = []
+        for __ in range(2):
+            result = AdaptiveParallelizer(
+                config, faults=self._faults()
+            ).optimize(plan)
+            traces.append(
+                (result.exec_times(), result.gme_run, result.fault_retries)
+            )
+        assert traces[0] == traces[1]
+
+    def test_invalid_fault_retries_rejected(self, config):
+        with pytest.raises(ConvergenceError):
+            AdaptiveParallelizer(config, fault_retries=-1)
+
+
 class TestIntermediatesEqual:
     def test_scalars(self):
         assert intermediates_equal(Scalar(1, LNG), Scalar(1, LNG))

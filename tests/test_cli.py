@@ -215,11 +215,40 @@ class TestAdaptVerbose:
         assert "analyzer: clean" in out
 
 
+class TestChaos:
+    ARGS = ["chaos", "--sf", "1", "--horizon", "0.3", "--clients", "2"]
+
+    def test_chaos_demo_workload_half(self, capsys):
+        assert main(self.ARGS + ["--no-adapt"]) == 0
+        out = capsys.readouterr().out
+        assert "faults injected:" in out
+        assert "admission:" in out
+
+    def test_chaos_demo_is_deterministic(self, capsys):
+        assert main(self.ARGS + ["--no-adapt"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS + ["--no-adapt"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_chaos_demo_full(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "faults injected:" in out
+        assert "under chaos:" in out
+        assert "chaos GME / clean GME:" in out
+
+    def test_chaos_heavy_level(self, capsys):
+        assert main(self.ARGS + ["--no-adapt", "--level", "heavy"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos level: heavy" in out
+
+
 class TestBench:
     def test_bench_list(self, capsys):
         assert main(["bench", "list"]) == 0
         out = capsys.readouterr().out
         assert "fig11" in out and "fig17" in out
+        assert "fig18chaos" in out
 
     def test_bench_rejects_unknown(self):
         with pytest.raises(SystemExit):
