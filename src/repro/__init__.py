@@ -53,6 +53,7 @@ from .core import (
 )
 from .engine import ExecutionResult, Simulator, execute
 from .errors import ReproError
+from .observe import Observer
 from .plan import Plan, PlanBuilder, format_plan, plan_stats, validate_plan
 from .sql import plan_sql
 from .storage import BAT, Candidates, Catalog, Column, Scalar, Table
@@ -81,6 +82,7 @@ __all__ = [
     "MachineSpec",
     "NOISY",
     "NoiseConfig",
+    "Observer",
     "Plan",
     "PlanBuilder",
     "PlanMutator",

@@ -56,6 +56,11 @@ class FaultInjector:
         )
         self._events: list[FaultEvent] = []
         self.stats = FaultStats()
+        #: Optional :class:`repro.observe.Observer`: every recorded
+        #: fault also bumps ``repro_faults_injected_total{kind=...}``.
+        #: Draws happen on the simulator main thread in dispatch /
+        #: submission order, so the counters are deterministic too.
+        self.observe = None
 
     def spawn(self) -> "FaultInjector":
         """A fresh injector with the same plan and seed (no state)."""
@@ -174,6 +179,12 @@ class FaultInjector:
                 magnitude=magnitude,
             )
         )
+        if self.observe is not None:
+            self.observe.metrics.counter(
+                "repro_faults_injected_total",
+                "faults injected by the chaos harness",
+                kind=kind.value,
+            ).inc()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -24,6 +24,15 @@ Commands
     stragglers, and disconnects, then an adaptive-parallelization
     instance converges under the same chaos; both are bit-reproducible
     for a fixed ``--seed``.
+``trace (--query NAME | --sql SQL)``
+    Execute (or, with ``--adaptive``, adaptively parallelize) a query
+    under the observability layer and write the trace: Chrome
+    ``trace_event`` JSON for Perfetto/chrome://tracing (default), one
+    span per line (``--format jsonl``), or the canonical byte-stable
+    document (``--format canonical``).  See ``docs/observability.md``.
+``metrics (--query NAME | --sql SQL)``
+    Same execution, but print the metrics registry in Prometheus text
+    exposition format.
 """
 
 from __future__ import annotations
@@ -212,7 +221,61 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the adaptive-convergence-under-chaos half",
     )
+
+    trace = sub.add_parser(
+        "trace", help="run a query under the tracer and export the trace"
+    )
+    _observe_args(trace)
+    trace.add_argument(
+        "--format",
+        choices=("chrome", "jsonl", "canonical"),
+        default="chrome",
+        help="output format (default: chrome trace_event, Perfetto-ready)",
+    )
+    trace.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write here instead of stdout",
+    )
+
+    metrics = sub.add_parser(
+        "metrics", help="run a query and print Prometheus-format metrics"
+    )
+    _observe_args(metrics)
+    metrics.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write here instead of stdout",
+    )
     return parser
+
+
+def _observe_args(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--query", help="a named workload query, e.g. q6 or ds1")
+    source.add_argument("--sql", help="ad-hoc SQL text")
+    _dataset_args(parser)
+    parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="trace a whole adaptive instance instead of one execution",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="host threads evaluating ready operators "
+        "(canonical output is identical for any N)",
+    )
+    parser.add_argument(
+        "--host-time",
+        action="store_true",
+        help="also stamp spans with host wall-clock times "
+        "(stripped from canonical output)",
+    )
 
 
 def _dataset_args(parser: argparse.ArgumentParser) -> None:
@@ -476,6 +539,65 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _observed_run(args):
+    """Execute the requested query with an observer attached."""
+    from .observe import Observer
+
+    dataset = _dataset(args)
+    config = _config(args, dataset)
+    if args.query:
+        plan = dataset.plan(args.query)
+        name = args.query
+    else:
+        plan = plan_sql(args.sql, dataset.catalog)
+        name = "ad-hoc query"
+    observer = Observer(host_time=args.host_time)
+    if args.adaptive:
+        parallelizer = AdaptiveParallelizer(
+            config, workers=args.workers, observe=observer
+        )
+        try:
+            parallelizer.optimize(plan)
+        finally:
+            parallelizer.close()
+    else:
+        execute(plan, config, workers=args.workers, trace=observer)
+    observer.finish()
+    return name, observer
+
+
+def _emit(text: str, out: str | None, what: str) -> None:
+    if out is None:
+        print(text, end="" if text.endswith("\n") else "\n")
+        return
+    try:
+        with open(out, "w") as handle:
+            handle.write(text)
+            if not text.endswith("\n"):
+                handle.write("\n")
+    except OSError as exc:
+        raise ReproError(f"cannot write {what} to {out}: {exc}") from exc
+    print(f"wrote {out}")
+
+
+def _cmd_trace(args) -> int:
+    name, observer = _observed_run(args)
+    if args.format == "chrome":
+        text = observer.to_chrome_trace(trace_name=name)
+    elif args.format == "jsonl":
+        text = observer.to_jsonl()
+    else:
+        text = observer.canonical_json()
+    _emit(text, args.out, f"{args.format} trace")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    __, observer = _observed_run(args)
+    _emit(observer.to_prometheus(), args.out, "metrics")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
@@ -493,6 +615,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_bench(args)
         if args.command == "chaos":
             return _cmd_chaos(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "metrics":
+            return _cmd_metrics(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -40,6 +40,7 @@ from ..config import SimulationConfig
 from ..engine.evalpool import EvalPool
 from ..engine.scheduler import Simulator
 from ..errors import InjectedFaultError, ReproError
+from ..observe import Observer
 from .client import ClientSpec, ClientState
 from .runner import WorkloadReport
 
@@ -143,6 +144,7 @@ class ResilientWorkload:
         faults: FaultInjector | FaultPlan | None = None,
         resilience: ResilienceConfig | None = None,
         workers: int | None = None,
+        observe: Observer | None = None,
     ) -> None:
         if horizon <= 0:
             raise ReproError("horizon must be positive")
@@ -156,6 +158,13 @@ class ResilientWorkload:
             faults = FaultInjector(faults, seed=config.derive_seed("chaos"))
         self.faults = faults
         self.workers = workers
+        # Observability: service-level decisions (retries, timeouts,
+        # disconnect handling, DOP shedding, admission waits) become
+        # ``service`` events and ``repro_service_*`` metrics, on top of
+        # everything the simulator emits.  All decisions happen on the
+        # simulator main thread in simulated-event order, so the trace
+        # is bit-identical at any host ``workers`` count.
+        self.observe = observe
 
     # ------------------------------------------------------------------
     def run(self) -> WorkloadReport:
@@ -174,8 +183,22 @@ class ResilientWorkload:
             if self.workers is not None and self.workers > 1
             else None
         )
-        simulator = Simulator(self.config, evalpool=pool, faults=injector)
+        obs = self.observe
+        simulator = Simulator(
+            self.config, evalpool=pool, faults=injector, observe=obs
+        )
         rng = np.random.default_rng(self.config.derive_seed("service.clients"))
+
+        def note(name: str, **attrs) -> None:
+            """One service-level decision as an instant event + counter."""
+            if obs is None:
+                return
+            obs.tracer.event(name, "service", simulator.now, **attrs)
+            obs.metrics.counter(
+                f"repro_service_{name}_total",
+                f"service-level {name} decisions",
+            ).inc()
+
         states = [ClientState(spec) for spec in self.clients]
         cap = res.max_in_flight
         if cap is None:
@@ -218,6 +241,11 @@ class ResilientWorkload:
             admission_queue.append(query)
             if len(admission_queue) > report.peak_queue_depth:
                 report.peak_queue_depth = len(admission_queue)
+            note(
+                "admission_wait",
+                client=query.state.spec.name,
+                depth=len(admission_queue),
+            )
 
         def release_slot() -> None:
             nonlocal in_flight
@@ -229,6 +257,7 @@ class ResilientWorkload:
             report.retries += 1
             retry_index = query.tries
             query.tries += 1
+            note("retry", client=query.state.spec.name, attempt=query.tries)
             if res.shed_dop:
                 current = query.max_threads
                 if current is None:
@@ -237,6 +266,11 @@ class ResilientWorkload:
                 if shed < current:
                     query.max_threads = shed
                     report.shed_dop += 1
+                    note(
+                        "shed_dop",
+                        client=query.state.spec.name,
+                        threads=shed,
+                    )
             simulator.schedule_at(
                 simulator.now + res.backoff(retry_index),
                 lambda _q=query: admit(_q),
@@ -244,6 +278,7 @@ class ResilientWorkload:
 
         def abandon(query: _Query) -> None:
             report.abandoned += 1
+            note("abandon", client=query.state.spec.name)
             issue(query.state)
 
         def on_complete(attempt: _Try) -> None:
@@ -256,6 +291,7 @@ class ResilientWorkload:
             query = attempt.query
             if attempt.disconnected:
                 report.disconnects += 1
+                note("disconnect", client=query.state.spec.name)
                 state = query.state
                 simulator.schedule_at(
                     simulator.now + res.reconnect_delay,
@@ -290,6 +326,7 @@ class ResilientWorkload:
             attempt.timed_out = True
             report.timeouts += 1
             query = attempt.query
+            note("timeout", client=query.state.spec.name)
             if query.tries < res.max_retries:
                 retry(query)
             else:
@@ -311,6 +348,17 @@ class ResilientWorkload:
                 pool.close()
         for state in states:
             report.by_client[state.spec.name] = list(state.response_times)
+        if obs is not None:
+            obs.metrics.gauge(
+                "repro_service_peak_in_flight",
+                "maximum concurrent submissions observed",
+            ).set(float(report.peak_in_flight))
+            obs.metrics.gauge(
+                "repro_service_peak_queue_depth",
+                "maximum admission-queue depth observed",
+            ).set(float(report.peak_queue_depth))
+            if pool is not None:
+                obs.record_pool(pool.stats())
         if injector is not None:
             report.faults_injected = injector.stats.total
             report.fault_schedule = tuple(

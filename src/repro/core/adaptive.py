@@ -24,6 +24,7 @@ from ..engine.executor import execute
 from ..engine.memo import IntermediateCache
 from ..engine.scheduler import ExecutionResult
 from ..errors import ConvergenceError, InjectedFaultError
+from ..observe import Observer
 from ..plan.analysis import AnalysisReport
 from ..plan.graph import Plan
 from ..storage.column import BAT, Candidates, ColumnSlice, Intermediate, Scalar
@@ -124,6 +125,7 @@ class AdaptiveParallelizer:
         workers: int | None = None,
         faults: FaultInjector | FaultPlan | None = None,
         fault_retries: int = 5,
+        observe: Observer | None = None,
     ) -> None:
         if mutations_per_run < 1:
             raise ConvergenceError("mutations_per_run must be >= 1")
@@ -173,6 +175,13 @@ class AdaptiveParallelizer:
         self.faults = faults
         self.fault_retries = fault_retries
         self._fault_retries_used = 0
+        # Observability: when set, the whole adaptive instance is traced
+        # onto one continuous timeline -- an ``adaptive`` root span, one
+        # ``run`` span per execution (each run's simulator restarts at
+        # t=0, so the tracer's ``time_base`` is advanced by the run's
+        # response time), ``mutation`` events between runs, and all the
+        # engine-level spans/metrics the executor emits.
+        self.observe = observe
 
     def close(self) -> None:
         """Release the host evaluation pool's threads (idempotent)."""
@@ -192,6 +201,7 @@ class AdaptiveParallelizer:
                     memo=self.memo,
                     evalpool=self.evalpool,
                     faults=self.faults,
+                    trace=self.observe,
                 )
             except InjectedFaultError as error:
                 if attempt + 1 >= attempts:
@@ -200,11 +210,87 @@ class AdaptiveParallelizer:
                         f"{self.fault_retries} fault retries: {error}"
                     ) from error
                 self._fault_retries_used += 1
+                if self.observe is not None:
+                    self.observe.metrics.counter(
+                        "repro_fault_retries_total",
+                        "adaptive runs re-executed after an injected fault",
+                    ).inc()
         raise AssertionError("unreachable")
 
     # ------------------------------------------------------------------
+    def _run_traced(self, working: Plan, run: int) -> ExecutionResult:
+        """One adaptive run, wrapped in a ``run`` span on the timeline.
+
+        Each run's simulator starts its own clock at t=0; the run span
+        anchors at the tracer's current ``time_base`` and the base is
+        advanced by the run's response time afterwards, chaining the
+        runs onto one continuous simulated timeline.
+        """
+        obs = self.observe
+        if obs is None:
+            return self.runner(working, run)
+        tracer = obs.tracer
+        span = tracer.begin(f"run:{run}", "run", 0.0, run=run)
+        try:
+            with tracer.scope(span):
+                result = self.runner(working, run)
+        except Exception as error:
+            tracer.end(span, 0.0, failed=True, error=type(error).__name__)
+            raise
+        tracer.end(span, result.response_time)
+        tracer.advance(result.response_time)
+        obs.metrics.counter(
+            "repro_adaptive_runs_total", "adaptive loop runs executed"
+        ).inc()
+        return result
+
+    def _note_mutation(self, mutation: MutationResult, run: int) -> None:
+        """Record one accepted plan morph as a ``mutation`` event."""
+        obs = self.observe
+        if obs is None:
+            return
+        obs.tracer.event(
+            "mutation",
+            "mutation",
+            0.0,
+            run=run,
+            description=mutation.description,
+        )
+        obs.metrics.counter(
+            "repro_mutations_total", "plan mutations accepted"
+        ).inc()
+
     def optimize(self, plan: Plan) -> AdaptiveResult:
         """Adaptively parallelize ``plan``; the input plan is not touched."""
+        obs = self.observe
+        if obs is None:
+            return self._optimize(plan)
+        tracer = obs.tracer
+        span = tracer.begin("adaptive", "adaptive", 0.0)
+        try:
+            with tracer.scope(span):
+                result = self._optimize(plan)
+        finally:
+            # t=0.0 means "the current time_base": the end of the last
+            # run (clamped up if a fault-killed attempt overran it).
+            tracer.end(span, 0.0)
+        metrics = obs.metrics
+        metrics.gauge(
+            "repro_adaptive_serial_seconds", "run-0 (serial) response time"
+        ).set(result.serial_time)
+        metrics.gauge(
+            "repro_adaptive_gme_seconds",
+            "global minimum execution response time",
+        ).set(result.gme_time)
+        metrics.gauge(
+            "repro_adaptive_gme_run", "run index holding the GME"
+        ).set(float(result.gme_run))
+        metrics.gauge(
+            "repro_adaptive_total_runs", "total runs until convergence"
+        ).set(float(result.total_runs))
+        return result
+
+    def _optimize(self, plan: Plan) -> AdaptiveResult:
         working = plan.copy()
         self._fault_retries_used = 0
         mutator = PlanMutator(working, pack_fanin_limit=self.pack_fanin_limit)
@@ -213,7 +299,7 @@ class AdaptiveParallelizer:
         mutations: list[MutationResult] = []
         reports: list[AnalysisReport | None] = []
 
-        result = self.runner(working, 0)
+        result = self._run_traced(working, 0)
         reference = result.outputs if self.verify else None
         tracker.observe(result.response_time)
         history.record(result.response_time)
@@ -227,14 +313,16 @@ class AdaptiveParallelizer:
                 break  # fully parallelized (or suppressed): nothing to morph
             mutations.append(mutation)
             reports.append(mutator.last_report)
+            self._note_mutation(mutation, run + 1)
             for __ in range(self.mutations_per_run - 1):
                 extra = mutator.mutate(last_profile)
                 if extra is None:
                     break
                 mutations.append(extra)
                 reports.append(mutator.last_report)
+                self._note_mutation(extra, run + 1)
             run += 1
-            result = self.runner(working, run)
+            result = self._run_traced(working, run)
             if reference is not None:
                 self._check_outputs(reference, result.outputs, run)
             record = tracker.observe(result.response_time)

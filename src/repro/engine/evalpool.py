@@ -34,6 +34,10 @@ from ..errors import ReproError
 #: handoff saves.
 MIN_PARALLEL_BATCH = 2
 
+#: Bucket bounds of the host-side batch-size histogram: dispatch rounds
+#: rarely free more than a few dozen operators at once.
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
 
 def default_workers() -> int:
     """The host's CPU count (the default ``--workers``)."""
@@ -121,6 +125,11 @@ class EvalPool:
         self._inline_jobs = 0
         self._eval_seconds = 0.0
         self._max_batch = 0
+        #: Optional :class:`repro.observe.Observer` (wired by the
+        #: simulator): batch sizes feed a *host* histogram -- whether a
+        #: pool exists at all depends on the caller's worker setting, so
+        #: the family is excluded from canonical output.
+        self.observe = None
 
     # ------------------------------------------------------------------
     def run_batch(self, jobs: Sequence[Callable[[], Any]]) -> list[Any]:
@@ -135,6 +144,13 @@ class EvalPool:
         self._jobs += n
         if n > self._max_batch:
             self._max_batch = n
+        if self.observe is not None:
+            self.observe.metrics.histogram(
+                "repro_pool_batch_jobs",
+                BATCH_SIZE_BUCKETS,
+                "jobs per host evaluation batch",
+                host=True,
+            ).observe(float(n))
         start = perf_counter()
         try:
             if self.workers == 1 or n < MIN_PARALLEL_BATCH:

@@ -6,6 +6,7 @@ from ..chaos.faults import FaultPlan
 from ..chaos.injector import FaultInjector
 from ..config import SimulationConfig
 from ..errors import PlanError
+from ..observe import Observer
 from ..plan.analysis import analyze_plan
 from ..plan.graph import Plan
 from .evalpool import EvalPool
@@ -33,6 +34,7 @@ def execute(
     evalpool: EvalPool | None = None,
     workers: int | None = None,
     faults: FaultInjector | FaultPlan | None = None,
+    trace: Observer | None = None,
 ) -> ExecutionResult:
     """Run ``plan`` alone on a fresh simulated machine.
 
@@ -62,6 +64,14 @@ def execute(
     operator exception aborts this execution with
     :class:`~repro.errors.InjectedFaultError` (retry policies live in
     the :mod:`repro.concurrency` service layer).
+
+    ``trace`` attaches a :class:`~repro.observe.Observer`: the run's
+    spans (submission, operator tasks, dispatch/eval/fault events) and
+    metrics accumulate there.  The same observer may be reused across
+    calls to correlate a sequence of executions on one timeline (see
+    :attr:`repro.observe.Tracer.time_base`).  Tracing never changes
+    simulated results and its canonical output is bit-identical for any
+    ``workers`` value.
     """
     if analyze:
         report = analyze_plan(plan)
@@ -75,11 +85,19 @@ def execute(
     injector = _resolve_faults(faults, config)
     if evalpool is None and workers is not None and workers > 1:
         with EvalPool(workers) as pool:
-            simulator = Simulator(config, memo=memo, evalpool=pool, faults=injector)
+            simulator = Simulator(
+                config, memo=memo, evalpool=pool, faults=injector, observe=trace
+            )
             sid = simulator.submit(plan)
             simulator.run()
+            if trace is not None:
+                trace.record_pool(pool.stats())
             return simulator.result(sid)
-    simulator = Simulator(config, memo=memo, evalpool=evalpool, faults=injector)
+    simulator = Simulator(
+        config, memo=memo, evalpool=evalpool, faults=injector, observe=trace
+    )
     sid = simulator.submit(plan)
     simulator.run()
+    if trace is not None and evalpool is not None:
+        trace.record_pool(evalpool.stats())
     return simulator.result(sid)

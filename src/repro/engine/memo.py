@@ -163,13 +163,20 @@ class IntermediateCache:
                 return None
             return entry[0], entry[1]
 
-    def put(self, key: bytes, value: Intermediate, profile: WorkProfile) -> None:
-        """Store a freshly computed result, evicting LRU entries to fit."""
+    def put(self, key: bytes, value: Intermediate, profile: WorkProfile) -> int:
+        """Store a freshly computed result, evicting LRU entries to fit.
+
+        Returns the number of entries evicted to make room (0 when the
+        value fit, or was refused as oversized) so the observability
+        layer can count evictions without re-reading the stats under
+        the lock.
+        """
         size = _entry_bytes(value)
+        evicted = 0
         with self._lock:
             if size > self.capacity_bytes:
                 self._oversized += 1
-                return
+                return 0
             old = self._entries.pop(key, None)
             if old is not None:
                 self.current_bytes -= old[2]
@@ -177,9 +184,11 @@ class IntermediateCache:
                 __, (__, __, evicted_size) = self._entries.popitem(last=False)
                 self.current_bytes -= evicted_size
                 self._evictions += 1
+                evicted += 1
             self._entries[key] = (value, profile, size)
             self.current_bytes += size
             self._insertions += 1
+        return evicted
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""

@@ -81,8 +81,17 @@ class QueryProfile:
         """Fraction of available core time actually used during the span.
 
         The paper's "parallelism usage": total per-operator core time
-        divided by (span x available threads).
+        divided by (span x available threads).  Degenerate profiles --
+        no records, an unfinished query, or a zero-duration span (every
+        operator memoized or free) -- report 0.0 rather than dividing
+        by zero.
         """
+        if hardware_threads <= 0:
+            raise ValueError(
+                f"hardware_threads must be positive, got {hardware_threads}"
+            )
+        if not self.records:
+            return 0.0
         if self.finish_time is None or self.finish_time <= self.submit_time:
             return 0.0
         span = self.finish_time - self.submit_time

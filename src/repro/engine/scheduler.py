@@ -37,6 +37,7 @@ from ..chaos.injector import FaultDecision, FaultInjector
 from ..config import SimulationConfig
 from ..costmodel.model import CostContext, compute_work, thread_bandwidth_cap
 from ..errors import SchedulerError
+from ..observe import Observer
 from ..operators.base import Operator, WorkProfile
 from ..plan.graph import Plan, PlanNode
 from ..storage.column import Intermediate, intermediate_nbytes
@@ -84,6 +85,7 @@ class _Submission:
         "live_bytes",
         "fingerprints",
         "node_index",
+        "span",
     )
 
     def __init__(
@@ -139,6 +141,8 @@ class _Submission:
             if want_node_index
             else {}
         )
+        #: Tracing span covering submit -> finish (None when unobserved).
+        self.span = None
 
     @property
     def finished(self) -> bool:
@@ -287,11 +291,24 @@ class Simulator:
         memo: IntermediateCache | None = None,
         evalpool: EvalPool | None = None,
         faults: FaultInjector | None = None,
+        observe: Observer | None = None,
     ) -> None:
         self.config = config
         self.memo = memo
         self.evalpool = evalpool
         self.faults = faults
+        # ``observe`` plugs in a repro.observe.Observer: one span per
+        # submission and per completed operator task, instant events for
+        # dispatch rounds, evaluation batches, and injected faults, and
+        # metric counters for all of the above.  Every emission happens
+        # on the main thread in dispatch/completion order, so the trace
+        # is bit-identical for any host worker count.  When None (the
+        # default), instrumentation costs one attribute check per site.
+        self.observe = observe
+        if observe is not None and faults is not None and faults.observe is None:
+            faults.observe = observe
+        if observe is not None and evalpool is not None and evalpool.observe is None:
+            evalpool.observe = observe
         self.machine = MachineState(config.machine)
         self.cost_ctx = CostContext(machine=config.machine, data_scale=config.data_scale)
         self.noise = NoiseModel(config.noise, config.rng())
@@ -366,8 +383,23 @@ class Simulator:
             want_node_index=self.faults is not None,
         )
         self._submissions[sid] = sub
+        obs = self.observe
+        if obs is not None:
+            sub.span = obs.tracer.begin(
+                f"query:{client}",
+                "submission",
+                self.now,
+                sid=sid,
+                client=client,
+                nodes=sub.remaining,
+            )
+            obs.metrics.counter(
+                "repro_submissions_total", "queries submitted to the simulator"
+            ).inc()
         if sub.finished:  # degenerate empty plan
             sub.profile.finish_time = self.now
+            if sub.span is not None:
+                self.observe.tracer.end(sub.span, self.now)
         else:
             self._queue.append(sub)
         return sid
@@ -439,6 +471,14 @@ class Simulator:
     def _dispatch(self) -> None:
         batch = self._collect_dispatches()
         if batch:
+            obs = self.observe
+            if obs is not None:
+                obs.tracer.event(
+                    "dispatch", "dispatch", self.now, batch=len(batch)
+                )
+                obs.metrics.counter(
+                    "repro_dispatch_rounds_total", "non-empty dispatch rounds"
+                ).inc()
             results = self._evaluate_batch(batch)
             for entry in batch:
                 self._commit_dispatch(entry, results)
@@ -523,6 +563,18 @@ class Simulator:
             entry.job_index = len(jobs)
             inputs = [sub.values[child.nid] for child in node.inputs]
             jobs.append(settle_job(_make_eval_job(node.op, inputs)))
+        obs = self.observe
+        if obs is not None and jobs:
+            # The job list is a pure function of dispatch order and memo
+            # state -- identical with or without a pool -- so this event
+            # and these counters are worker-invariant.
+            obs.tracer.event("eval_batch", "pool", self.now, jobs=len(jobs))
+            obs.metrics.counter(
+                "repro_eval_batches_total", "operator evaluation batches"
+            ).inc()
+            obs.metrics.counter(
+                "repro_eval_jobs_total", "real operator evaluations"
+            ).inc(len(jobs))
         if not jobs:
             return []
         if self.evalpool is not None:
@@ -550,6 +602,16 @@ class Simulator:
             self._drop_claim(sub, thread)
             return
         fault = entry.fault
+        obs = self.observe
+        if obs is not None and fault is not None:
+            obs.tracer.event(
+                fault.kind.value,
+                "fault",
+                self.now,
+                parent=sub.span,
+                node=sub.node_index[node.nid],
+                magnitude=fault.magnitude,
+            )
         if fault is not None and fault.kind is FaultKind.OPERATOR_EXCEPTION:
             assert self.faults is not None
             error = self.faults.error_for(
@@ -566,6 +628,10 @@ class Simulator:
                 # Equal fingerprint == bit-identical value and counters;
                 # the real evaluate/work_profile calls were skipped.
                 output, profile = cached
+                if obs is not None:
+                    obs.metrics.counter(
+                        "repro_memo_hits_total", "memo cache hits"
+                    ).inc()
             else:
                 # First committer of this fingerprint (or a peeked entry
                 # whose value a same-batch commit just evicted).
@@ -579,7 +645,21 @@ class Simulator:
                     self._fail_submission(sub, thread, settled.error)
                     return
                 output, profile = settled
-                memo.put(fingerprint, output, profile)
+                evicted = memo.put(fingerprint, output, profile)
+                if obs is not None:
+                    obs.metrics.counter(
+                        "repro_memo_misses_total", "memo cache misses"
+                    ).inc()
+                    obs.metrics.counter(
+                        "repro_memo_insertions_total", "memo cache insertions"
+                    ).inc()
+                    if evicted:
+                        obs.metrics.counter(
+                            "repro_memo_evictions_total", "memo cache evictions"
+                        ).inc(evicted)
+                        obs.tracer.event(
+                            "evict", "memo", self.now, count=evicted
+                        )
         else:
             settled = results[entry.job_index]
             if isinstance(settled, EvalFailure):
@@ -673,6 +753,14 @@ class Simulator:
         self._home_socket.pop(sub.sid, None)
         error = sub.failed
         assert error is not None
+        obs = self.observe
+        if obs is not None and sub.span is not None:
+            obs.tracer.end(
+                sub.span, self.now, failed=True, error=type(error).__name__
+            )
+            obs.metrics.counter(
+                "repro_submissions_failed_total", "submissions killed by a failure"
+            ).inc()
         on_failure = sub.on_failure
         sub.values = {}
         sub.live_bytes = 0.0
@@ -828,6 +916,36 @@ class Simulator:
                 tuples_out=wp.tuples_out,
             )
         )
+        obs = self.observe
+        if obs is not None:
+            # One task span per OpRecord, same interval and affiliation
+            # -- the 1:1 mapping the golden-trace suite asserts.
+            obs.tracer.add(
+                node.kind,
+                "task",
+                task.start,
+                self.now,
+                parent=sub.span,
+                op=node.describe(),
+                thread=task.thread.thread_id,
+                socket=task.thread.socket_id,
+                cpu_cycles=task.cpu_work,
+                mem_bytes=task.mem_work,
+                tuples_in=wp.tuples_in,
+                tuples_out=wp.tuples_out,
+            )
+            duration = self.now - task.start
+            obs.metrics.counter(
+                "repro_tasks_total", "completed operator tasks", kind=node.kind
+            ).inc()
+            obs.metrics.counter(
+                "repro_task_sim_seconds_total",
+                "simulated seconds by operator kind",
+                kind=node.kind,
+            ).inc(duration)
+            obs.metrics.histogram(
+                "repro_task_sim_seconds", help="simulated task durations"
+            ).observe(duration)
         # Wake up consumers whose inputs are now complete.
         for consumer in self._consumers_of(sub, node):
             sub.waiting[consumer.nid] -= 1
@@ -840,6 +958,11 @@ class Simulator:
             self._hash_built.pop(sub.sid, None)
             self._home_socket.pop(sub.sid, None)
             sub.release_bookkeeping()
+            if obs is not None and sub.span is not None:
+                obs.tracer.end(sub.span, self.now)
+                obs.metrics.counter(
+                    "repro_submissions_completed_total", "submissions that finished"
+                ).inc()
             if sub.on_complete is not None:
                 sub.on_complete(sub)
 

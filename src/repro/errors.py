@@ -68,6 +68,10 @@ class ChaosError(ReproError):
     """Fault-injection configuration or usage errors."""
 
 
+class ObserveError(ReproError):
+    """Misuse of the tracing/metrics observability layer."""
+
+
 class InjectedFaultError(ReproError):
     """A deliberately injected operator failure (chaos testing).
 

@@ -2,7 +2,11 @@
 
 from .ascii_plot import bar_chart, line_plot
 from .convergence import render_convergence_report
-from .tomograph import render_tomograph, utilization_summary
+from .tomograph import (
+    render_tomograph,
+    render_trace_tomograph,
+    utilization_summary,
+)
 from .trace import to_chrome_trace
 
 __all__ = [
@@ -10,6 +14,7 @@ __all__ = [
     "line_plot",
     "render_convergence_report",
     "render_tomograph",
+    "render_trace_tomograph",
     "to_chrome_trace",
     "utilization_summary",
 ]

@@ -34,6 +34,44 @@ _KIND_CHARS = {
 }
 
 
+def _paint_rows(
+    boxes: list[tuple[str, float, float, int]],
+    hardware_threads: int,
+    t0: float,
+    span: float,
+    width: int,
+) -> dict[int, list[str]]:
+    """One character row per thread; each (kind, start, end, tid) box
+    paints its kind character over its time buckets."""
+    rows = {tid: ["."] * width for tid in range(hardware_threads)}
+    for kind, start, end, tid in boxes:
+        char = _KIND_CHARS.get(kind, "o")
+        lo = int((start - t0) / span * width)
+        hi = int((end - t0) / span * width)
+        hi = max(hi, lo + 1)
+        row = rows.setdefault(tid, ["."] * width)
+        for i in range(lo, min(hi, width)):
+            row[i] = char
+    return rows
+
+
+def _render_lines(
+    rows: dict[int, list[str]],
+    header: str,
+    time_by_kind: dict[str, float],
+) -> str:
+    lines = [
+        header,
+        "  (S=select J=join U=union F=fetch G=groupby A=aggr C=calc .=idle)",
+    ]
+    for tid in sorted(rows):
+        lines.append(f"  t{tid:>3} |{''.join(rows[tid])}|")
+    busiest = sorted(time_by_kind.items(), key=lambda kv: -kv[1])[:6]
+    detail = ", ".join(f"{kind}: {t * 1000:.1f} ms" for kind, t in busiest)
+    lines.append(f"  core time by operator: {detail}")
+    return "\n".join(lines)
+
+
 def render_tomograph(
     profile: QueryProfile,
     hardware_threads: int,
@@ -45,33 +83,66 @@ def render_tomograph(
         raise ValueError("profile has no finish time; did the query run?")
     t0 = profile.submit_time
     span = max(profile.finish_time - t0, 1e-12)
-    rows = {tid: ["."] * width for tid in range(hardware_threads)}
-    for record in profile.records:
-        char = _KIND_CHARS.get(record.kind, "o")
-        start = int((record.start - t0) / span * width)
-        stop = int((record.end - t0) / span * width)
-        stop = max(stop, start + 1)
-        row = rows.setdefault(record.thread_id, ["."] * width)
-        for i in range(start, min(stop, width)):
-            row[i] = char
+    rows = _paint_rows(
+        [(r.kind, r.start, r.end, r.thread_id) for r in profile.records],
+        hardware_threads,
+        t0,
+        span,
+        width,
+    )
     util = profile.multicore_utilization(hardware_threads)
     peak_gb = profile.peak_memory_bytes / 1e9
-    lines = [
+    header = (
         f"tomograph: span={span * 1000:.1f} ms, threads={hardware_threads}, "
-        f"parallelism usage {util * 100:.1f}%, peak memory {peak_gb:.2f} GB",
-        "  (S=select J=join U=union F=fetch G=groupby A=aggr C=calc .=idle)",
-    ]
-    for tid in sorted(rows):
-        lines.append(f"  t{tid:>3} |{''.join(rows[tid])}|")
-    legend = profile.time_by_kind()
-    busiest = sorted(legend.items(), key=lambda kv: -kv[1])[:6]
-    detail = ", ".join(f"{kind}: {t * 1000:.1f} ms" for kind, t in busiest)
-    lines.append(f"  core time by operator: {detail}")
-    return "\n".join(lines)
+        f"parallelism usage {util * 100:.1f}%, peak memory {peak_gb:.2f} GB"
+    )
+    return _render_lines(rows, header, profile.time_by_kind())
+
+
+def render_trace_tomograph(
+    source,
+    hardware_threads: int,
+    *,
+    width: int = 100,
+) -> str:
+    """The tomograph re-expressed over a recorded trace.
+
+    ``source`` is a :class:`repro.observe.Observer` or
+    :class:`~repro.observe.spans.Tracer`; every ``task`` span (one per
+    :class:`~repro.engine.profiler.OpRecord`, carrying ``thread``/
+    ``socket`` attributes) becomes one box.  Unlike
+    :func:`render_tomograph` this spans the tracer's *whole* timeline,
+    so an adaptive instance's runs appear side by side -- the paper's
+    per-query tomograph, industrialized.
+    """
+    tracer = getattr(source, "tracer", source)
+    tasks = [s for s in tracer.spans if s.kind == "task" and s.t1 is not None]
+    if not tasks:
+        raise ValueError("trace has no finished task spans; did anything run?")
+    t0 = min(s.t0 for s in tasks)
+    t_end = max(s.t1 for s in tasks)
+    span = max(t_end - t0, 1e-12)
+    time_by_kind: dict[str, float] = {}
+    boxes: list[tuple[str, float, float, int]] = []
+    for s in tasks:
+        tid = int(s.attrs.get("thread", 0))
+        boxes.append((s.name, s.t0, s.t1, tid))
+        time_by_kind[s.name] = time_by_kind.get(s.name, 0.0) + (s.t1 - s.t0)
+    rows = _paint_rows(boxes, hardware_threads, t0, span, width)
+    busy = sum(t1 - t0_ for __, t0_, t1, __tid in boxes)
+    util = busy / (span * hardware_threads) if hardware_threads > 0 else 0.0
+    header = (
+        f"trace tomograph: span={span * 1000:.1f} ms, "
+        f"threads={hardware_threads}, tasks={len(tasks)}, "
+        f"parallelism usage {util * 100:.1f}%"
+    )
+    return _render_lines(rows, header, time_by_kind)
 
 
 def utilization_summary(profile: QueryProfile, hardware_threads: int) -> dict:
     """Numbers behind Figures 19/20 and Table 5's utilization row."""
+    if profile.finish_time is None:
+        raise ValueError("profile has no finish time; did the query run?")
     return {
         "span_ms": (profile.finish_time - profile.submit_time) * 1000.0,
         "peak_memory_gb": profile.peak_memory_bytes / 1e9,

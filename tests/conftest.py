@@ -51,6 +51,22 @@ def sim_config() -> SimulationConfig:
     return SimulationConfig(machine=laptop_machine(8), data_scale=100.0)
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden-trace fixtures under tests/observe/golden/ "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture()
+def regen_golden(request: pytest.FixtureRequest) -> bool:
+    """True when the run should rewrite golden fixtures, not assert."""
+    return bool(request.config.getoption("--regen-golden"))
+
+
 @pytest.fixture()
 def host_workers() -> int | None:
     """Evaluation-pool width for suites honoring the CI chaos matrix.

@@ -1,0 +1,116 @@
+"""Degenerate-profile guards: zero-duration operators, empty records.
+
+``multicore_utilization`` and the tomograph used to assume a finished,
+non-empty profile on a positive-thread machine; memoized-everything
+runs and direct API use violate all three.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.engine.profiler import OpRecord, QueryProfile
+from repro.viz import render_tomograph, render_trace_tomograph, utilization_summary
+from repro.observe import Observer, Tracer
+
+
+def _record(start: float, end: float, kind: str = "scan", thread: int = 0) -> OpRecord:
+    return OpRecord(
+        node=SimpleNamespace(nid=0),
+        kind=kind,
+        describe=kind,
+        start=start,
+        end=end,
+        thread_id=thread,
+        socket_id=0,
+        cpu_cycles=1.0,
+        mem_bytes=1.0,
+    )
+
+
+def test_empty_profile_utilization_is_zero():
+    profile = QueryProfile(submit_time=0.0, finish_time=1.0)
+    assert profile.multicore_utilization(8) == 0.0
+
+
+def test_unfinished_profile_utilization_is_zero():
+    profile = QueryProfile(submit_time=0.0, records=[_record(0.0, 0.5)])
+    assert profile.multicore_utilization(8) == 0.0
+
+
+def test_zero_duration_span_utilization_is_zero():
+    """Every operator memoized/free: submit == finish, no division."""
+    profile = QueryProfile(
+        submit_time=1.0, finish_time=1.0, records=[_record(1.0, 1.0)]
+    )
+    assert profile.multicore_utilization(8) == 0.0
+
+
+def test_nonpositive_thread_count_rejected():
+    profile = QueryProfile(
+        submit_time=0.0, finish_time=1.0, records=[_record(0.0, 0.5)]
+    )
+    for bad in (0, -4):
+        with pytest.raises(ValueError):
+            profile.multicore_utilization(bad)
+
+
+def test_normal_utilization_unchanged():
+    profile = QueryProfile(
+        submit_time=0.0,
+        finish_time=1.0,
+        records=[_record(0.0, 0.5), _record(0.5, 1.0, thread=1)],
+    )
+    assert profile.multicore_utilization(2) == pytest.approx(0.5)
+
+
+def test_utilization_summary_requires_finish_time():
+    with pytest.raises(ValueError, match="no finish time"):
+        utilization_summary(QueryProfile(submit_time=0.0), 8)
+
+
+def test_utilization_summary_on_zero_duration_profile():
+    profile = QueryProfile(
+        submit_time=1.0, finish_time=1.0, records=[_record(1.0, 1.0)]
+    )
+    summary = utilization_summary(profile, 8)
+    assert summary["span_ms"] == 0.0
+    assert summary["multicore_utilization"] == 0.0
+    assert summary["operators_executed"] == 1
+
+
+def test_render_tomograph_zero_duration_operator():
+    """A zero-duration record still paints (at least) one cell."""
+    profile = QueryProfile(
+        submit_time=0.0,
+        finish_time=1.0,
+        records=[_record(0.5, 0.5, kind="select")],
+    )
+    art = render_tomograph(profile, 2, width=10)
+    assert "S" in art
+
+
+def test_render_tomograph_requires_finish_time():
+    with pytest.raises(ValueError, match="no finish time"):
+        render_tomograph(QueryProfile(submit_time=0.0), 2)
+
+
+def test_render_trace_tomograph_from_observer():
+    observer = Observer()
+    tracer = observer.tracer
+    tracer.add("select", "task", 0.0, 0.4, thread=0, socket=0)
+    tracer.add("join", "task", 0.4, 1.0, thread=1, socket=0)
+    tracer.advance(1.0)
+    tracer.add("select", "task", 0.0, 0.2, thread=0, socket=0)
+    observer.finish()
+    art = render_trace_tomograph(observer, 2, width=20)
+    assert "trace tomograph" in art
+    assert "tasks=3" in art
+    assert "S" in art and "J" in art
+
+
+def test_render_trace_tomograph_requires_tasks():
+    with pytest.raises(ValueError, match="no finished task spans"):
+        render_trace_tomograph(Tracer(), 2)

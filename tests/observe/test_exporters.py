@@ -1,0 +1,95 @@
+"""Exporter contracts: JSONL, Chrome trace_event, Prometheus text."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observe import MetricsRegistry, Observer, Tracer
+from repro.observe.exporters import (
+    DRIVER_PID,
+    to_chrome_trace,
+    to_jsonl,
+    to_prometheus,
+)
+
+from tests.observe.conftest import observe_q1
+
+
+def _tiny_observer() -> Observer:
+    observer = Observer()
+    tracer = observer.tracer
+    run = tracer.begin("run:0", "run", 0.0)
+    with tracer.scope(run):
+        tracer.add("scan", "task", 0.0, 0.5, thread=3, socket=1, op="scan(x)")
+        tracer.add("join", "task", 0.5, 1.0, thread=9, socket=0)
+        tracer.event("dispatch", "dispatch", 0.5)
+    tracer.end(run, 1.0)
+    observer.metrics.counter("repro_tasks_total", kind="scan").inc()
+    return observer
+
+
+def test_jsonl_one_line_per_span():
+    observer = _tiny_observer()
+    lines = observer.to_jsonl().strip().split("\n")
+    docs = [json.loads(line) for line in lines]
+    assert len(docs) == len(observer.tracer.spans)
+    assert [d["span_id"] for d in docs] == list(range(len(docs)))
+    assert docs[0]["kind"] == "trace"
+
+
+def test_chrome_trace_sockets_become_processes():
+    doc = json.loads(_tiny_observer().to_chrome_trace(trace_name="unit"))
+    events = doc["traceEvents"]
+    meta = {e["pid"]: e["args"]["name"] for e in events if e["ph"] == "M"}
+    assert meta[DRIVER_PID] == "unit driver"
+    assert meta[1] == "socket 0" and meta[2] == "socket 1"
+    tasks = {e["name"]: e for e in events if e.get("cat") == "task"}
+    assert tasks["scan"]["pid"] == 2 and tasks["scan"]["tid"] == 3
+    assert tasks["join"]["pid"] == 1 and tasks["join"]["tid"] == 9
+    assert tasks["scan"]["ph"] == "X"
+    assert tasks["scan"]["ts"] == 0.0 and tasks["scan"]["dur"] == pytest.approx(5e5)
+    # driver spans live in the driver process; instants use ph="i".
+    run = next(e for e in events if e.get("cat") == "run")
+    assert run["pid"] == DRIVER_PID
+    dispatch = next(e for e in events if e.get("cat") == "dispatch")
+    assert dispatch["ph"] == "i"
+    assert doc["displayTimeUnit"] == "ms"
+
+
+def test_chrome_trace_skips_open_spans():
+    tracer = Tracer()
+    tracer.begin("never-ended", "run", 0.0)
+    doc = json.loads(to_chrome_trace(tracer))
+    assert all(e["name"] != "never-ended" for e in doc["traceEvents"])
+
+
+def test_exporters_accept_bare_tracer_and_registry():
+    tracer = Tracer()
+    tracer.add("s", "task", 0.0, 1.0, thread=0, socket=0)
+    assert json.loads(to_jsonl(tracer).strip().split("\n")[0])["kind"] == "trace"
+    assert "traceEvents" in json.loads(to_chrome_trace(tracer))
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    assert "c 1" in to_prometheus(registry)
+
+
+def test_exporters_reject_wrong_types():
+    with pytest.raises(TypeError):
+        to_chrome_trace(42)
+    with pytest.raises(TypeError):
+        to_prometheus("nope")
+
+
+def test_real_run_chrome_trace_loads(tpch_sf1):
+    """The acceptance-criterion artifact: a real run's Chrome trace is
+    valid JSON with the Perfetto-required keys on every event."""
+    doc = json.loads(observe_q1(tpch_sf1).to_chrome_trace())
+    events = doc["traceEvents"]
+    assert events
+    for event in events:
+        assert {"name", "ph", "pid"} <= set(event)
+        if event["ph"] == "X":
+            assert event["dur"] > 0 and "ts" in event and "tid" in event
+    assert any(e["ph"] == "X" and e.get("cat") == "task" for e in events)

@@ -1,0 +1,138 @@
+"""Unit tests of the metrics registry and its instruments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObserveError
+from repro.observe import DURATION_BUCKETS, Histogram, MetricsRegistry
+
+
+def test_counter_monotonic():
+    registry = MetricsRegistry()
+    counter = registry.counter("c_total")
+    counter.inc()
+    counter.inc(2.5)
+    assert registry.collect()["c_total"] == 3.5
+    with pytest.raises(ObserveError):
+        counter.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("g")
+    gauge.set(5)
+    gauge.inc()
+    gauge.dec(2)
+    assert registry.collect()["g"] == 4.0
+
+
+def test_labeled_children_are_distinct_and_sorted():
+    registry = MetricsRegistry()
+    registry.counter("tasks_total", kind="scan").inc(2)
+    registry.counter("tasks_total", kind="join").inc()
+    out = registry.collect()
+    assert out['tasks_total{kind="join"}'] == 1.0
+    assert out['tasks_total{kind="scan"}'] == 2.0
+    assert list(out) == sorted(out)
+
+
+def test_same_name_same_instrument():
+    registry = MetricsRegistry()
+    a = registry.counter("x_total")
+    b = registry.counter("x_total")
+    assert a is b
+
+
+def test_kind_mismatch_rejected():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ObserveError):
+        registry.gauge("x")
+
+
+def test_histogram_buckets():
+    histogram = Histogram((0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 5.0, 50.0):
+        histogram.observe(value)
+    assert histogram.bucket_counts == [1, 1, 1, 1]
+    assert histogram.cumulative() == [1, 2, 3, 4]
+    assert histogram.sum == pytest.approx(55.55)
+    assert histogram.count == 4
+
+
+def test_histogram_bounds_validation():
+    with pytest.raises(ObserveError):
+        Histogram(())
+    with pytest.raises(ObserveError):
+        Histogram((1.0, 1.0))
+    registry = MetricsRegistry()
+    registry.histogram("h", buckets=(1.0, 2.0))
+    with pytest.raises(ObserveError):
+        registry.histogram("h", buckets=(1.0, 3.0))
+
+
+def test_default_duration_buckets_are_increasing():
+    assert list(DURATION_BUCKETS) == sorted(DURATION_BUCKETS)
+
+
+def test_collect_drops_host_families_on_request():
+    registry = MetricsRegistry()
+    registry.counter("sim_total").inc()
+    registry.gauge("host_seconds", host=True).set(1.23)
+    assert "host_seconds" in registry.collect()
+    assert "host_seconds" not in registry.collect(host=False)
+
+
+def test_histogram_collect_shape():
+    registry = MetricsRegistry()
+    registry.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+    out = registry.collect()["h"]
+    assert out["buckets"] == {"1.0": 0, "2.0": 1, "+Inf": 1}
+    assert out["sum"] == 1.5 and out["count"] == 1
+
+
+def test_prometheus_exposition():
+    registry = MetricsRegistry()
+    registry.counter("jobs_total", "jobs processed", kind="scan").inc(3)
+    registry.gauge("depth").set(2.5)
+    registry.histogram("lat", buckets=(0.1, 1.0), help="latency").observe(0.5)
+    text = registry.to_prometheus()
+    assert "# HELP jobs_total jobs processed" in text
+    assert "# TYPE jobs_total counter" in text
+    assert 'jobs_total{kind="scan"} 3' in text
+    assert "depth 2.5" in text
+    assert 'lat_bucket{le="0.1"} 0' in text
+    assert 'lat_bucket{le="+Inf"} 1' in text
+    assert "lat_sum 0.5" in text
+    assert "lat_count 1" in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_drops_host_families():
+    registry = MetricsRegistry()
+    registry.gauge("host_seconds", host=True).set(1.0)
+    assert registry.to_prometheus(host=False) == ""
+
+
+def test_prometheus_labeled_histogram():
+    registry = MetricsRegistry()
+    registry.histogram("lat", buckets=(1.0,), kind="scan").observe(0.5)
+    text = registry.to_prometheus()
+    assert 'lat_bucket{le="1.0",kind="scan"} 1' in text
+    assert 'lat_sum{kind="scan"} 0.5' in text
+    assert 'lat_count{kind="scan"} 1' in text
+
+
+def test_prometheus_huge_values_keep_float_repr():
+    registry = MetricsRegistry()
+    registry.gauge("big").set(1e18)
+    assert "big 1e+18" in registry.to_prometheus()
+
+
+def test_len_counts_series():
+    registry = MetricsRegistry()
+    registry.counter("a", kind="x")
+    registry.counter("a", kind="y")
+    registry.gauge("b")
+    assert len(registry) == 3

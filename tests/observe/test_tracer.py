@@ -1,0 +1,126 @@
+"""Unit tests of the span tracer itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObserveError
+from repro.observe import Span, Tracer
+from repro.observe.spans import NEST_EPS, ROOT_KIND
+
+
+def test_root_span_exists_and_finish_is_idempotent():
+    tracer = Tracer()
+    assert tracer.root.span_id == 0
+    assert tracer.root.kind == ROOT_KIND
+    assert not tracer.root.finished
+    root = tracer.finish()
+    assert root.finished and root.t1 == root.t0 == 0.0
+    assert tracer.finish() is root  # second call is a no-op
+
+
+def test_begin_end_nesting_and_ids():
+    tracer = Tracer()
+    outer = tracer.begin("outer", "run", 0.0)
+    with tracer.scope(outer):
+        inner = tracer.begin("inner", "task", 0.1)
+        tracer.end(inner, 0.4)
+    tracer.end(outer, 0.5)
+    assert inner.parent_id == outer.span_id
+    assert outer.parent_id == 0
+    assert [s.span_id for s in tracer.spans] == [0, 1, 2]
+    assert outer.duration == pytest.approx(0.5)
+
+
+def test_end_clamps_to_cover_children():
+    tracer = Tracer()
+    outer = tracer.begin("outer", "run", 0.0)
+    with tracer.scope(outer):
+        late = tracer.begin("late", "task", 0.0)
+        tracer.end(late, 2.0)
+    tracer.end(outer, 1.0)  # earlier than its child's end
+    assert outer.t1 == 2.0
+    root = tracer.finish()
+    assert root.t1 == 2.0
+
+
+def test_end_never_before_start():
+    tracer = Tracer()
+    span = tracer.begin("s", "task", 1.0)
+    tracer.end(span, 0.5)
+    assert span.t1 == span.t0
+
+
+def test_double_end_rejected():
+    tracer = Tracer()
+    span = tracer.begin("s", "task", 0.0)
+    tracer.end(span, 1.0)
+    with pytest.raises(ObserveError):
+        tracer.end(span, 2.0)
+
+
+def test_duration_of_open_span_rejected():
+    tracer = Tracer()
+    span = tracer.begin("s", "task", 0.0)
+    with pytest.raises(ObserveError):
+        __ = span.duration
+
+
+def test_add_rejects_negative_interval():
+    tracer = Tracer()
+    with pytest.raises(ObserveError):
+        tracer.add("bad", "task", 1.0, 0.5)
+
+
+def test_event_is_zero_duration():
+    tracer = Tracer()
+    event = tracer.event("tick", "dispatch", 0.25, note="x")
+    assert event.t0 == event.t1 == 0.25
+    assert event.attrs == {"note": "x"}
+
+
+def test_advance_shifts_time_base():
+    tracer = Tracer()
+    first = tracer.add("run0", "run", 0.0, 1.5)
+    tracer.advance(1.5)
+    second = tracer.add("run1", "run", 0.0, 2.0)
+    assert first.t1 == 1.5
+    assert second.t0 == 1.5 and second.t1 == 3.5
+    with pytest.raises(ObserveError):
+        tracer.advance(-0.1)
+
+
+def test_as_dict_strips_host_fields():
+    span = Span(
+        3, 0, "s", "task", 0.0, 1.0,
+        attrs={"op": "scan", "host_note": "x"},
+        host_t0=10.0, host_t1=11.0,
+    )
+    full = span.as_dict()
+    assert full["host_t0"] == 10.0 and full["attrs"]["host_note"] == "x"
+    bare = span.as_dict(host=False)
+    assert "host_t0" not in bare and "host_t1" not in bare
+    assert bare["attrs"] == {"op": "scan"}
+
+
+def test_host_time_stamps_spans():
+    tracer = Tracer(host_time=True)
+    span = tracer.begin("s", "task", 0.0)
+    tracer.end(span, 1.0)
+    assert span.host_t0 is not None and span.host_t1 is not None
+    assert span.host_t1 >= span.host_t0
+    assert tracer.finish().host_t1 is not None
+
+
+def test_explicit_parent_overrides_scope():
+    tracer = Tracer()
+    outer = tracer.begin("outer", "run", 0.0)
+    with tracer.scope(outer):
+        detached = tracer.begin("detached", "task", 0.0, parent=tracer.root)
+        tracer.end(detached, 0.1)
+    tracer.end(outer, 0.2)
+    assert detached.parent_id == 0
+
+
+def test_nest_eps_is_tiny():
+    assert 0 < NEST_EPS < 1e-6

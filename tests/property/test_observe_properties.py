@@ -1,0 +1,85 @@
+"""Property-based tests of the observability layer.
+
+For arbitrary generated plans and DOPs, the recorded span tree must be
+structurally sound (one rooted tree, children inside parents) and must
+*agree with the profiler*: one task span per ``OpRecord`` with the same
+interval and affiliation, and per-kind metric time sums equal to
+``QueryProfile.time_by_kind()``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import SimulationConfig, laptop_machine
+from repro.core import HeuristicParallelizer
+from repro.engine import execute
+from repro.observe import Observer
+from repro.observe.spans import NEST_EPS
+
+from tests.property.test_scheduler_properties import build_catalog, build_plan
+
+
+@settings(
+    max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(
+    seed=st.integers(0, 5),
+    shape=st.integers(0, 2),
+    threshold=st.integers(0, 1_000),
+    partitions=st.integers(1, 12),
+)
+def test_observe_invariants(seed, shape, threshold, partitions):
+    catalog = build_catalog(seed)
+    plan = HeuristicParallelizer(partitions).parallelize(
+        build_plan(catalog, shape, threshold)
+    )
+    config = SimulationConfig(machine=laptop_machine(8), data_scale=200.0)
+    observer = Observer()
+    result = execute(plan, config, trace=observer)
+    observer.finish()
+    spans = observer.tracer.spans
+
+    # 1. One rooted tree: unique ids, exactly one parentless span (the
+    #    root), every parent created before its children.
+    ids = [span.span_id for span in spans]
+    assert ids == list(range(len(spans)))
+    assert [s for s in spans if s.parent_id is None] == [spans[0]]
+    by_id = {span.span_id: span for span in spans}
+    for span in spans[1:]:
+        assert span.parent_id in by_id
+        assert span.parent_id < span.span_id
+
+    # 2. Every span is finished and children lie within their parent.
+    for span in spans:
+        assert span.finished
+    for span in spans[1:]:
+        parent = by_id[span.parent_id]
+        assert span.t0 >= parent.t0 - NEST_EPS
+        assert span.t1 <= parent.t1 + NEST_EPS
+
+    # 3. Task spans map 1:1 onto OpRecords (interval + affiliation).
+    tasks = [span for span in spans if span.kind == "task"]
+    records = result.profile.records
+    assert len(tasks) == len(records)
+    span_view = sorted(
+        (s.name, s.t0, s.t1, s.attrs["thread"], s.attrs["socket"]) for s in tasks
+    )
+    record_view = sorted(
+        (r.kind, r.start, r.end, r.thread_id, r.socket_id) for r in records
+    )
+    assert span_view == record_view
+
+    # 4. Per-kind metric time sums equal the profiler's view.
+    metrics = observer.metrics.collect()
+    by_kind = result.profile.time_by_kind()
+    for kind, seconds in by_kind.items():
+        key = f'repro_task_sim_seconds_total{{kind="{kind}"}}'
+        assert abs(metrics[key] - seconds) <= 1e-9
+    metric_kinds = {
+        key.split('"')[1]
+        for key in metrics
+        if key.startswith("repro_task_sim_seconds_total")
+    }
+    assert metric_kinds == set(by_kind)
