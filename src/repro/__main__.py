@@ -1,7 +1,15 @@
 """``python -m repro`` entry point."""
 
+import os
 import sys
 
 from .cli import main
 
-sys.exit(main())
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # Downstream pipe closed early (e.g. ``repro lint --json | head``).
+    # Redirect stdout to devnull so the interpreter's exit-time flush
+    # does not raise a second time, and exit with the conventional 128+SIGPIPE.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    sys.exit(141)

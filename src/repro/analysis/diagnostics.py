@@ -1,0 +1,179 @@
+"""The one diagnostic shape shared by every analyzer in the repo.
+
+Both static analyzers -- the *plan* analyzer (:mod:`repro.plan.analysis`,
+``repro lint``) and the *codebase* analyzer (:mod:`repro.analysis`,
+``repro analyze``) -- report through the same :class:`Diagnostic` record
+and :class:`AnalysisReport` collection, so their text output, ``--json``
+documents, and exit codes follow one convention:
+
+* a plan finding anchors on plan **node ids** (``nodes``),
+* a source finding anchors on a **file and line** (``file``/``line``),
+* everything else -- rule id, severity, message, fix hint -- is common.
+
+Severity policy (see ``docs/plan_analysis.md`` / ``docs/static_analysis.md``):
+
+* ``error`` -- the subject is broken: executing the plan (or running the
+  kernel off the main thread) would crash or silently produce results
+  different from the serial engine's.
+* ``warn`` -- correct today but fragile: a structural smell that blocks
+  further adaptation, or code one refactor away from nondeterminism.
+* ``info`` -- an observation (unknown operator, unprovable property)
+  that limits what the analyzer can guarantee.
+
+Exit-code convention (:func:`exit_code`): ``0`` when clean (infos never
+fail a run), ``1`` on errors -- and, under ``--strict``, on warnings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+#: Ordered severities, most severe first.
+SEVERITIES = ("error", "warn", "info")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one analysis rule."""
+
+    rule: str
+    severity: str  # "error" | "warn" | "info"
+    message: str
+    nodes: tuple[int, ...] = ()
+    hint: str | None = None
+    #: Source location for codebase findings (None for plan findings).
+    file: str | None = None
+    line: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def format(self) -> str:
+        where = ""
+        if self.file is not None:
+            where = f" {self.file}"
+            if self.line is not None:
+                where += f":{self.line}"
+        if self.nodes:
+            where += " @ " + ", ".join(f"#{nid}" for nid in self.nodes)
+        text = f"{self.severity:5s} {self.rule}{where}: {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly form (used by plan export, ``repro lint --json``
+        and ``repro analyze --format json``)."""
+        doc: dict[str, Any] = {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "nodes": list(self.nodes),
+        }
+        if self.hint:
+            doc["hint"] = self.hint
+        if self.file is not None:
+            doc["file"] = self.file
+            doc["line"] = self.line
+        return doc
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """All diagnostics from one analyzer run over one subject."""
+
+    diagnostics: tuple[Diagnostic, ...] = field(default_factory=tuple)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def by_severity(self, severity: str) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == severity)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity("error")
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity("warn")
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        return self.by_severity("info")
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == "error" for d in self.diagnostics)
+
+    @property
+    def has_warnings(self) -> bool:
+        return any(d.severity == "warn" for d in self.diagnostics)
+
+    def by_rule(self, rule: str) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.rule == rule)
+
+    @property
+    def rules(self) -> set[str]:
+        """The distinct rule ids that fired."""
+        return {d.rule for d in self.diagnostics}
+
+    def summary(self) -> str:
+        """One-line count summary, e.g. ``2 errors, 1 warning``."""
+        counts = [
+            (len(self.errors), "error(s)"),
+            (len(self.warnings), "warning(s)"),
+            (len(self.infos), "info"),
+        ]
+        parts = [f"{n} {label}" for n, label in counts if n]
+        return ", ".join(parts) if parts else "clean"
+
+    def format(self) -> str:
+        """Multi-line listing, most severe first."""
+        rank = {severity: i for i, severity in enumerate(SEVERITIES)}
+        ordered = sorted(
+            self.diagnostics,
+            key=lambda d: (rank[d.severity], d.file or "", d.line or 0),
+        )
+        return "\n".join(d.format() for d in ordered)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [d.to_dict() for d in self.diagnostics]
+
+
+def exit_code(report: AnalysisReport, *, strict: bool = False) -> int:
+    """The shared ``repro lint`` / ``repro analyze`` exit-code convention.
+
+    ``1`` when the report carries errors -- or warnings under
+    ``strict`` -- and ``0`` otherwise.  Infos never fail a run.
+    """
+    if report.has_errors:
+        return 1
+    if strict and report.has_warnings:
+        return 1
+    return 0
+
+
+def report_document(report: AnalysisReport, **extra: Any) -> dict[str, Any]:
+    """The shared ``--json`` document shape of both analyzer CLIs.
+
+    ``extra`` entries (subject name, certificate registry, baseline
+    counts) are merged at the top level after the common keys.
+    """
+    doc: dict[str, Any] = {
+        "version": 1,
+        "summary": {
+            "errors": len(report.errors),
+            "warnings": len(report.warnings),
+            "infos": len(report.infos),
+            "clean": len(report) == 0,
+        },
+        "findings": report.to_dicts(),
+    }
+    doc.update(extra)
+    return doc

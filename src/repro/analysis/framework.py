@@ -1,0 +1,180 @@
+"""Rule framework of the codebase analyzer.
+
+A :class:`CodeRule` inspects one parsed :class:`~repro.analysis.source.SourceModule`
+at a time and emits :class:`~repro.analysis.diagnostics.Diagnostic`
+records through a :class:`CodeContext`.  :func:`analyze_files` wires the
+three built-in rule families -- kernel purity
+(:mod:`repro.analysis.purity`), determinism
+(:mod:`repro.analysis.determinism`), and concurrency
+(:mod:`repro.analysis.concurrency`) -- over a set of files and folds the
+findings into one :class:`~repro.analysis.diagnostics.AnalysisReport`.
+
+Baselines: a JSON suppression file (:class:`Baseline`) mutes known
+findings by ``(rule, file)`` so ``repro analyze --strict`` can gate CI
+while a flagged module is being fixed.  The intent is a ratchet: the
+baseline shrinks to empty, never grows silently -- suppressed findings
+are still counted and reported in the summary.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..errors import AnalysisError
+from .diagnostics import AnalysisReport, Diagnostic
+from .source import SourceModule, discover
+
+
+class CodeContext:
+    """Collects diagnostics while rules walk one module."""
+
+    def __init__(self, module: SourceModule) -> None:
+        self.module = module
+        self.diagnostics: list[Diagnostic] = []
+
+    def emit(
+        self,
+        rule: str,
+        severity: str,
+        message: str,
+        *,
+        line: int | None = None,
+        hint: str | None = None,
+    ) -> None:
+        self.diagnostics.append(
+            Diagnostic(
+                rule=rule,
+                severity=severity,
+                message=message,
+                hint=hint,
+                file=self.module.path,
+                line=line,
+            )
+        )
+
+
+class CodeRule:
+    """Base class of one analysis rule family."""
+
+    #: Rule-id prefix, e.g. ``purity`` (rules emit ``purity.<check>``).
+    name: str = "rule"
+
+    def applies_to(self, module: SourceModule) -> bool:
+        """Whether this rule family inspects ``module`` at all."""
+        return True
+
+    def run(self, ctx: CodeContext) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One baseline entry: mute ``rule`` findings in ``file``."""
+
+    rule: str
+    file: str
+
+    def matches(self, diag: Diagnostic) -> bool:
+        if diag.rule != self.rule:
+            return False
+        # Paths match on suffix so a baseline written from the repo root
+        # still applies when the analyzer runs on absolute paths.
+        path = diag.file or ""
+        return path == self.file or path.endswith("/" + self.file)
+
+
+class Baseline:
+    """A set of suppressions loaded from (or written to) a JSON file."""
+
+    def __init__(self, suppressions: Sequence[Suppression] = ()) -> None:
+        self.suppressions = list(suppressions)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        try:
+            document = json.loads(Path(path).read_text())
+        except OSError as exc:
+            raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise AnalysisError(f"malformed baseline {path}: {exc}") from exc
+        entries = document.get("suppressions", document) if isinstance(
+            document, dict
+        ) else document
+        if not isinstance(entries, list):
+            raise AnalysisError(f"malformed baseline {path}: expected a list")
+        suppressions = []
+        for entry in entries:
+            try:
+                suppressions.append(
+                    Suppression(rule=entry["rule"], file=entry["file"])
+                )
+            except (TypeError, KeyError) as exc:
+                raise AnalysisError(
+                    f"malformed baseline entry {entry!r}: needs rule and file"
+                ) from exc
+        return cls(suppressions)
+
+    @classmethod
+    def from_report(cls, report: AnalysisReport) -> "Baseline":
+        """A baseline muting exactly the given report's findings."""
+        seen: dict[tuple[str, str], Suppression] = {}
+        for diag in report:
+            key = (diag.rule, diag.file or "")
+            if key not in seen:
+                seen[key] = Suppression(rule=diag.rule, file=diag.file or "")
+        return cls(list(seen.values()))
+
+    def to_json(self) -> str:
+        entries = sorted(
+            ({"rule": s.rule, "file": s.file} for s in self.suppressions),
+            key=lambda e: (e["file"], e["rule"]),
+        )
+        return json.dumps({"suppressions": entries}, indent=2) + "\n"
+
+    def split(
+        self, report: AnalysisReport
+    ) -> tuple[AnalysisReport, AnalysisReport]:
+        """(kept, suppressed) partition of ``report``."""
+        kept: list[Diagnostic] = []
+        muted: list[Diagnostic] = []
+        for diag in report:
+            if any(s.matches(diag) for s in self.suppressions):
+                muted.append(diag)
+            else:
+                kept.append(diag)
+        return AnalysisReport(tuple(kept)), AnalysisReport(tuple(muted))
+
+
+def default_rules() -> list[CodeRule]:
+    """The three built-in rule families, in reporting order."""
+    from .concurrency import ConcurrencyRule
+    from .determinism import DeterminismRule
+    from .purity import PurityRule
+
+    return [PurityRule(), DeterminismRule(), ConcurrencyRule()]
+
+
+def analyze_modules(
+    modules: Iterable[SourceModule], rules: Sequence[CodeRule] | None = None
+) -> AnalysisReport:
+    """Run rule families over already-parsed modules."""
+    if rules is None:
+        rules = default_rules()
+    diagnostics: list[Diagnostic] = []
+    for module in modules:
+        ctx = CodeContext(module)
+        for rule in rules:
+            if rule.applies_to(module):
+                rule.run(ctx)
+        diagnostics.extend(ctx.diagnostics)
+    return AnalysisReport(tuple(diagnostics))
+
+
+def analyze_files(
+    paths: Iterable[str | Path], rules: Sequence[CodeRule] | None = None
+) -> AnalysisReport:
+    """Discover, parse, and analyze ``paths`` (files or directories)."""
+    return analyze_modules(discover(paths), rules)

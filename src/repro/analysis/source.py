@@ -1,0 +1,199 @@
+"""Source discovery and AST utilities for the codebase analyzer.
+
+The codebase analyzer (:mod:`repro.analysis`) works on plain
+:mod:`ast` trees -- no imports are executed, no new dependencies -- so
+it can be pointed at the installed :mod:`repro` package, at a directory,
+or at a single fixture file.  This module owns the boring half: finding
+the files, parsing them once, mapping paths to dotted module names, and
+the handful of AST helpers every rule family shares.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class SourceModule:
+    """One parsed source file."""
+
+    #: Dotted module name, e.g. ``repro.operators.select`` (best effort
+    #: for files outside a package: the bare stem).
+    name: str
+    #: Path as given (kept relative when the caller passed relative).
+    path: str
+    tree: ast.Module = field(repr=False)
+
+    def functions(self) -> Iterator[tuple[ast.FunctionDef, ast.ClassDef | None]]:
+        """Every function/method with its enclosing class (None at module level).
+
+        Nested functions are *not* yielded separately -- rules see them
+        while walking their enclosing function, which is where closure
+        semantics live.
+        """
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node, None
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        yield item, node
+
+    def classes(self) -> Iterator[ast.ClassDef]:
+        for node in self.tree.body:
+            if isinstance(node, ast.ClassDef):
+                yield node
+
+
+def module_name_for(path: Path) -> str:
+    """Best-effort dotted module name of ``path``.
+
+    Walks up while ``__init__.py`` siblings exist, so files inside the
+    ``repro`` package resolve to ``repro.engine.scheduler``-style names
+    wherever the package happens to live on disk.
+    """
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.resolve().parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def parse_file(path: str | Path) -> SourceModule:
+    """Parse one python file into a :class:`SourceModule`."""
+    p = Path(path)
+    try:
+        text = p.read_text()
+    except OSError as exc:
+        raise AnalysisError(f"cannot read {p}: {exc}") from exc
+    try:
+        tree = ast.parse(text, filename=str(p))
+    except SyntaxError as exc:
+        raise AnalysisError(f"cannot parse {p}: {exc}") from exc
+    return SourceModule(name=module_name_for(p), path=str(p), tree=tree)
+
+
+def discover(paths: Iterable[str | Path]) -> list[SourceModule]:
+    """Parse every ``*.py`` file under the given files/directories.
+
+    Directories are walked recursively; results are ordered by path so
+    reports are stable regardless of filesystem iteration order.
+    """
+    files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.is_file():
+            files.append(p)
+        else:
+            raise AnalysisError(f"no such file or directory: {p}")
+    if not files:
+        raise AnalysisError("nothing to analyze: no python files found")
+    return [parse_file(f) for f in sorted(set(files), key=str)]
+
+
+def default_package_path() -> Path:
+    """The installed :mod:`repro` package directory (the default target)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers
+# ----------------------------------------------------------------------
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def root_name(node: ast.AST) -> str | None:
+    """The leftmost Name of an expression chain (through calls/subscripts).
+
+    ``view.column.values[lo:hi]`` -> ``view``; ``np.arange(n)`` -> ``np``.
+    """
+    while True:
+        if isinstance(node, ast.Attribute):
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        elif isinstance(node, ast.Name):
+            return node.id
+        else:
+            return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """Dotted name of the called target, e.g. ``np.random.shuffle``."""
+    return dotted_name(node.func)
+
+
+def assigned_names(target: ast.AST) -> Iterator[str]:
+    """Plain names bound by an assignment target (tuples unpacked)."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from assigned_names(elt)
+
+
+def is_slice_subscript(node: ast.AST) -> bool:
+    """True for ``x[a:b]``-style subscripts (numpy returns a *view*).
+
+    Non-slice subscripts (boolean masks, fancy index arrays, scalars)
+    copy, so only slice subscripts propagate aliasing.
+    """
+    return isinstance(node, ast.Subscript) and isinstance(node.slice, ast.Slice)
+
+
+def enclosing_with_lock(stack: list[ast.AST]) -> bool:
+    """True when the innermost statements sit inside ``with <..lock..>:``.
+
+    The single-lock pattern check is syntactic: any context-manager
+    expression whose dotted name mentions ``lock`` counts.
+    """
+    for frame in stack:
+        if isinstance(frame, (ast.With, ast.AsyncWith)):
+            for item in frame.items:
+                name = dotted_name(item.context_expr)
+                if name is None and isinstance(item.context_expr, ast.Call):
+                    name = call_name(item.context_expr)
+                if name is not None and "lock" in name.lower():
+                    return True
+    return False
+
+
+def walk_with_stack(
+    root: ast.AST,
+) -> Iterator[tuple[ast.AST, list[ast.AST]]]:
+    """Yield ``(node, ancestors)`` pairs in document order.
+
+    ``ancestors`` is the live stack from ``root`` down to the node's
+    parent -- callers must not keep references across iterations.
+    """
+    stack: list[ast.AST] = []
+
+    def visit(node: ast.AST) -> Iterator[tuple[ast.AST, list[ast.AST]]]:
+        yield node, stack
+        stack.append(node)
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child)
+        stack.pop()
+
+    yield from visit(root)

@@ -13,6 +13,14 @@ Commands
 ``lint (--query NAME | --sql SQL | --plan-json FILE)``
     Run the static plan analyzer and print its diagnostics; exits
     non-zero on errors (and, with ``--strict``, on warnings).
+    ``--json`` prints the shared machine-readable report document.
+``analyze [PATHS ...]``
+    Run the codebase analyzer (kernel purity, determinism, concurrency
+    lints) over the installed ``repro`` package or the given paths, and
+    print the per-operator parallel-safety certificate registry.  Same
+    severity and exit-code convention as ``lint``; ``--baseline FILE``
+    suppresses known findings, ``--write-baseline FILE`` records the
+    current ones.  See ``docs/static_analysis.md``.
 ``bench NAME``
     Run one of the paper's experiments (``fig11``, ``fig12`` ...) and
     print its paper-vs-measured report.  ``bench --wallclock`` instead
@@ -124,6 +132,51 @@ def _build_parser() -> argparse.ArgumentParser:
     _dataset_args(lint)
     lint.add_argument(
         "--strict", action="store_true", help="exit non-zero on warnings too"
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable report document",
+    )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="statically analyze the codebase (kernel parallel safety)",
+    )
+    analyze.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to analyze "
+        "(default: the installed repro package)",
+    )
+    analyze.add_argument(
+        "--strict", action="store_true", help="exit non-zero on warnings too"
+    )
+    analyze.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable report document",
+    )
+    analyze.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="JSON suppression file; matching findings are muted",
+    )
+    analyze.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write the current findings as a suppression baseline and exit 0",
+    )
+    analyze.add_argument(
+        "--certificates",
+        metavar="FILE",
+        help="also write the operator certificate registry as JSON",
+    )
+    analyze.add_argument(
+        "--no-registry",
+        action="store_true",
+        help="skip building the operator certificate registry",
     )
 
     bench = sub.add_parser("bench", help="run one of the paper's experiments")
@@ -415,14 +468,76 @@ def _cmd_lint(args) -> int:
         plan = plan_sql(args.sql, dataset.catalog)
         name = "ad-hoc query"
     report = analyze_plan(plan)
-    print(f"{name}: {report.summary()}")
-    if report.diagnostics:
-        print(report.format())
-    if report.has_errors:
-        return 1
-    if args.strict and report.has_warnings:
-        return 1
-    return 0
+    if args.json:
+        import json
+
+        from .analysis import report_document
+
+        print(json.dumps(report_document(report, subject=name), indent=2))
+    else:
+        print(f"{name}: {report.summary()}")
+        if report.diagnostics:
+            print(report.format())
+    from .analysis import exit_code
+
+    return exit_code(report, strict=args.strict)
+
+
+def _cmd_analyze(args) -> int:
+    import json
+
+    from .analysis import (
+        Baseline,
+        analyze_files,
+        build_registry,
+        default_package_path,
+        exit_code,
+        report_document,
+    )
+
+    paths = args.paths or [default_package_path()]
+    report = analyze_files(paths)
+    if args.write_baseline:
+        baseline = Baseline.from_report(report)
+        with open(args.write_baseline, "w") as handle:
+            handle.write(baseline.to_json())
+        print(
+            f"wrote {len(baseline.suppressions)} suppression(s) to "
+            f"{args.write_baseline}"
+        )
+        return 0
+    suppressed_count = 0
+    if args.baseline:
+        report, suppressed = Baseline.load(args.baseline).split(report)
+        suppressed_count = len(suppressed)
+    registry = None if args.no_registry else build_registry()
+    if args.certificates and registry is not None:
+        with open(args.certificates, "w") as handle:
+            handle.write(registry.to_json())
+    if args.json:
+        extra = {"subject": "codebase", "suppressed": suppressed_count}
+        if registry is not None:
+            extra["certificates"] = registry.to_document()
+        print(json.dumps(report_document(report, **extra), indent=2))
+    else:
+        print(f"codebase: {report.summary()}")
+        if suppressed_count:
+            print(f"  ({suppressed_count} finding(s) muted by baseline)")
+        if report.diagnostics:
+            print(report.format())
+        if registry is not None:
+            certs = registry.certificates()
+            pure = sum(1 for c in certs if c.pure)
+            views = sum(1 for c in certs if c.view_returning)
+            print(
+                f"certificates: {len(certs)} operator(s), {pure} pure, "
+                f"{len(certs) - pure} refused, {views} view-returning"
+            )
+            for cert in certs:
+                if not cert.pure:
+                    issues = "; ".join(cert.issues)
+                    print(f"  refused {cert.operator}: {issues}")
+    return exit_code(report, strict=args.strict)
 
 
 def _cmd_bench(args) -> int:
@@ -611,6 +726,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_adapt(args)
         if args.command == "lint":
             return _cmd_lint(args)
+        if args.command == "analyze":
+            return _cmd_analyze(args)
         if args.command == "bench":
             return _cmd_bench(args)
         if args.command == "chaos":

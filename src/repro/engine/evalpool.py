@@ -17,6 +17,16 @@ through a dispatch-order commit barrier (see
 counters, profiles, and query outputs are therefore bit-identical for
 any worker count, including ``workers=1`` (which evaluates inline and
 never starts a thread).
+
+That contract is *enforced*, not assumed: when the scheduler hands the
+pool the operators behind a batch (``run_batch(jobs, ops=...)``), every
+operator class is checked against its parallel-safety certificate
+(:mod:`repro.analysis.certificates`) before any thunk leaves the main
+thread.  The gate is **fail-closed** -- an operator with no certificate,
+or whose static analysis found effects, raises
+:class:`~repro.errors.UncertifiedKernelError` instead of being
+dispatched.  Inline evaluation (``workers=1`` or a below-threshold
+batch) is never gated: single-threaded execution cannot race.
 """
 
 from __future__ import annotations
@@ -113,11 +123,18 @@ class EvalPool:
     rounds; executor startup must not be paid per round).
     """
 
-    def __init__(self, workers: int | None = None) -> None:
+    def __init__(
+        self, workers: int | None = None, *, certificates: Any = None
+    ) -> None:
         workers = default_workers() if workers is None else int(workers)
         if workers < 1:
             raise ReproError(f"evaluation pool needs >= 1 worker, got {workers}")
         self.workers = workers
+        #: Parallel-safety certificate registry consulted before any
+        #: operator-backed batch goes parallel.  ``None`` means the
+        #: process-wide default registry, resolved lazily on first use
+        #: so pools for thunk-only callers never pay for it.
+        self._certificates = certificates
         self._executor: ThreadPoolExecutor | None = None
         self._batches = 0
         self._parallel_batches = 0
@@ -132,12 +149,30 @@ class EvalPool:
         self.observe = None
 
     # ------------------------------------------------------------------
-    def run_batch(self, jobs: Sequence[Callable[[], Any]]) -> list[Any]:
+    def _gate(self, ops: Sequence[Any]) -> None:
+        """Refuse uncertified kernels before they leave the main thread."""
+        if self._certificates is None:
+            from ..analysis.certificates import default_registry
+
+            self._certificates = default_registry()
+        for op in ops:
+            self._certificates.check(op)
+
+    def run_batch(
+        self,
+        jobs: Sequence[Callable[[], Any]],
+        ops: Sequence[Any] | None = None,
+    ) -> list[Any]:
         """Evaluate every thunk; results come back in ``jobs`` order.
 
         A thunk that raises aborts the batch: the first exception in
         batch order propagates (the same exception the serial engine
         would have raised first), after all submitted thunks have run.
+
+        ``ops`` are the operator instances behind the thunks (aligned
+        with ``jobs``); when given, each is certificate-checked before
+        the batch goes parallel.  Thunk-only callers pass none and are
+        not gated -- they own their thread-safety story.
         """
         n = len(jobs)
         self._batches += 1
@@ -156,6 +191,8 @@ class EvalPool:
             if self.workers == 1 or n < MIN_PARALLEL_BATCH:
                 self._inline_jobs += n
                 return [job() for job in jobs]
+            if ops is not None:
+                self._gate(ops)
             self._parallel_batches += 1
             futures: list[Future[Any]] = [
                 self._ensure_executor().submit(job) for job in jobs

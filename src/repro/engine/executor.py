@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import os
+
+from ..analysis.sanitize import Sanitizer
 from ..chaos.faults import FaultPlan
 from ..chaos.injector import FaultInjector
 from ..config import SimulationConfig
@@ -12,6 +15,15 @@ from ..plan.graph import Plan
 from .evalpool import EvalPool
 from .memo import IntermediateCache
 from .scheduler import ExecutionResult, Simulator
+
+
+def _resolve_sanitize(sanitize: bool | None) -> bool:
+    """Explicit argument wins; otherwise the ``REPRO_SANITIZE`` env var."""
+    if sanitize is not None:
+        return sanitize
+    return os.environ.get("REPRO_SANITIZE", "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
 
 
 def _resolve_faults(
@@ -35,6 +47,7 @@ def execute(
     workers: int | None = None,
     faults: FaultInjector | FaultPlan | None = None,
     trace: Observer | None = None,
+    sanitize: bool | None = None,
 ) -> ExecutionResult:
     """Run ``plan`` alone on a fresh simulated machine.
 
@@ -72,6 +85,15 @@ def execute(
     :attr:`repro.observe.Tracer.time_base`).  Tracing never changes
     simulated results and its canonical output is bit-identical for any
     ``workers`` value.
+
+    ``sanitize=True`` (or ``REPRO_SANITIZE=1`` in the environment) runs
+    the whole execution under the runtime sanitizer
+    (:class:`~repro.analysis.sanitize.Sanitizer`): input buffers are
+    checksummed around every evaluation batch, the dispatch-order commit
+    barrier is verified, and every commit folds into a rolling trace
+    fingerprint.  A violated invariant raises
+    :class:`~repro.errors.SanitizerError`.  Host cost only -- simulated
+    results are identical with or without it.
     """
     if analyze:
         report = analyze_plan(plan)
@@ -83,10 +105,16 @@ def execute(
     if config is None:
         config = SimulationConfig()
     injector = _resolve_faults(faults, config)
+    sanitizer = Sanitizer() if _resolve_sanitize(sanitize) else None
     if evalpool is None and workers is not None and workers > 1:
         with EvalPool(workers) as pool:
             simulator = Simulator(
-                config, memo=memo, evalpool=pool, faults=injector, observe=trace
+                config,
+                memo=memo,
+                evalpool=pool,
+                faults=injector,
+                observe=trace,
+                sanitizer=sanitizer,
             )
             sid = simulator.submit(plan)
             simulator.run()
@@ -94,7 +122,12 @@ def execute(
                 trace.record_pool(pool.stats())
             return simulator.result(sid)
     simulator = Simulator(
-        config, memo=memo, evalpool=evalpool, faults=injector, observe=trace
+        config,
+        memo=memo,
+        evalpool=evalpool,
+        faults=injector,
+        observe=trace,
+        sanitizer=sanitizer,
     )
     sid = simulator.submit(plan)
     simulator.run()

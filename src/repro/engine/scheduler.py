@@ -32,6 +32,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from ..analysis.sanitize import Sanitizer
 from ..chaos.faults import FaultKind
 from ..chaos.injector import FaultDecision, FaultInjector
 from ..config import SimulationConfig
@@ -292,11 +293,18 @@ class Simulator:
         evalpool: EvalPool | None = None,
         faults: FaultInjector | None = None,
         observe: Observer | None = None,
+        sanitizer: Sanitizer | None = None,
     ) -> None:
         self.config = config
         self.memo = memo
         self.evalpool = evalpool
         self.faults = faults
+        # ``sanitizer`` plugs in a repro.analysis.sanitize.Sanitizer:
+        # every dispatch round's input buffers are checksummed around
+        # evaluation, the dispatch-order commit barrier is verified, and
+        # committed values fold into a rolling trace fingerprint.  Host
+        # cost only; simulated results are untouched.
+        self.sanitizer = sanitizer
         # ``observe`` plugs in a repro.observe.Observer: one span per
         # submission and per completed operator task, instant events for
         # dispatch rounds, evaluation batches, and injected faults, and
@@ -480,8 +488,23 @@ class Simulator:
                     "repro_dispatch_rounds_total", "non-empty dispatch rounds"
                 ).inc()
             results = self._evaluate_batch(batch)
+            san = self.sanitizer
+            if san is not None:
+                # Each input's baseline is its at-commit checksum, so
+                # verification needs no pre-evaluation snapshot: one
+                # post-evaluation re-read per distinct input, compared
+                # against the checksum recorded when it was committed;
+                # the dispatch-order commit barrier is checked in the
+                # same pass.
+                san.verify_dispatch(batch, len(results))
             for entry in batch:
                 self._commit_dispatch(entry, results)
+                if san is not None and entry.sub.failed is None:
+                    san.record_commit(
+                        entry.sub.sid,
+                        entry.node.nid,
+                        entry.sub.values.get(entry.node.nid),
+                    )
         if self._pending_failures:
             # Raised only after the whole batch committed, so every
             # thread claimed this round is accounted for and the
@@ -540,6 +563,7 @@ class Simulator:
         """
         memo = self.memo
         jobs: list[Callable[[], tuple[Intermediate, WorkProfile]]] = []
+        ops: list[Operator] = []
         job_of_fp: dict[bytes, int] = {}
         for entry in batch:
             sub, node = entry.sub, entry.node
@@ -563,6 +587,7 @@ class Simulator:
             entry.job_index = len(jobs)
             inputs = [sub.values[child.nid] for child in node.inputs]
             jobs.append(settle_job(_make_eval_job(node.op, inputs)))
+            ops.append(node.op)
         obs = self.observe
         if obs is not None and jobs:
             # The job list is a pure function of dispatch order and memo
@@ -578,7 +603,7 @@ class Simulator:
         if not jobs:
             return []
         if self.evalpool is not None:
-            return self.evalpool.run_batch(jobs)
+            return self.evalpool.run_batch(jobs, ops)
         return [job() for job in jobs]
 
     def _commit_dispatch(

@@ -72,6 +72,29 @@ class ObserveError(ReproError):
     """Misuse of the tracing/metrics observability layer."""
 
 
+class AnalysisError(ReproError):
+    """Misuse of the codebase static analyzer (bad paths, bad baseline)."""
+
+
+class UncertifiedKernelError(ReproError):
+    """The evaluation pool refused to dispatch an uncertified kernel.
+
+    Raised fail-closed: an operator whose parallel-safety certificate is
+    missing, or whose static analysis found effects, is never evaluated
+    off the main thread.  Run with ``workers=1`` or fix the kernel and
+    re-certify (see ``docs/static_analysis.md``).
+    """
+
+
+class SanitizerError(ReproError):
+    """The runtime sanitizer detected a violated execution invariant.
+
+    An operator mutated a shared input buffer in place, results were
+    committed out of dispatch order, or two runs that must be
+    bit-identical produced diverging trace fingerprints.
+    """
+
+
 class InjectedFaultError(ReproError):
     """A deliberately injected operator failure (chaos testing).
 

@@ -9,17 +9,21 @@ callable lets the property tests prove that equivalence on randomized
 inputs, and gives a one-line escape hatch if a regression ever needs to
 be bisected.
 
-The gate is process-global and read without locking: evaluation-pool
-threads only ever *read* it, and the test helper :func:`disabled` is
-meant for single-threaded test bodies.
+The gate is process-global: evaluation-pool threads *read* it freely (a
+bool read is atomic under the GIL), but every *write* goes through the
+module lock -- two overlapping :func:`disabled` blocks (e.g. pytest-run
+threads) must not be able to interleave their save/restore pairs and
+leave the gate stuck off.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Iterator
 
 _enabled = True
+_lock = threading.Lock()
 
 
 def enabled() -> bool:
@@ -30,16 +34,19 @@ def enabled() -> bool:
 def set_enabled(on: bool) -> None:
     """Flip the global gate (tests and bisection only)."""
     global _enabled
-    _enabled = bool(on)
+    with _lock:
+        _enabled = bool(on)
 
 
 @contextmanager
 def disabled() -> Iterator[None]:
     """Force the materializing slow paths within the ``with`` block."""
     global _enabled
-    previous = _enabled
-    _enabled = False
+    with _lock:
+        previous = _enabled
+        _enabled = False
     try:
         yield
     finally:
-        _enabled = previous
+        with _lock:
+            _enabled = previous

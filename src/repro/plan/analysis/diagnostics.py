@@ -1,10 +1,11 @@
 """Diagnostic records produced by the plan analyzer.
 
-A :class:`Diagnostic` is one finding of one analysis rule: a stable rule
-id (``pass.rule`` form, e.g. ``partition.overlap``), a severity, the plan
-node ids it concerns, a human-readable message, and an optional fix hint.
-An :class:`AnalysisReport` is the ordered collection of findings from one
-:func:`~repro.plan.analysis.analyze_plan` call.
+Since the codebase analyzer (:mod:`repro.analysis`, ``repro analyze``)
+landed, both static analyzers share one diagnostic shape and severity /
+exit-code convention, defined in :mod:`repro.analysis.diagnostics`.
+This module re-exports it so every existing ``repro.plan.analysis``
+import keeps working; plan findings simply leave ``file``/``line`` unset
+and anchor on plan node ids instead.
 
 Severity policy (see ``docs/plan_analysis.md``):
 
@@ -18,107 +19,18 @@ Severity policy (see ``docs/plan_analysis.md``):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterator
+from ...analysis.diagnostics import (
+    SEVERITIES,
+    AnalysisReport,
+    Diagnostic,
+    exit_code,
+    report_document,
+)
 
-#: Ordered severities, most severe first.
-SEVERITIES = ("error", "warn", "info")
-
-
-@dataclass(frozen=True)
-class Diagnostic:
-    """One finding of one analysis rule."""
-
-    rule: str
-    severity: str  # "error" | "warn" | "info"
-    message: str
-    nodes: tuple[int, ...] = ()
-    hint: str | None = None
-
-    def __post_init__(self) -> None:
-        if self.severity not in SEVERITIES:
-            raise ValueError(f"unknown severity {self.severity!r}")
-
-    def format(self) -> str:
-        where = ""
-        if self.nodes:
-            where = " @ " + ", ".join(f"#{nid}" for nid in self.nodes)
-        text = f"{self.severity:5s} {self.rule}{where}: {self.message}"
-        if self.hint:
-            text += f" (hint: {self.hint})"
-        return text
-
-    def to_dict(self) -> dict[str, Any]:
-        """JSON-friendly form (used by plan export and ``repro lint``)."""
-        doc: dict[str, Any] = {
-            "rule": self.rule,
-            "severity": self.severity,
-            "message": self.message,
-            "nodes": list(self.nodes),
-        }
-        if self.hint:
-            doc["hint"] = self.hint
-        return doc
-
-
-@dataclass(frozen=True)
-class AnalysisReport:
-    """All diagnostics from one analyzer run over one plan."""
-
-    diagnostics: tuple[Diagnostic, ...] = field(default_factory=tuple)
-
-    def __iter__(self) -> Iterator[Diagnostic]:
-        return iter(self.diagnostics)
-
-    def __len__(self) -> int:
-        return len(self.diagnostics)
-
-    def by_severity(self, severity: str) -> tuple[Diagnostic, ...]:
-        return tuple(d for d in self.diagnostics if d.severity == severity)
-
-    @property
-    def errors(self) -> tuple[Diagnostic, ...]:
-        return self.by_severity("error")
-
-    @property
-    def warnings(self) -> tuple[Diagnostic, ...]:
-        return self.by_severity("warn")
-
-    @property
-    def infos(self) -> tuple[Diagnostic, ...]:
-        return self.by_severity("info")
-
-    @property
-    def has_errors(self) -> bool:
-        return any(d.severity == "error" for d in self.diagnostics)
-
-    @property
-    def has_warnings(self) -> bool:
-        return any(d.severity == "warn" for d in self.diagnostics)
-
-    def by_rule(self, rule: str) -> tuple[Diagnostic, ...]:
-        return tuple(d for d in self.diagnostics if d.rule == rule)
-
-    @property
-    def rules(self) -> set[str]:
-        """The distinct rule ids that fired."""
-        return {d.rule for d in self.diagnostics}
-
-    def summary(self) -> str:
-        """One-line count summary, e.g. ``2 errors, 1 warning``."""
-        counts = [
-            (len(self.errors), "error(s)"),
-            (len(self.warnings), "warning(s)"),
-            (len(self.infos), "info"),
-        ]
-        parts = [f"{n} {label}" for n, label in counts if n]
-        return ", ".join(parts) if parts else "clean"
-
-    def format(self) -> str:
-        """Multi-line listing, most severe first."""
-        rank = {severity: i for i, severity in enumerate(SEVERITIES)}
-        ordered = sorted(self.diagnostics, key=lambda d: rank[d.severity])
-        return "\n".join(d.format() for d in ordered)
-
-    def to_dicts(self) -> list[dict[str, Any]]:
-        return [d.to_dict() for d in self.diagnostics]
+__all__ = [
+    "AnalysisReport",
+    "Diagnostic",
+    "SEVERITIES",
+    "exit_code",
+    "report_document",
+]

@@ -69,9 +69,11 @@ class PartitionSafetyPass(AnalysisPass):
             op = node.op
             length = len(op.column)
             if length and (op.lo > 0 or op.hi < length):
-                # A partial scan partitions its column: key by column
-                # identity so sibling partial scans share a base.
-                key = ("column", id(op.column))
+                # A partial scan partitions its column: key by the
+                # column's stable uid so sibling partial scans share a
+                # base (an id() key would differ across runs and leak
+                # allocation addresses into analysis output).
+                key = ("column", op.column.uid)
                 return {key: (Fraction(op.lo, length), Fraction(op.hi, length))}
             return {}
         if node.kind in _INTERVAL_BARRIERS:

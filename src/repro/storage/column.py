@@ -32,7 +32,7 @@ _column_counter = itertools.count()
 class Column:
     """An immutable base column over the global oid space ``[0, len)``."""
 
-    __slots__ = ("name", "dtype", "values", "dictionary", "uid")
+    __slots__ = ("name", "dtype", "values", "dictionary", "uid", "__weakref__")
 
     def __init__(
         self,
@@ -100,7 +100,7 @@ class Column:
 class ColumnSlice:
     """A zero-copy view of a column restricted to oids ``[lo, hi)``."""
 
-    __slots__ = ("column", "lo", "hi", "_oids")
+    __slots__ = ("column", "lo", "hi", "_oids", "__weakref__")
 
     def __init__(self, column: Column, lo: int, hi: int) -> None:
         if not 0 <= lo <= hi <= len(column):
@@ -177,7 +177,7 @@ class Candidates:
     is duplicate-free.
     """
 
-    __slots__ = ("oids", "unique")
+    __slots__ = ("oids", "unique", "__weakref__")
 
     def __init__(
         self,
@@ -228,7 +228,7 @@ class BAT:
     join results).  ``dictionary`` travels along for string tails.
     """
 
-    __slots__ = ("head", "tail", "dtype", "dictionary")
+    __slots__ = ("head", "tail", "dtype", "dictionary", "__weakref__")
 
     def __init__(
         self,

@@ -1,0 +1,26 @@
+"""Shared paths for the codebase-analyzer tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+HERE = Path(__file__).parent
+
+#: The seeded true-positive fixture (never imported, analyzed as source).
+BAD_KERNEL = HERE / "fixtures" / "bad_kernel.py"
+#: The negative control: analyzed clean.
+CLEAN_KERNEL = HERE / "fixtures" / "clean_kernel.py"
+#: Golden certificate registry of every registered operator.
+GOLDEN_CERTIFICATES = HERE / "golden" / "certificates.json"
+
+
+@pytest.fixture()
+def bad_kernel_path() -> Path:
+    return BAD_KERNEL
+
+
+@pytest.fixture()
+def clean_kernel_path() -> Path:
+    return CLEAN_KERNEL

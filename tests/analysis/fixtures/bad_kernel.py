@@ -1,0 +1,64 @@
+"""Deliberately unsafe kernels: the seeded true-positive fixture.
+
+Every rule family of ``repro analyze`` must flag this file; the tests
+in ``tests/analysis/test_rules.py`` assert each expected rule id fires
+here (and nothing fires on ``clean_kernel.py``).  Never import this
+module -- it is analyzed as source only.
+"""
+
+import threading
+import time
+
+import numpy as np
+
+CACHE = {}
+_counter = 0
+_lock = threading.Lock()
+
+
+class MutatingKernel:
+    """A kernel with every purity violation the analyzer knows."""
+
+    def evaluate(self, inputs):
+        buf = inputs[0]
+        buf[0] = 42  # purity.inplace-write: writes a shared input
+        buf.sort()  # purity.mutating-call: in-place method on an input
+        CACHE[len(buf)] = buf  # purity.module-state: module-level dict
+        self.calls = 1  # concurrency.self-mutation: instance state
+        return buf
+
+    def work_profile(self, inputs, output):
+        return len(output)
+
+
+class RacyAccumulator:
+    """Owns a lock but mutates shared state without holding it."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def add(self, value):
+        self.total += value  # concurrency.unlocked-shared-state
+
+
+def bump():
+    global _counter
+    _counter += 1  # concurrency.global-write: no lock held
+
+
+def leaky_locking(lock):
+    lock.acquire()  # concurrency.lock-discipline: no finally release
+    value = _counter
+    lock.release()
+    return value
+
+
+def unstable(items):
+    rng = np.random.default_rng()  # determinism.unseeded-rng
+    started = time.time()  # determinism.host-time
+    keys = sorted(items, key=lambda x: id(x))  # determinism.id-key
+    order = []
+    for x in {1, 2, 3}:  # determinism.set-iteration
+        order.append(x)
+    return rng, started, keys, order

@@ -1,0 +1,52 @@
+"""A well-behaved kernel: ``repro analyze`` must report nothing here.
+
+The negative control for the rule tests: fresh allocations, seeded
+randomness, sorted iteration, lock discipline.  Never imported --
+analyzed as source only.
+"""
+
+import threading
+
+import numpy as np
+
+_lock = threading.Lock()
+_counter = 0
+
+
+class PureKernel:
+    """Allocates fresh outputs; touches no shared or instance state."""
+
+    def evaluate(self, inputs):
+        buf = inputs[0]
+        out = np.asarray(buf).copy()
+        out += 1
+        return out
+
+    def work_profile(self, inputs, output):
+        return len(output)
+
+
+def seeded_shuffle(values, seed):
+    rng = np.random.default_rng(seed)
+    out = np.array(values)
+    rng.shuffle(out)
+    return out
+
+
+def bump_under_lock():
+    global _counter
+    with _lock:
+        _counter += 1
+        return _counter
+
+
+def careful_locking(lock):
+    lock.acquire()
+    try:
+        return 1
+    finally:
+        lock.release()
+
+
+def stable_order(items):
+    return sorted(set(items))

@@ -1,0 +1,107 @@
+"""CLI surface: ``repro analyze`` and the unified ``repro lint --json``."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+from .conftest import BAD_KERNEL, CLEAN_KERNEL
+
+
+class TestAnalyzeCommand:
+    def test_default_target_is_clean_strict(self, capsys):
+        assert main(["analyze", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "codebase: clean" in out
+        assert "certificates:" in out
+
+    def test_bad_fixture_fails(self, capsys):
+        assert main(["analyze", str(BAD_KERNEL), "--no-registry"]) == 1
+        out = capsys.readouterr().out
+        assert "purity.inplace-write" in out
+        assert "bad_kernel.py" in out
+
+    def test_clean_fixture_passes(self, capsys):
+        assert main(["analyze", str(CLEAN_KERNEL), "--no-registry", "--strict"]) == 0
+
+    def test_json_document_shape(self, capsys):
+        assert main(["analyze", str(BAD_KERNEL), "--json", "--no-registry"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == 1
+        assert doc["summary"]["errors"] > 0
+        assert doc["summary"]["clean"] is False
+        assert doc["subject"] == "codebase"
+        rules = {f["rule"] for f in doc["findings"]}
+        assert "purity.inplace-write" in rules
+        for finding in doc["findings"]:
+            assert finding["file"].endswith("bad_kernel.py")
+
+    def test_json_includes_certificates(self, capsys):
+        assert main(["analyze", str(CLEAN_KERNEL), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        certs = doc["certificates"]["certificates"]
+        assert len(certs) >= 20
+        assert all(c["pure"] for c in certs)
+
+    def test_certificates_file_export(self, capsys, tmp_path):
+        out_file = tmp_path / "certs.json"
+        assert (
+            main(["analyze", str(CLEAN_KERNEL), "--certificates", str(out_file)])
+            == 0
+        )
+        doc = json.loads(out_file.read_text())
+        assert {c["operator"] for c in doc["certificates"]} >= {
+            "Scan",
+            "Select",
+            "Join",
+            "Aggregate",
+        }
+
+    def test_write_baseline_then_suppress(self, capsys, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main(
+                [
+                    "analyze",
+                    str(BAD_KERNEL),
+                    "--no-registry",
+                    "--write-baseline",
+                    str(baseline),
+                ]
+            )
+            == 0
+        )
+        assert "suppression(s)" in capsys.readouterr().out
+        code = main(
+            [
+                "analyze",
+                str(BAD_KERNEL),
+                "--no-registry",
+                "--strict",
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+        assert "muted by baseline" in out
+
+    def test_missing_path_is_a_clean_error(self, capsys):
+        assert main(["analyze", "/no/such/path.py"]) == 1
+        assert "no such file" in capsys.readouterr().err
+
+
+class TestLintJson:
+    def test_lint_json_shares_the_document_shape(self, capsys):
+        assert main(["lint", "--query", "q6", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == 1
+        assert doc["summary"]["clean"] is True
+        assert doc["subject"] == "q6"
+        assert doc["findings"] == []
+
+    def test_lint_text_output_unchanged(self, capsys):
+        assert main(["lint", "--query", "q6"]) == 0
+        assert "q6: clean" in capsys.readouterr().out

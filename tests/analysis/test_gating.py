@@ -1,0 +1,93 @@
+"""Fail-closed dispatch gating: uncertified kernels never reach the pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig, laptop_machine
+from repro.engine import EvalPool, execute
+from repro.errors import UncertifiedKernelError
+from repro.plan import Plan
+
+from .test_certificates import PureScalarOperator, SelfMutatingOperator
+
+
+@pytest.fixture()
+def config() -> SimulationConfig:
+    return SimulationConfig(machine=laptop_machine(4), data_scale=10.0)
+
+
+def two_wide_plan(op_factory) -> Plan:
+    """Two independent outputs: both become one dispatch batch."""
+    plan = Plan()
+    plan.set_outputs([plan.add(op_factory()), plan.add(op_factory())])
+    return plan
+
+
+class TestPoolGate:
+    def test_refuses_impure_batch(self):
+        with EvalPool(2) as pool:
+            jobs = [lambda: 1, lambda: 2]
+            ops = [SelfMutatingOperator(), SelfMutatingOperator()]
+            with pytest.raises(UncertifiedKernelError, match="refusing"):
+                pool.run_batch(jobs, ops)
+
+    def test_passes_pure_batch(self):
+        with EvalPool(2) as pool:
+            jobs = [lambda: 1, lambda: 2]
+            ops = [PureScalarOperator(), PureScalarOperator()]
+            assert pool.run_batch(jobs, ops) == [1, 2]
+
+    def test_inline_pool_never_gates(self):
+        # workers=1 is single-threaded: nothing can race, so even an
+        # impure kernel runs (the paper's serial fallback must keep
+        # working for unported operators).
+        with EvalPool(1) as pool:
+            jobs = [lambda: 1, lambda: 2]
+            ops = [SelfMutatingOperator(), SelfMutatingOperator()]
+            assert pool.run_batch(jobs, ops) == [1, 2]
+
+    def test_below_threshold_batch_never_gates(self):
+        with EvalPool(4) as pool:
+            assert pool.run_batch([lambda: 3], [SelfMutatingOperator()]) == [3]
+
+    def test_ungated_when_ops_omitted(self):
+        # Callers outside the scheduler may run raw thunks.
+        with EvalPool(2) as pool:
+            assert pool.run_batch([lambda: 1, lambda: 2]) == [1, 2]
+
+    def test_custom_registry_is_honored(self):
+        from repro.analysis.certificates import CertificateRegistry
+
+        registry = CertificateRegistry()
+        with EvalPool(2, certificates=registry) as pool:
+            jobs = [lambda: 1, lambda: 2]
+            with pytest.raises(UncertifiedKernelError):
+                pool.run_batch(jobs, [SelfMutatingOperator()] * 2)
+
+
+class TestEndToEndGate:
+    @pytest.mark.parametrize("workers", [2, 8])
+    def test_execute_refuses_impure_plan_in_parallel(self, config, workers):
+        with pytest.raises(UncertifiedKernelError, match="SelfMutatingOperator"):
+            execute(two_wide_plan(SelfMutatingOperator), config, workers=workers)
+
+    def test_execute_allows_impure_plan_serially(self, config):
+        result = execute(two_wide_plan(SelfMutatingOperator), config, workers=1)
+        assert [out.value for out in result.outputs] == [1, 1]
+
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_execute_allows_pure_plan_everywhere(self, config, workers):
+        result = execute(two_wide_plan(PureScalarOperator), config, workers=workers)
+        assert [out.value for out in result.outputs] == [7, 7]
+
+    def test_shipped_operators_pass_the_gate(self, config, small_catalog):
+        from repro.operators import RangePredicate
+        from repro.plan import PlanBuilder
+
+        builder = PlanBuilder(small_catalog)
+        sel = builder.select(builder.scan("facts", "val"), RangePredicate(hi=500))
+        plan = builder.build(builder.aggregate("count", sel))
+        serial = execute(plan.copy(), config)
+        parallel = execute(plan.copy(), config, workers=4)
+        assert serial.outputs[0].value == parallel.outputs[0].value

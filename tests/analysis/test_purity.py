@@ -1,0 +1,224 @@
+"""Unit tests of the kernel purity/taint analysis."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.purity import (
+    KERNEL_METHODS,
+    analyze_kernel,
+    module_mutable_globals,
+)
+
+
+def effects_of(src: str, module_globals: set[str] | None = None):
+    """Analyze one ``def evaluate`` body given as source."""
+    tree = ast.parse(textwrap.dedent(src))
+    node = tree.body[0]
+    assert isinstance(node, ast.FunctionDef)
+    return analyze_kernel(node, module_globals or set())
+
+
+class TestInplaceWrites:
+    def test_subscript_store_to_input_is_flagged(self):
+        effects = effects_of(
+            """
+            def evaluate(self, inputs):
+                buf = inputs[0]
+                buf[0] = 1
+                return buf
+            """
+        )
+        assert not effects.pure
+        assert any("buf[0]" in desc for _, desc in effects.inplace_writes)
+
+    def test_augmented_store_to_input_is_flagged(self):
+        effects = effects_of(
+            """
+            def evaluate(self, inputs):
+                inputs[0][:] += 1
+                return inputs[0]
+            """
+        )
+        assert effects.inplace_writes
+
+    def test_write_to_fresh_copy_is_pure(self):
+        effects = effects_of(
+            """
+            def evaluate(self, inputs):
+                out = np.array(inputs[0])
+                out[0] = 1
+                return out
+            """
+        )
+        assert effects.pure
+
+    def test_slice_of_input_stays_tainted(self):
+        effects = effects_of(
+            """
+            def evaluate(self, inputs):
+                view = inputs[0][1:10]
+                view[0] = 1
+                return view
+            """
+        )
+        assert effects.inplace_writes
+
+    def test_boolean_mask_produces_fresh_array(self):
+        effects = effects_of(
+            """
+            def evaluate(self, inputs):
+                picked = inputs[0][inputs[0] > 3]
+                picked[0] = 1
+                return picked
+            """
+        )
+        assert effects.pure
+
+    def test_asarray_forwards_aliasing(self):
+        effects = effects_of(
+            """
+            def evaluate(self, inputs):
+                arr = np.asarray(inputs[0])
+                arr[0] = 1
+                return arr
+            """
+        )
+        assert effects.inplace_writes
+
+
+class TestMutatingCalls:
+    def test_inplace_sort_on_input_is_flagged(self):
+        effects = effects_of(
+            """
+            def evaluate(self, inputs):
+                inputs[0].sort()
+                return inputs[0]
+            """
+        )
+        assert effects.mutating_calls
+
+    def test_np_sort_copy_is_pure(self):
+        effects = effects_of(
+            """
+            def evaluate(self, inputs):
+                return np.sort(inputs[0])
+            """
+        )
+        assert effects.pure
+
+    def test_np_copyto_into_input_is_flagged(self):
+        effects = effects_of(
+            """
+            def evaluate(self, inputs):
+                np.copyto(inputs[0], 0)
+                return inputs[0]
+            """
+        )
+        assert effects.mutating_calls
+
+    def test_container_mutator_on_local_list_is_pure(self):
+        effects = effects_of(
+            """
+            def evaluate(self, inputs):
+                out = []
+                out.append(1)
+                return out
+            """
+        )
+        assert effects.pure
+
+
+class TestStateWrites:
+    def test_self_write_is_flagged(self):
+        effects = effects_of(
+            """
+            def evaluate(self, inputs):
+                self.calls = 1
+                return inputs[0]
+            """
+        )
+        assert effects.self_writes
+        assert not effects.pure
+
+    def test_module_global_write_is_flagged(self):
+        effects = effects_of(
+            """
+            def evaluate(self, inputs):
+                CACHE[1] = inputs[0]
+                return inputs[0]
+            """,
+            module_globals={"CACHE"},
+        )
+        assert effects.module_writes
+
+    def test_unknown_global_name_is_not_flagged(self):
+        effects = effects_of(
+            """
+            def evaluate(self, inputs):
+                local = {}
+                local[1] = 2
+                return inputs[0]
+            """,
+            module_globals={"CACHE"},
+        )
+        assert effects.pure
+
+
+class TestViewReturns:
+    def test_returning_input_slice_is_view(self):
+        effects = effects_of(
+            """
+            def evaluate(self, inputs):
+                return inputs[0][1:5]
+            """
+        )
+        assert effects.view_return
+
+    def test_returning_scalar_of_input_is_not_view(self):
+        effects = effects_of(
+            """
+            def evaluate(self, inputs):
+                return float(inputs[0].sum())
+            """
+        )
+        assert not effects.view_return
+
+    def test_returning_fresh_array_is_not_view(self):
+        effects = effects_of(
+            """
+            def evaluate(self, inputs):
+                return np.array(inputs[0])
+            """
+        )
+        assert not effects.view_return
+
+    def test_view_transparent_constructor_keeps_taint(self):
+        effects = effects_of(
+            """
+            def evaluate(self, inputs):
+                head = inputs[0][lo:hi]
+                return BAT(head, head, LNG)
+            """
+        )
+        assert effects.view_return
+
+
+class TestModuleGlobals:
+    def test_collects_mutable_module_bindings(self):
+        from repro.analysis.source import parse_file
+
+        import tempfile
+
+        with tempfile.NamedTemporaryFile("w", suffix=".py", delete=False) as f:
+            f.write("CACHE = {}\nTABLE = [1]\nN = 3\n__all__ = ['x']\n")
+            path = f.name
+        names = module_mutable_globals(parse_file(path))
+        assert "CACHE" in names and "TABLE" in names
+        assert "N" not in names  # ints are immutable
+        assert "__all__" not in names
+
+
+def test_kernel_methods_cover_the_operator_protocol():
+    assert KERNEL_METHODS == ("evaluate", "work_profile", "mask")

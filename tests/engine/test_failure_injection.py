@@ -12,23 +12,21 @@ from repro.errors import OperatorError, ReproError
 from repro.operators import Aggregate, RangePredicate, Scan, Select
 from repro.operators.base import Operator, WorkProfile
 from repro.plan import Plan, PlanBuilder
-from repro.storage import Catalog, Column, LNG, Scalar, Table
+from repro.storage import LNG, Column
 
 
 class ExplodingOperator(Operator):
-    """Evaluates fine ``countdown`` times, then raises."""
+    """Raises on every evaluation.
+
+    Deliberately *pure* (raising is not an effect): the parallel-safety
+    gate must let it onto the pool so these tests exercise how failures
+    travel through batches, not how uncertified kernels are refused.
+    """
 
     kind = "exploding"
 
-    def __init__(self, countdown: int = 0) -> None:
-        super().__init__()
-        self.countdown = countdown
-
     def evaluate(self, inputs):
-        if self.countdown <= 0:
-            raise OperatorError("injected operator failure")
-        self.countdown -= 1
-        return Scalar(1, LNG)
+        raise OperatorError("injected operator failure")
 
     def work_profile(self, inputs, output) -> WorkProfile:
         return WorkProfile(tuples_out=1)

@@ -27,6 +27,19 @@ class TestColumn:
         with pytest.raises(ValueError):
             col.values[0] = 42
 
+    def test_read_only_even_when_caller_array_was_writable(self):
+        backing = np.arange(10, dtype=np.int64)
+        col = Column("c", LNG, backing)
+        assert not col.values.flags.writeable
+
+    def test_direct_ufunc_out_cannot_write_base_buffer(self):
+        # ufuncs with out= respect the read-only flag (np.add.at does
+        # not on every numpy release -- that escape is what the runtime
+        # sanitizer covers; see tests/analysis/test_sanitize.py).
+        col = make_column()
+        with pytest.raises(ValueError):
+            np.add(col.values, 1, out=col.values)
+
     def test_dtype_coercion(self):
         col = Column("c", LNG, np.arange(5, dtype=np.int32))
         assert col.values.dtype == np.int64
@@ -68,6 +81,11 @@ class TestColumnSlice:
         view = col.slice(2, 5)
         assert view.values.base is col.values
         np.testing.assert_array_equal(view.values, [2, 3, 4])
+
+    def test_slice_views_inherit_read_only(self):
+        view = make_column(10).slice(2, 5)
+        with pytest.raises(ValueError):
+            view.values[0] = 42
 
     def test_out_of_bounds_slice_rejected(self):
         with pytest.raises(StorageError):
