@@ -200,8 +200,15 @@ class CertificateRegistry:
             self._by_name.setdefault(cert.operator, cert)
         return cert
 
-    def check(self, op: Any) -> OperatorCertificate:
-        """Gate one operator instance; raise fail-closed when unsafe."""
+    def check(self, op: Any, boundary: str = "thread") -> OperatorCertificate:
+        """Gate one operator instance; raise fail-closed when unsafe.
+
+        ``boundary`` names what the kernel is about to cross:
+        ``"thread"`` requires purity; ``"process"`` additionally
+        requires picklable parameters (``shared_memory_eligible``) --
+        the instance itself must survive a pipe and evaluate against
+        shared-memory column views in another address space.
+        """
         cert = self.get(type(op))
         if not cert.pure:
             detail = "; ".join(cert.issues) or "no certificate"
@@ -209,6 +216,13 @@ class CertificateRegistry:
                 f"refusing to dispatch {type(op).__name__} off the main "
                 f"thread: {detail} (run with workers=1, or fix the kernel "
                 "and re-run `repro analyze`)"
+            )
+        if boundary == "process" and not cert.shared_memory_eligible:
+            raise UncertifiedKernelError(
+                f"refusing to ship {type(op).__name__} across a process "
+                "boundary: its parameters are not picklable (class defined "
+                "inside a function?); use backend='thread' or make the "
+                "class importable at module level"
             )
         return cert
 

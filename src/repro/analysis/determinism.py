@@ -34,6 +34,11 @@ from .source import call_name, walk_with_stack
 HOST_ONLY_PREFIXES = (
     "repro.observe",
     "repro.engine.evalpool",
+    # Host-side evaluation transport: the shared-memory codec keys its
+    # buffer-alias maps on object identity (which physical ndarray is
+    # this a view of?) -- per-process lookup tables, never fingerprints.
+    "repro.engine.backends",
+    "repro.engine.shm",
     "repro.bench",
     "repro.analysis",
     "repro.cli",

@@ -113,9 +113,10 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="host threads evaluating ready operators "
-        "(default: host cpu count; results are identical for any N)",
+        help="host workers evaluating ready operators "
+        "(default: usable cpu count; results are identical for any N)",
     )
+    _backend_arg(adapt)
     adapt.add_argument(
         "--verbose",
         action="store_true",
@@ -229,6 +230,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="wallclock: fail if any pooled run is more than X times "
         "slower than workers=1",
     )
+    bench.add_argument(
+        "--backend",
+        default=None,
+        metavar="B[,B...]",
+        help="wallclock: comma-separated evaluation backends to sweep "
+        "(e.g. 'thread,process'; default: thread)",
+    )
+    bench.add_argument(
+        "--min-process-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="wallclock: fail if the process backend's worker speedup is "
+        "below X (skipped on single-cpu hosts or when process is not swept)",
+    )
 
     chaos = sub.add_parser(
         "chaos", help="fault-injection demo: resilience + convergence under chaos"
@@ -266,9 +282,10 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="host threads evaluating ready operators "
+        help="host workers evaluating ready operators "
         "(results are identical for any N)",
     )
+    _backend_arg(chaos)
     chaos.add_argument(
         "--no-adapt",
         action="store_true",
@@ -303,6 +320,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write here instead of stdout",
     )
     return parser
+
+
+def _backend_arg(parser: argparse.ArgumentParser) -> None:
+    from .engine.backends import available_backends
+
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="evaluation backend running ready-operator batches "
+        "(default: thread, or the REPRO_EVAL_BACKEND env var; "
+        "results are identical for any backend)",
+    )
 
 
 def _observe_args(parser: argparse.ArgumentParser) -> None:
@@ -421,7 +451,9 @@ def _cmd_adapt(args) -> int:
     from .engine.evalpool import default_workers
 
     workers = args.workers if args.workers is not None else default_workers()
-    parallelizer = AdaptiveParallelizer(config, workers=workers)
+    parallelizer = AdaptiveParallelizer(
+        config, workers=workers, backend=args.backend
+    )
     try:
         adaptive = parallelizer.optimize(plan)
     finally:
@@ -571,7 +603,12 @@ def _cmd_bench_wallclock(args) -> int:
             raise ReproError(
                 f"--workers wants comma-separated integers, got {args.workers!r}"
             ) from None
-    report = run_wallclock(quick=args.quick, workers=workers)
+    backends = None
+    if args.backend is not None:
+        backends = [
+            part.strip() for part in str(args.backend).split(",") if part.strip()
+        ]
+    report = run_wallclock(quick=args.quick, workers=workers, backends=backends)
     print(format_report(report))
     if args.output:
         with open(args.output, "w") as handle:
@@ -583,6 +620,7 @@ def _cmd_bench_wallclock(args) -> int:
         min_hit_rate=args.min_hit_rate,
         min_speedup=args.min_speedup,
         max_worker_slowdown=args.max_worker_slowdown,
+        min_process_speedup=args.min_process_speedup,
     )
     return 0
 
@@ -610,6 +648,7 @@ def _cmd_chaos(args) -> int:
         faults=fault_plan,
         resilience=ResilienceConfig(timeout=args.timeout),
         workers=args.workers,
+        backend=args.backend,
     )
     report = workload.run()
     print(f"workload: {args.clients} clients x {args.horizon:g}s simulated on "

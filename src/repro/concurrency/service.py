@@ -144,6 +144,7 @@ class ResilientWorkload:
         faults: FaultInjector | FaultPlan | None = None,
         resilience: ResilienceConfig | None = None,
         workers: int | None = None,
+        backend: str | None = None,
         observe: Observer | None = None,
     ) -> None:
         if horizon <= 0:
@@ -158,6 +159,7 @@ class ResilientWorkload:
             faults = FaultInjector(faults, seed=config.derive_seed("chaos"))
         self.faults = faults
         self.workers = workers
+        self.backend = backend
         # Observability: service-level decisions (retries, timeouts,
         # disconnect handling, DOP shedding, admission waits) become
         # ``service`` events and ``repro_service_*`` metrics, on top of
@@ -179,8 +181,9 @@ class ResilientWorkload:
         injector = self.faults.spawn() if self.faults is not None else None
         res = self.resilience
         pool = (
-            EvalPool(self.workers)
-            if self.workers is not None and self.workers > 1
+            EvalPool(self.workers, backend=self.backend)
+            if self.backend is not None
+            or (self.workers is not None and self.workers > 1)
             else None
         )
         obs = self.observe
@@ -339,12 +342,16 @@ class ResilientWorkload:
             admit(_Query(state, template, simulator.now, state.spec.max_threads))
 
         # ---- run ------------------------------------------------------
+        pool_stats = None
         try:
             for state in states:
                 issue(state)
             simulator.run()
         finally:
             if pool is not None:
+                # Snapshot before close: backend-specific counters are
+                # dropped once the backend is released.
+                pool_stats = pool.stats()
                 pool.close()
         for state in states:
             report.by_client[state.spec.name] = list(state.response_times)
@@ -357,8 +364,8 @@ class ResilientWorkload:
                 "repro_service_peak_queue_depth",
                 "maximum admission-queue depth observed",
             ).set(float(report.peak_queue_depth))
-            if pool is not None:
-                obs.record_pool(pool.stats())
+            if pool_stats is not None:
+                obs.record_pool(pool_stats)
         if injector is not None:
             report.faults_injected = injector.stats.total
             report.fault_schedule = tuple(

@@ -123,6 +123,7 @@ class AdaptiveParallelizer:
         mutations_per_run: int = 1,
         memoize: bool = True,
         workers: int | None = None,
+        backend: str | None = None,
         faults: FaultInjector | FaultPlan | None = None,
         fault_retries: int = 5,
         observe: Observer | None = None,
@@ -153,12 +154,16 @@ class AdaptiveParallelizer:
             IntermediateCache() if memoize else None
         )
         # Host evaluation pool: every run's simultaneously-ready
-        # operators are evaluated on ``workers`` host threads, with a
-        # dispatch-order commit barrier keeping simulated results
-        # bit-identical for any worker count.  ``None``/1 evaluates
+        # operators are evaluated on ``workers`` host workers of the
+        # selected ``backend`` (thread / process / inline -- see
+        # repro.engine.backends), with a dispatch-order commit barrier
+        # keeping simulated results bit-identical for any worker count
+        # and backend.  With neither argument the instance evaluates
         # inline; the pool is shared across all runs of the instance.
         self.evalpool: EvalPool | None = (
-            EvalPool(workers) if workers is not None and workers > 1 else None
+            EvalPool(workers, backend=backend)
+            if backend is not None or (workers is not None and workers > 1)
+            else None
         )
         # Chaos harness: the robustness experiment (Figure 18 under
         # faults) runs the whole adaptive loop with injected operator
@@ -184,7 +189,7 @@ class AdaptiveParallelizer:
         self.observe = observe
 
     def close(self) -> None:
-        """Release the host evaluation pool's threads (idempotent)."""
+        """Release the host evaluation pool's workers (idempotent)."""
         if self.evalpool is not None:
             self.evalpool.close()
 

@@ -6,24 +6,26 @@ serially on one host core.  Every dispatch round of
 :class:`~repro.engine.scheduler.Simulator` collects the operators whose
 inputs are all materialized -- by construction they are mutually
 independent, so their host evaluation is embarrassingly parallel.  The
-:class:`EvalPool` runs one such batch on a ``ThreadPoolExecutor``
-(numpy kernels release the GIL, so threads scale on multi-core hosts)
-and returns results **in submission order**.
+:class:`EvalPool` runs one such batch on a pluggable **evaluation
+backend** (:mod:`repro.engine.backends`) -- ``inline``, ``thread``, or
+``process`` -- and returns results **in submission order**.
 
 Determinism contract: the pool only ever computes pure functions of
 already-materialized inputs, and the scheduler consumes the results
 through a dispatch-order commit barrier (see
 ``Simulator._commit_dispatch``).  Simulated times, noise draws, memo
 counters, profiles, and query outputs are therefore bit-identical for
-any worker count, including ``workers=1`` (which evaluates inline and
-never starts a thread).
+any worker count *and any backend*, including ``workers=1`` (which
+evaluates inline and never starts a thread or process).
 
 That contract is *enforced*, not assumed: when the scheduler hands the
 pool the operators behind a batch (``run_batch(jobs, ops=...)``), every
 operator class is checked against its parallel-safety certificate
-(:mod:`repro.analysis.certificates`) before any thunk leaves the main
-thread.  The gate is **fail-closed** -- an operator with no certificate,
-or whose static analysis found effects, raises
+(:mod:`repro.analysis.certificates`) before any work leaves the main
+thread -- and the check is boundary-aware: crossing a *process*
+boundary additionally requires ``shared_memory_eligible`` (pure and
+picklable).  The gate is **fail-closed** -- an operator with no
+certificate, or whose static analysis found effects, raises
 :class:`~repro.errors.UncertifiedKernelError` instead of being
 dispatched.  Inline evaluation (``workers=1`` or a below-threshold
 batch) is never gated: single-threaded execution cannot race.
@@ -32,16 +34,14 @@ batch) is never gated: single-threaded execution cannot race.
 from __future__ import annotations
 
 import os
-from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Callable, Sequence
 
 from ..errors import ReproError
 
 #: Batches smaller than this are evaluated inline even when a pool is
-#: available -- submitting one job to a thread costs more than the GIL
-#: handoff saves.
+#: available -- submitting one job to a worker costs more than it saves.
 MIN_PARALLEL_BATCH = 2
 
 #: Bucket bounds of the host-side batch-size histogram: dispatch rounds
@@ -49,16 +49,73 @@ MIN_PARALLEL_BATCH = 2
 BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
 
-def default_workers() -> int:
-    """The host's CPU count (the default ``--workers``)."""
-    return max(1, os.cpu_count() or 1)
+def _cgroup_cpu_limit(base: str = "/sys/fs/cgroup") -> int | None:
+    """The container's CPU quota in whole CPUs, or None when unlimited.
+
+    Reads cgroup v2 (``cpu.max``: ``"<quota> <period>"`` or ``"max ..."``)
+    first, then cgroup v1 (``cpu/cpu.cfs_quota_us`` / ``cpu.cfs_period_us``,
+    quota ``-1`` meaning unlimited).  A fractional quota rounds *down*
+    (0.5 CPU is one worker at half speed, not two at quarter speed) but
+    never below one.
+    """
+    try:
+        with open(os.path.join(base, "cpu.max"), encoding="ascii") as fh:
+            quota_s, _, period_s = fh.read().strip().partition(" ")
+        if quota_s != "max":
+            quota, period = int(quota_s), int(period_s or "100000")
+            if quota > 0 and period > 0:
+                return max(1, quota // period)
+        return None
+    except (OSError, ValueError):
+        pass
+    try:
+        with open(
+            os.path.join(base, "cpu", "cpu.cfs_quota_us"), encoding="ascii"
+        ) as fh:
+            quota = int(fh.read().strip())
+        with open(
+            os.path.join(base, "cpu", "cpu.cfs_period_us"), encoding="ascii"
+        ) as fh:
+            period = int(fh.read().strip())
+        if quota > 0 and period > 0:
+            return max(1, quota // period)
+    except (OSError, ValueError):
+        pass
+    return None
+
+
+def default_workers(_cgroup_base: str = "/sys/fs/cgroup") -> int:
+    """CPUs actually usable by this process (the default ``--workers``).
+
+    Unlike raw ``os.cpu_count()``, this respects the scheduling mask
+    (taskset/K8s cpusets) via ``os.process_cpu_count()`` (3.13+) or
+    ``os.sched_getaffinity``, and the container CPU *quota* via the
+    cgroup filesystem -- a pod limited to 2 CPUs on a 64-core node gets
+    2 workers, not 64 threads fighting over 2 cores.
+    """
+    count: int | None = None
+    process_cpu_count = getattr(os, "process_cpu_count", None)
+    if process_cpu_count is not None:
+        count = process_cpu_count()
+    if count is None:
+        try:
+            count = len(os.sched_getaffinity(0))
+        except (AttributeError, OSError):
+            count = None
+    if count is None:
+        count = os.cpu_count()
+    count = max(1, count or 1)
+    quota = _cgroup_cpu_limit(_cgroup_base)
+    if quota is not None and quota < count:
+        count = quota
+    return count
 
 
 class EvalFailure:
-    """A settled evaluation error: the thunk raised instead of returning.
+    """A settled evaluation error: the kernel raised instead of returning.
 
     Failures travel through the batch as *values* so a raising operator
-    cannot abort its siblings mid-flight: every thunk runs, results come
+    cannot abort its siblings mid-flight: every job runs, results come
     back in submission order, and the scheduler's dispatch-order commit
     barrier decides -- deterministically, at any worker count -- which
     submission a failure kills and whether it propagates or is retried.
@@ -92,7 +149,13 @@ def settle_job(job: Callable[[], Any]) -> Callable[[], Any]:
 
 @dataclass(frozen=True)
 class PoolStats:
-    """Host-side counters of one :class:`EvalPool` (immutable snapshot)."""
+    """Host-side counters of one :class:`EvalPool` (immutable snapshot).
+
+    All values are numeric -- the observability layer exports every
+    entry of :meth:`as_dict` as a gauge (``float(value)``), so the
+    backend *name* is deliberately not part of the stats (it lives on
+    :attr:`EvalPool.backend`).
+    """
 
     batches: int = 0
     parallel_batches: int = 0
@@ -100,10 +163,13 @@ class PoolStats:
     inline_jobs: int = 0
     eval_seconds: float = 0.0
     max_batch: int = 0
+    #: Backend-specific numeric counters (e.g. ``shipped_jobs`` and
+    #: ``published_bytes`` for the process backend); empty otherwise.
+    backend_stats: dict[str, float | int] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, float | int]:
         """JSON-ready counters (used by the wall-clock benchmark)."""
-        return {
+        doc: dict[str, float | int] = {
             "batches": self.batches,
             "parallel_batches": self.parallel_batches,
             "jobs": self.jobs,
@@ -111,31 +177,49 @@ class PoolStats:
             "eval_seconds": round(self.eval_seconds, 4),
             "max_batch": self.max_batch,
         }
+        doc.update(self.backend_stats)
+        return doc
 
 
 class EvalPool:
-    """Evaluates batches of independent thunks, preserving batch order.
+    """Evaluates batches of independent jobs, preserving batch order.
 
-    ``workers=1`` is the degenerate inline pool: no threads are created
-    and ``run_batch`` is a plain loop.  ``workers>1`` lazily starts a
-    ``ThreadPoolExecutor`` on first use and keeps it alive across
-    batches (an adaptive instance runs tens of thousands of dispatch
-    rounds; executor startup must not be paid per round).
+    ``workers=1`` is the degenerate inline pool: no threads or processes
+    are created and ``run_batch`` is a plain loop.  ``workers>1`` lazily
+    instantiates the selected backend on first use and keeps it alive
+    across batches (an adaptive instance runs tens of thousands of
+    dispatch rounds; worker startup must not be paid per round).
+
+    ``backend`` picks where parallel batches run -- ``"inline"``,
+    ``"thread"`` (default), or ``"process"`` (see
+    :mod:`repro.engine.backends`); ``None`` defers to the
+    ``REPRO_EVAL_BACKEND`` environment variable.
     """
 
     def __init__(
-        self, workers: int | None = None, *, certificates: Any = None
+        self,
+        workers: int | None = None,
+        *,
+        backend: str | None = None,
+        certificates: Any = None,
     ) -> None:
+        from .backends import resolve_backend_name
+
         workers = default_workers() if workers is None else int(workers)
         if workers < 1:
             raise ReproError(f"evaluation pool needs >= 1 worker, got {workers}")
         self.workers = workers
+        #: Resolved backend name; validation (and any
+        #: ``BackendUnavailableError``) happens eagerly here so callers
+        #: fail at pool construction, not mid-run.
+        self.backend = resolve_backend_name(backend)
         #: Parallel-safety certificate registry consulted before any
         #: operator-backed batch goes parallel.  ``None`` means the
         #: process-wide default registry, resolved lazily on first use
         #: so pools for thunk-only callers never pay for it.
         self._certificates = certificates
-        self._executor: ThreadPoolExecutor | None = None
+        self._backend_impl: Any = None
+        self._closed = False
         self._batches = 0
         self._parallel_batches = 0
         self._jobs = 0
@@ -149,30 +233,45 @@ class EvalPool:
         self.observe = None
 
     # ------------------------------------------------------------------
-    def _gate(self, ops: Sequence[Any]) -> None:
+    def _gate(self, ops: Sequence[Any], boundary: str) -> None:
         """Refuse uncertified kernels before they leave the main thread."""
         if self._certificates is None:
             from ..analysis.certificates import default_registry
 
             self._certificates = default_registry()
         for op in ops:
-            self._certificates.check(op)
+            self._certificates.check(op, boundary)
+
+    def _ensure_backend(self) -> Any:
+        if self._backend_impl is None:
+            if self._closed:
+                raise ReproError("evaluation pool is closed")
+            from .backends import create_backend
+
+            self._backend_impl = create_backend(self.backend, self.workers)
+        return self._backend_impl
 
     def run_batch(
         self,
         jobs: Sequence[Callable[[], Any]],
         ops: Sequence[Any] | None = None,
+        inputs: Sequence[Sequence[Any]] | None = None,
     ) -> list[Any]:
-        """Evaluate every thunk; results come back in ``jobs`` order.
+        """Evaluate every job; results come back in ``jobs`` order.
 
-        A thunk that raises aborts the batch: the first exception in
+        A job that raises aborts the batch: the first exception in
         batch order propagates (the same exception the serial engine
-        would have raised first), after all submitted thunks have run.
+        would have raised first), after all submitted jobs have run.
 
-        ``ops`` are the operator instances behind the thunks (aligned
-        with ``jobs``); when given, each is certificate-checked before
-        the batch goes parallel.  Thunk-only callers pass none and are
-        not gated -- they own their thread-safety story.
+        ``ops`` are the operator instances behind the jobs (aligned
+        with ``jobs``); when given, each is certificate-checked against
+        the backend's boundary before the batch goes parallel.
+        ``inputs`` are the per-job input intermediates (aligned too) --
+        the process backend evaluates from ``(op, inputs)`` payloads
+        instead of closures, which cannot cross a process boundary.
+        Thunk-only callers pass neither and are not gated -- they own
+        their thread-safety story (and fall back to the main thread
+        under the process backend).
         """
         n = len(jobs)
         self._batches += 1
@@ -188,31 +287,27 @@ class EvalPool:
             ).observe(float(n))
         start = perf_counter()
         try:
-            if self.workers == 1 or n < MIN_PARALLEL_BATCH:
+            if (
+                self.workers == 1
+                or n < MIN_PARALLEL_BATCH
+                or self.backend == "inline"
+            ):
                 self._inline_jobs += n
                 return [job() for job in jobs]
+            backend = self._ensure_backend()
             if ops is not None:
-                self._gate(ops)
+                self._gate(ops, backend.boundary)
             self._parallel_batches += 1
-            futures: list[Future[Any]] = [
-                self._ensure_executor().submit(job) for job in jobs
-            ]
-            # ``result()`` re-raises in submission order, which is the
-            # dispatch order -- identical to the serial engine.
-            return [future.result() for future in futures]
+            return backend.run(jobs, ops, inputs)
         finally:
             self._eval_seconds += perf_counter() - start
-
-    def _ensure_executor(self) -> ThreadPoolExecutor:
-        if self._executor is None:
-            self._executor = ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="repro-eval"
-            )
-        return self._executor
 
     # ------------------------------------------------------------------
     def stats(self) -> PoolStats:
         """An immutable snapshot of the pool's host-side counters."""
+        extra: dict[str, float | int] = {}
+        if self._backend_impl is not None:
+            extra = dict(self._backend_impl.extra_stats())
         return PoolStats(
             batches=self._batches,
             parallel_batches=self._parallel_batches,
@@ -220,13 +315,20 @@ class EvalPool:
             inline_jobs=self._inline_jobs,
             eval_seconds=self._eval_seconds,
             max_batch=self._max_batch,
+            backend_stats=extra,
         )
 
     def close(self) -> None:
-        """Shut the executor down (idempotent; inline pools are no-ops)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        """Release the backend (idempotent, safe to call from atexit).
+
+        After close the pool refuses new parallel batches instead of
+        silently respawning workers; inline evaluation still works, so a
+        close racing a final below-threshold batch cannot crash.
+        """
+        self._closed = True
+        impl, self._backend_impl = self._backend_impl, None
+        if impl is not None:
+            impl.close()
 
     def __enter__(self) -> "EvalPool":
         return self
@@ -235,4 +337,7 @@ class EvalPool:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"EvalPool(workers={self.workers}, batches={self._batches})"
+        return (
+            f"EvalPool(workers={self.workers}, backend={self.backend!r}, "
+            f"batches={self._batches})"
+        )

@@ -564,6 +564,7 @@ class Simulator:
         memo = self.memo
         jobs: list[Callable[[], tuple[Intermediate, WorkProfile]]] = []
         ops: list[Operator] = []
+        job_inputs: list[list[Intermediate]] = []
         job_of_fp: dict[bytes, int] = {}
         for entry in batch:
             sub, node = entry.sub, entry.node
@@ -588,6 +589,7 @@ class Simulator:
             inputs = [sub.values[child.nid] for child in node.inputs]
             jobs.append(settle_job(_make_eval_job(node.op, inputs)))
             ops.append(node.op)
+            job_inputs.append(inputs)
         obs = self.observe
         if obs is not None and jobs:
             # The job list is a pure function of dispatch order and memo
@@ -603,7 +605,7 @@ class Simulator:
         if not jobs:
             return []
         if self.evalpool is not None:
-            return self.evalpool.run_batch(jobs, ops)
+            return self.evalpool.run_batch(jobs, ops, job_inputs)
         return [job() for job in jobs]
 
     def _commit_dispatch(

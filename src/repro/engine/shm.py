@@ -1,0 +1,713 @@
+"""Shared-memory column publication and intermediate transport.
+
+The process evaluation backend (:mod:`repro.engine.backends`) runs
+operator kernels in worker *processes*, which is what finally breaks
+the GIL ceiling -- but only if the data does not have to be pickled
+through a pipe for every job.  This module provides the zero-copy
+plumbing:
+
+* :class:`ColumnRegistry` -- base columns are published **once** into
+  ``multiprocessing.shared_memory`` segments; workers reattach lazily
+  by column ``uid`` and evaluate kernels on read-only numpy views of
+  the very same physical pages.  A :class:`ColumnSlice` crosses the
+  process boundary as three integers.
+* :class:`ScratchArena` -- large intermediates (candidate lists, BATs)
+  that are *not* views of a published column round-trip through a pool
+  of reusable scratch segments instead of the pipe.  Every block is
+  stamped with the **generation** (batch number) that wrote it; a
+  reader that attaches a block whose header no longer matches its
+  descriptor knows the block was reclaimed and fails loudly instead of
+  reading garbage.  Blocks are reclaimed wholesale once their
+  generation has been fully consumed -- the arena never frees memory a
+  live descriptor could still reference.
+* an intermediate **codec** (:class:`HostCodec` / :class:`WorkerCodec`)
+  that encodes every :data:`~repro.storage.column.Intermediate` shape
+  as descriptors + small payloads: views of published columns become
+  ``(uid, offset, length)`` triples in either direction, so selections
+  return offsets and projections return views, never pickled columns.
+
+Leak safety: every segment this module creates is recorded in a
+process-wide registry and unlinked on :meth:`close` *and* from an
+``atexit`` hook, so abnormal exits do not strand ``/dev/shm`` segments.
+The :mod:`multiprocessing.resource_tracker` is told to forget our
+segments (we own their lifetime; the tracker's at-exit unlink races
+with worker shutdown and spams warnings for segments that are shared
+on purpose).
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import threading
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+from ..storage.column import (
+    BAT,
+    Candidates,
+    Column,
+    ColumnSlice,
+    Intermediate,
+    Scalar,
+)
+from ..storage.dtypes import type_by_name
+
+try:  # pragma: no cover - import guard exercised via backends tests
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover - platforms without _posixshmem
+    shared_memory = None  # type: ignore[assignment]
+    resource_tracker = None  # type: ignore[assignment]
+
+
+def shared_memory_available() -> bool:
+    """True when ``multiprocessing.shared_memory`` can be used here."""
+    return shared_memory is not None
+
+
+#: Arrays smaller than this are pickled through the pipe; the fixed cost
+#: of a scratch block (header, attach, page faults) only pays above it.
+SCRATCH_MIN_BYTES = 64 * 1024
+
+#: Scratch blocks are rounded up to this granularity so reuse across
+#: batches with slightly different sizes does not fragment the arena.
+_BLOCK_ALIGN = 256 * 1024
+
+#: Byte width of the generation header stamped at the start of a block.
+_GEN_HEADER = 8
+
+_segment_counter = itertools.count()
+
+# ----------------------------------------------------------------------
+# Process-wide leak registry
+# ----------------------------------------------------------------------
+#: Names of shared-memory segments created by this process that have
+#: not been unlinked yet.  The atexit hook sweeps whatever remains, so
+#: even an abnormal teardown path (unhandled exception, skipped close)
+#: cannot strand segments in /dev/shm.
+_live_segments: set[str] = set()
+_live_lock = threading.Lock()
+
+
+def live_segment_names() -> frozenset[str]:
+    """Segments created here and not yet unlinked (leak-check hook)."""
+    with _live_lock:
+        return frozenset(_live_segments)
+
+
+def _forget_tracker(name: str) -> None:
+    """Tell the resource tracker this segment is manually managed."""
+    if resource_tracker is None:  # pragma: no cover
+        return
+    try:
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:  # pragma: no cover - tracker variations across 3.x
+        pass
+
+
+def _unlink_quietly(name: str) -> None:
+    # Re-attach then unlink: on CPythons whose SharedMemory registers
+    # with the resource tracker on *attach* too, the attach's register
+    # and unlink()'s unregister balance out -- no tracker warnings, no
+    # KeyError noise at interpreter exit.
+    if shared_memory is None:  # pragma: no cover
+        return
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return
+    except Exception:  # pragma: no cover - defensive
+        return
+    try:
+        seg.close()
+        seg.unlink()
+    except FileNotFoundError:  # pragma: no cover - raced with another unlink
+        pass
+
+
+def forget_inherited_segments() -> None:
+    """Disown segments inherited across ``fork`` (worker-process setup).
+
+    A forked evaluation worker inherits the publisher's live-segment
+    set; if the worker's own atexit sweep ran over it, a *worker* exit
+    would unlink columns the host is still serving.  Workers call this
+    first thing.
+    """
+    with _live_lock:
+        _live_segments.clear()
+
+
+@atexit.register
+def _sweep_at_exit() -> None:  # pragma: no cover - exercised in subprocess test
+    with _live_lock:
+        leftover = list(_live_segments)
+        _live_segments.clear()
+    for name in leftover:
+        _unlink_quietly(name)
+
+
+def _new_segment(nbytes: int, tag: str):
+    """Create a fresh leak-tracked segment; caller owns the handle."""
+    if shared_memory is None:
+        raise ReproError("multiprocessing.shared_memory is unavailable")
+    name = f"repro-{tag}-{os.getpid()}-{next(_segment_counter)}"
+    seg = shared_memory.SharedMemory(name=name, create=True, size=max(1, nbytes))
+    _forget_tracker(seg.name)
+    with _live_lock:
+        _live_segments.add(seg.name)
+    return seg
+
+
+def _attach_segment(name: str):
+    """Attach an existing segment by name (reader side, not tracked)."""
+    if shared_memory is None:
+        raise ReproError("multiprocessing.shared_memory is unavailable")
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        raise ReproError(
+            f"shared-memory segment {name!r} vanished (publisher closed?)"
+        ) from None
+    _forget_tracker(name)
+    return seg
+
+
+def _release_segment(seg, *, unlink: bool) -> None:
+    name = seg.name
+    try:
+        seg.close()
+    except Exception:  # pragma: no cover - defensive
+        pass
+    if unlink:
+        with _live_lock:
+            _live_segments.discard(name)
+        _unlink_quietly(name)
+
+
+# ----------------------------------------------------------------------
+# Column publication
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ColumnMeta:
+    """Everything a worker needs to rebuild one published column."""
+
+    uid: int
+    segment: str
+    dtype_name: str
+    length: int
+    name: str
+    dictionary: tuple[str, ...] | None
+
+
+class ColumnRegistry:
+    """Publisher side: base columns mapped into shared memory once.
+
+    ``publish`` is idempotent per :attr:`Column.uid`; the registry keeps
+    a strong reference to every published column so uid -> object
+    resolution stays valid for the lifetime of the pool (descriptors
+    decoded on the host resolve back to the *original* ``Column``
+    object, preserving identity semantics that memoization and
+    result-equality checks rely on).
+    """
+
+    def __init__(self) -> None:
+        self._by_uid: dict[int, tuple[Column, Any, ColumnMeta]] = {}
+        self._uid_by_buffer: dict[int, int] = {}
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._by_uid)
+
+    @property
+    def published_bytes(self) -> int:
+        return sum(col.nbytes for col, __, __ in self._by_uid.values())
+
+    def publish(self, column: Column) -> ColumnMeta:
+        """Copy ``column``'s values into a shared segment (once)."""
+        if self._closed:
+            raise ReproError("column registry is closed")
+        entry = self._by_uid.get(column.uid)
+        if entry is not None:
+            return entry[2]
+        values = column.values
+        seg = _new_segment(values.nbytes, "col")
+        view = np.ndarray(values.shape, dtype=values.dtype, buffer=seg.buf)
+        view[:] = values
+        meta = ColumnMeta(
+            uid=column.uid,
+            segment=seg.name,
+            dtype_name=column.dtype.name,
+            length=len(values),
+            name=column.name,
+            dictionary=column.dictionary,
+        )
+        self._by_uid[column.uid] = (column, seg, meta)
+        self._uid_by_buffer[id(values)] = column.uid
+        return meta
+
+    def meta(self, uid: int) -> ColumnMeta:
+        return self._by_uid[uid][2]
+
+    def column(self, uid: int) -> Column:
+        """The original (host-side) column object for ``uid``."""
+        return self._by_uid[uid][0]
+
+    def uid_of_buffer(self, root: np.ndarray) -> int | None:
+        """Published column uid whose values array *is* ``root``."""
+        return self._uid_by_buffer.get(id(root))
+
+    def close(self) -> None:
+        """Unlink every published segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for __, seg, __meta in self._by_uid.values():
+            _release_segment(seg, unlink=True)
+        self._by_uid.clear()
+        self._uid_by_buffer.clear()
+
+
+class ColumnAttachments:
+    """Worker side: lazily attached read-only views of published columns."""
+
+    def __init__(self) -> None:
+        self._columns: dict[int, Column] = {}
+        self._segments: dict[int, Any] = {}
+        self._uid_by_buffer: dict[int, int] = {}
+
+    def learn(self, metas: Sequence[ColumnMeta]) -> None:
+        for meta in metas:
+            if meta.uid in self._columns:
+                continue
+            seg = _attach_segment(meta.segment)
+            dtype = type_by_name(meta.dtype_name)
+            values = np.ndarray(
+                (meta.length,), dtype=dtype.numpy_dtype, buffer=seg.buf
+            )
+            values.setflags(write=False)
+            column = Column.__new__(Column)
+            column.name = meta.name
+            column.dtype = dtype
+            column.values = values
+            column.dictionary = meta.dictionary
+            column.uid = meta.uid
+            self._segments[meta.uid] = seg
+            self._columns[meta.uid] = column
+            self._uid_by_buffer[id(values)] = meta.uid
+
+    def column(self, uid: int) -> Column:
+        try:
+            return self._columns[uid]
+        except KeyError:
+            raise ReproError(
+                f"worker has no attachment for column uid {uid}"
+            ) from None
+
+    def uid_of_buffer(self, root: np.ndarray) -> int | None:
+        return self._uid_by_buffer.get(id(root))
+
+    def close(self) -> None:
+        for seg in self._segments.values():
+            _release_segment(seg, unlink=False)
+        self._segments.clear()
+        self._columns.clear()
+        self._uid_by_buffer.clear()
+
+
+# ----------------------------------------------------------------------
+# Scratch arena
+# ----------------------------------------------------------------------
+class _Block:
+    __slots__ = ("seg", "capacity", "generation", "in_use")
+
+    def __init__(self, seg, capacity: int) -> None:
+        self.seg = seg
+        self.capacity = capacity
+        self.generation = -1
+        self.in_use = False
+
+
+class ScratchArena:
+    """A pool of reusable shared-memory blocks for large one-batch arrays.
+
+    ``place`` copies an array into a free block (allocating one when
+    none fits), stamps the block header with the current generation,
+    and returns a descriptor.  ``reclaim(generation)`` returns every
+    block of generations ``<= generation`` to the free list -- callers
+    do this only after all of that generation's descriptors have been
+    consumed, which the stamped header lets readers verify.
+    """
+
+    def __init__(self, tag: str = "scratch") -> None:
+        self._tag = tag
+        self._blocks: list[_Block] = []
+        self._closed = False
+
+    @property
+    def block_count(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(b.capacity for b in self._blocks)
+
+    def place(self, array: np.ndarray, generation: int) -> tuple:
+        """Copy ``array`` into a block; returns a scratch descriptor."""
+        if self._closed:
+            raise ReproError("scratch arena is closed")
+        data = np.ascontiguousarray(array)
+        need = data.nbytes
+        block = None
+        for candidate in self._blocks:
+            if not candidate.in_use and candidate.capacity >= need:
+                if block is None or candidate.capacity < block.capacity:
+                    block = candidate
+        if block is None:
+            capacity = -(-max(need, 1) // _BLOCK_ALIGN) * _BLOCK_ALIGN
+            block = _Block(
+                _new_segment(_GEN_HEADER + capacity, self._tag), capacity
+            )
+            self._blocks.append(block)
+        block.in_use = True
+        block.generation = generation
+        buf = block.seg.buf
+        np.frombuffer(buf, dtype=np.int64, count=1)[0] = generation
+        if need:
+            dest = np.ndarray(
+                data.shape, dtype=data.dtype, buffer=buf, offset=_GEN_HEADER
+            )
+            dest[:] = data
+        return (
+            block.seg.name,
+            generation,
+            str(data.dtype),
+            data.shape,
+        )
+
+    def reclaim(self, generation: int) -> int:
+        """Free every block stamped with ``generation`` or older."""
+        freed = 0
+        for block in self._blocks:
+            if block.in_use and block.generation <= generation:
+                block.in_use = False
+                freed += 1
+        return freed
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for block in self._blocks:
+            _release_segment(block.seg, unlink=True)
+        self._blocks.clear()
+
+
+class ScratchReader:
+    """Reader side of a scratch arena: attach + header-checked views."""
+
+    def __init__(self) -> None:
+        self._segments: dict[str, Any] = {}
+
+    def segment_names(self) -> tuple[str, ...]:
+        return tuple(self._segments)
+
+    def read(self, descriptor: tuple, *, copy: bool) -> np.ndarray:
+        name, generation, dtype_str, shape = descriptor
+        seg = self._segments.get(name)
+        if seg is None:
+            seg = _attach_segment(name)
+            self._segments[name] = seg
+        stamped = int(np.frombuffer(seg.buf, dtype=np.int64, count=1)[0])
+        if stamped != generation:
+            raise ReproError(
+                f"scratch block {name!r} was reclaimed (generation "
+                f"{stamped} != expected {generation}); descriptor outlived "
+                "its batch"
+            )
+        view = np.ndarray(
+            shape, dtype=np.dtype(dtype_str), buffer=seg.buf, offset=_GEN_HEADER
+        )
+        if copy:
+            return view.copy()
+        view.setflags(write=False)
+        return view
+
+    def close(self) -> None:
+        for seg in self._segments.values():
+            _release_segment(seg, unlink=False)
+        self._segments.clear()
+
+
+# ----------------------------------------------------------------------
+# Intermediate codec
+# ----------------------------------------------------------------------
+def _root_array(array: np.ndarray) -> np.ndarray:
+    """The ultimate base ndarray a view chain bottoms out in."""
+    root = array
+    while isinstance(root.base, np.ndarray):
+        root = root.base
+    return root
+
+
+def _column_view_descriptor(
+    array: np.ndarray, root: np.ndarray, uid: int
+) -> tuple | None:
+    """``(uid, offset_bytes, length)`` when ``array`` is a dense view."""
+    if array.ndim != 1 or array.dtype != root.dtype:
+        return None
+    if array.strides != (array.dtype.itemsize,):
+        return None
+    offset = array.__array_interface__["data"][0] - root.__array_interface__["data"][0]
+    if offset < 0 or offset + array.nbytes > root.nbytes:
+        return None
+    return (uid, int(offset), len(array))
+
+
+class _Codec:
+    """Shared encode/decode core; sides differ in how arrays resolve."""
+
+    # -- array level ---------------------------------------------------
+    def _uid_of(self, root: np.ndarray) -> int | None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _column_array(self, uid: int) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def _place_scratch(self, array: np.ndarray) -> tuple:  # pragma: no cover
+        raise NotImplementedError
+
+    def _read_scratch(self, desc: tuple) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def encode_array(self, array: np.ndarray) -> tuple:
+        array = np.asarray(array)
+        if array.ndim == 1 and array.flags["C_CONTIGUOUS"]:
+            root = _root_array(array)
+            uid = self._uid_of(root)
+            if uid is not None:
+                desc = _column_view_descriptor(array, root, uid)
+                if desc is not None:
+                    return ("col", desc)
+        if array.nbytes >= SCRATCH_MIN_BYTES:
+            return ("scr", self._place_scratch(array))
+        # Small arrays ride the pipe; pickling copies them anyway, which
+        # also severs any alias into a scratch block about to be reused.
+        return ("raw", np.ascontiguousarray(array))
+
+    def decode_array(self, payload: tuple) -> np.ndarray:
+        kind, desc = payload
+        if kind == "col":
+            uid, offset, length = desc
+            values = self._column_array(uid)
+            start = offset // values.dtype.itemsize
+            return values[start : start + length]
+        if kind == "scr":
+            return self._read_scratch(desc)
+        if kind == "raw":
+            return desc
+        raise ReproError(f"unknown array payload kind {kind!r}")
+
+    # -- intermediate level --------------------------------------------
+    def _slice_column(self, column: Column) -> int:  # pragma: no cover
+        raise NotImplementedError
+
+    def _resolve_column(self, uid: int) -> Column:  # pragma: no cover
+        raise NotImplementedError
+
+    def encode_intermediate(self, value: Intermediate) -> tuple:
+        if isinstance(value, ColumnSlice):
+            return ("slice", self._slice_column(value.column), value.lo, value.hi)
+        if isinstance(value, Candidates):
+            return ("cand", self.encode_array(value.oids), value.unique)
+        if isinstance(value, BAT):
+            return (
+                "bat",
+                self.encode_array(value.head),
+                self.encode_array(value.tail),
+                value.dtype.name,
+                value.dictionary,
+            )
+        if isinstance(value, Scalar):
+            return ("scalar", value.value, value.dtype.name)
+        raise ReproError(
+            f"cannot ship intermediate of type {type(value).__name__}"
+        )
+
+    def decode_intermediate(self, payload: tuple) -> Intermediate:
+        kind = payload[0]
+        if kind == "slice":
+            __, uid, lo, hi = payload
+            return ColumnSlice(self._resolve_column(uid), lo, hi)
+        if kind == "cand":
+            __, arr, unique = payload
+            return Candidates(
+                self.decode_array(arr), check_sorted=False, unique=unique
+            )
+        if kind == "bat":
+            __, head, tail, dtype_name, dictionary = payload
+            return BAT(
+                self.decode_array(head),
+                self.decode_array(tail),
+                type_by_name(dtype_name),
+                dictionary,
+            )
+        if kind == "scalar":
+            __, value, dtype_name = payload
+            return Scalar(value, type_by_name(dtype_name))
+        raise ReproError(f"unknown intermediate payload kind {kind!r}")
+
+
+class HostCodec(_Codec):
+    """Publisher-process side of the transport.
+
+    Encoding inputs publishes any not-yet-shared base column and spills
+    large non-column arrays into the host scratch arena at the current
+    generation.  Decoding results resolves column descriptors back to
+    the original column objects (zero-copy views) and *copies* scratch
+    payloads out, so worker arenas may reuse their blocks next batch.
+    """
+
+    def __init__(self) -> None:
+        self.registry = ColumnRegistry()
+        self.arena = ScratchArena("host")
+        self.reader = ScratchReader()
+        self.generation = 0
+        self.shipped_bytes = 0
+
+    # publisher-side hooks
+    def _uid_of(self, root: np.ndarray) -> int | None:
+        return self.registry.uid_of_buffer(root)
+
+    def _column_array(self, uid: int) -> np.ndarray:
+        return self.registry.column(uid).values
+
+    def _place_scratch(self, array: np.ndarray) -> tuple:
+        self.shipped_bytes += array.nbytes
+        return self.arena.place(array, self.generation)
+
+    def _read_scratch(self, desc: tuple) -> np.ndarray:
+        # Copy: the worker-side arena reuses this block next batch.
+        return self.reader.read(desc, copy=True)
+
+    def _slice_column(self, column: Column) -> int:
+        self.registry.publish(column)  # idempotent per uid
+        return column.uid
+
+    def _resolve_column(self, uid: int) -> Column:
+        return self.registry.column(uid)
+
+    # batch protocol
+    def begin_batch(self) -> int:
+        self.generation += 1
+        return self.generation
+
+    def end_batch(self) -> None:
+        self.arena.reclaim(self.generation)
+
+    def close(self) -> None:
+        self.reader.close()
+        self.arena.close()
+        self.registry.close()
+
+
+class WorkerCodec(_Codec):
+    """Worker-process side: attach columns lazily, spill results."""
+
+    def __init__(self) -> None:
+        self.attachments = ColumnAttachments()
+        self.arena = ScratchArena(f"wrk{os.getpid()}")
+        self.reader = ScratchReader()
+        self.generation = 0
+
+    def learn(self, metas: Sequence[ColumnMeta]) -> None:
+        self.attachments.learn(metas)
+
+    def begin_job(self, generation: int) -> None:
+        if generation > self.generation:
+            # Every block written for an older batch has been consumed
+            # by the host (it copies scratch results before sending the
+            # next batch), so the whole older arena is reusable now.
+            self.arena.reclaim(generation - 1)
+            self.generation = generation
+
+    def _uid_of(self, root: np.ndarray) -> int | None:
+        return self.attachments.uid_of_buffer(root)
+
+    def _column_array(self, uid: int) -> np.ndarray:
+        return self.attachments.column(uid).values
+
+    def _place_scratch(self, array: np.ndarray) -> tuple:
+        return self.arena.place(array, self.generation)
+
+    def _read_scratch(self, desc: tuple) -> np.ndarray:
+        # Zero-copy read: the host arena reclaims only after the batch,
+        # and kernels treat inputs as read-only (certified pure).
+        return self.reader.read(desc, copy=False)
+
+    def _slice_column(self, column: Column) -> int:
+        uid = self.attachments.uid_of_buffer(_root_array(column.values))
+        if uid is None:
+            raise ReproError(
+                "worker kernel produced a slice of an unpublished column"
+            )
+        return uid
+
+    def _resolve_column(self, uid: int) -> Column:
+        return self.attachments.column(uid)
+
+    def scratch_segments(self) -> tuple[str, ...]:
+        return tuple(b.seg.name for b in self.arena._blocks)
+
+    def close(self) -> None:
+        self.reader.close()
+        self.arena.close()
+        self.attachments.close()
+
+
+def collect_column_uids(payload: tuple, into: set[int]) -> set[int]:
+    """Column uids an encoded intermediate references (meta shipping).
+
+    The backend keeps a per-worker set of already-shipped uids and sends
+    :class:`ColumnMeta` records only for the uids a job's payload needs
+    that the worker has not seen yet.
+    """
+    kind = payload[0]
+    if kind == "slice":
+        into.add(payload[1])
+    elif kind == "cand":
+        arr_kind, desc = payload[1]
+        if arr_kind == "col":
+            into.add(desc[0])
+    elif kind == "bat":
+        for arr_kind, desc in (payload[1], payload[2]):
+            if arr_kind == "col":
+                into.add(desc[0])
+    return into
+
+
+def intermediate_host_nbytes(value: Intermediate) -> int:
+    """Actual host bytes of an intermediate (no data-scale multiplier)."""
+    if isinstance(value, ColumnSlice):
+        return len(value) * value.column.dtype.width
+    return value.nbytes
+
+
+__all__ = [
+    "SCRATCH_MIN_BYTES",
+    "ColumnAttachments",
+    "ColumnMeta",
+    "ColumnRegistry",
+    "HostCodec",
+    "ScratchArena",
+    "ScratchReader",
+    "WorkerCodec",
+    "collect_column_uids",
+    "forget_inherited_segments",
+    "intermediate_host_nbytes",
+    "live_segment_names",
+    "shared_memory_available",
+]

@@ -4,8 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.wallclock import SCHEMA, check_report, resolve_workers
-from repro.errors import ReproError
+from repro.bench.wallclock import (
+    SCHEMA,
+    check_report,
+    resolve_backends,
+    resolve_workers,
+)
+from repro.errors import BackendUnavailableError, ReproError
 
 
 class TestResolveWorkers:
@@ -25,22 +30,43 @@ class TestResolveWorkers:
             resolve_workers([0])
 
 
+class TestResolveBackends:
+    def test_default_is_thread(self):
+        assert resolve_backends(None) == ("thread",)
+
+    def test_dedupes_preserving_order(self):
+        assert resolve_backends(["process", "thread", "process"]) == (
+            "process",
+            "thread",
+        )
+
+    def test_unknown_backend_rejected_up_front(self):
+        with pytest.raises(BackendUnavailableError):
+            resolve_backends(["gpu"])
+
+
 def _report(
     *,
     identical: bool = True,
     hit_rate: float = 0.9,
     speedup: float = 2.0,
     slowdown: float = 1.0,
+    host_cpus: int = 1,
+    by_backend: dict | None = None,
 ) -> dict:
+    if by_backend is None:
+        by_backend = {"thread": 1.0 / slowdown if slowdown else 0.0}
     return {
         "schema": SCHEMA,
         "quick": True,
-        "host_cpus": 1,
+        "host_cpus": host_cpus,
         "workers_swept": [1, 2],
+        "backends_swept": sorted(by_backend),
         "workloads": [{"name": "w", "identical": identical}],
         "summary": {
             "min_wallclock_speedup": speedup,
-            "min_worker_speedup": 1.0 / slowdown if slowdown else 0.0,
+            "min_worker_speedup": max(by_backend.values(), default=0.0),
+            "worker_speedup_by_backend": by_backend,
             "max_worker_slowdown": slowdown,
             "min_hit_rate": hit_rate,
             "all_identical": identical,
@@ -75,3 +101,28 @@ class TestCheckReport:
 
     def test_worker_slowdown_unchecked_by_default(self):
         check_report(_report(slowdown=3.0))
+
+
+class TestProcessSpeedupGate:
+    def test_fails_below_floor_on_multicore(self):
+        report = _report(host_cpus=8, by_backend={"process": 1.1, "thread": 0.9})
+        with pytest.raises(ReproError, match="process-backend"):
+            check_report(report, min_process_speedup=1.5)
+
+    def test_passes_at_or_above_floor(self):
+        report = _report(host_cpus=8, by_backend={"process": 1.8, "thread": 0.9})
+        check_report(report, min_process_speedup=1.5)
+
+    def test_skipped_on_single_cpu_host(self):
+        # A 1-CPU runner physically cannot show parallel speedup; the
+        # gate must skip rather than fail there.
+        report = _report(host_cpus=1, by_backend={"process": 0.4})
+        check_report(report, min_process_speedup=1.5)
+
+    def test_skipped_when_process_not_swept(self):
+        report = _report(host_cpus=8, by_backend={"thread": 0.9})
+        check_report(report, min_process_speedup=1.5)
+
+    def test_unchecked_by_default(self):
+        report = _report(host_cpus=8, by_backend={"process": 0.2})
+        check_report(report)

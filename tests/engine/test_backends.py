@@ -1,0 +1,327 @@
+"""Pluggable evaluation backends: selection, the process pool, and the
+backend x workers determinism matrix.
+
+The matrix mirrors the thread-pool determinism suite
+(``test_evalpool.py``): whatever backend evaluates the kernels, every
+simulated observable -- response times, adaptive traces, memo counters,
+canonical observe bytes under chaos -- must be bit-identical to the
+inline reference.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro.engine.backends as backends
+from repro.analysis.certificates import CertificateRegistry
+from repro.chaos import CHAOS_LIGHT
+from repro.concurrency import ClientSpec, ResilienceConfig, ResilientWorkload
+from repro.core import AdaptiveParallelizer, ConvergenceParams
+from repro.core.adaptive import intermediates_equal
+from repro.engine import EvalPool, execute
+from repro.engine.backends import (
+    ProcessBackend,
+    available_backends,
+    create_backend,
+    resolve_backend_name,
+)
+from repro.engine.evalpool import _cgroup_cpu_limit, default_workers
+from repro.engine.shm import shared_memory_available
+from repro.errors import BackendUnavailableError, ReproError, UncertifiedKernelError
+from repro.observe import Observer
+from repro.operators import RangePredicate
+from repro.plan import PlanBuilder
+from repro.workloads import JoinMicroWorkload
+
+needs_shm = pytest.mark.skipif(
+    not shared_memory_available(), reason="multiprocessing.shared_memory missing"
+)
+
+WORKER_COUNTS = (1, 2, 8)
+PARALLEL_BACKENDS = ("thread", "process")
+
+
+def q1_style_plan(catalog):
+    builder = PlanBuilder(catalog)
+    sel = builder.select(builder.scan("facts", "val"), RangePredicate(hi=700))
+    proj = builder.fetch(sel, builder.scan("facts", "qty"))
+    return builder.build(builder.aggregate("sum", proj))
+
+
+@pytest.fixture()
+def ship_everything(monkeypatch):
+    """Force the process backend to ship every job through shared memory
+    (test datasets are small enough that the 16 KiB inline threshold
+    would otherwise keep most kernels on the main thread)."""
+    monkeypatch.setattr(backends, "PROCESS_MIN_SHIP_BYTES", 0)
+
+
+class TestRegistry:
+    def test_core_backends_registered(self):
+        names = available_backends()
+        for name in ("inline", "thread", "process", "subinterpreter"):
+            assert name in names
+
+    def test_default_is_thread(self, monkeypatch):
+        monkeypatch.delenv(backends.BACKEND_ENV, raising=False)
+        assert resolve_backend_name(None) == "thread"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(backends.BACKEND_ENV, "inline")
+        assert resolve_backend_name(None) == "inline"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(backends.BACKEND_ENV, "inline")
+        assert resolve_backend_name("process") == "process"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(BackendUnavailableError, match="unknown"):
+            resolve_backend_name("gpu")
+
+    def test_subinterpreter_is_a_stub(self):
+        with pytest.raises(BackendUnavailableError, match="stub"):
+            create_backend("subinterpreter", 2)
+
+
+class TestDefaultWorkers:
+    """``default_workers`` respects affinity masks and cgroup quotas."""
+
+    def test_positive_and_bounded_by_visible_cpus(self):
+        import os
+
+        count = default_workers()
+        assert count >= 1
+        if hasattr(os, "sched_getaffinity"):
+            assert count <= len(os.sched_getaffinity(0))
+
+    def test_cgroup_v2_quota(self, tmp_path):
+        (tmp_path / "cpu.max").write_text("200000 100000\n")
+        assert _cgroup_cpu_limit(str(tmp_path)) == 2
+
+    def test_cgroup_v2_unlimited(self, tmp_path):
+        (tmp_path / "cpu.max").write_text("max 100000\n")
+        assert _cgroup_cpu_limit(str(tmp_path)) is None
+
+    def test_cgroup_v2_fractional_quota_floors_to_one(self, tmp_path):
+        (tmp_path / "cpu.max").write_text("50000 100000\n")
+        assert _cgroup_cpu_limit(str(tmp_path)) == 1
+
+    def test_cgroup_v1_quota(self, tmp_path):
+        v1 = tmp_path / "cpu"
+        v1.mkdir()
+        (v1 / "cpu.cfs_quota_us").write_text("300000\n")
+        (v1 / "cpu.cfs_period_us").write_text("100000\n")
+        assert _cgroup_cpu_limit(str(tmp_path)) == 3
+
+    def test_cgroup_v1_unlimited(self, tmp_path):
+        v1 = tmp_path / "cpu"
+        v1.mkdir()
+        (v1 / "cpu.cfs_quota_us").write_text("-1\n")
+        (v1 / "cpu.cfs_period_us").write_text("100000\n")
+        assert _cgroup_cpu_limit(str(tmp_path)) is None
+
+    def test_missing_cgroup_files_mean_unlimited(self, tmp_path):
+        assert _cgroup_cpu_limit(str(tmp_path)) is None
+
+    def test_quota_caps_default_workers(self, tmp_path):
+        (tmp_path / "cpu.max").write_text("100000 100000\n")
+        assert default_workers(_cgroup_base=str(tmp_path)) == 1
+
+
+class TestEvalPoolBackendSelection:
+    def test_inline_backend_never_leaves_main_thread(self):
+        with EvalPool(4, backend="inline") as pool:
+            main = threading.get_ident()
+            seen = pool.run_batch([threading.get_ident for _ in range(8)])
+            assert set(seen) == {main}
+            assert pool.stats().parallel_batches == 0
+            assert pool.backend == "inline"
+
+    def test_env_backend_reaches_pool(self, monkeypatch):
+        monkeypatch.setenv(backends.BACKEND_ENV, "inline")
+        with EvalPool(4) as pool:
+            assert pool.backend == "inline"
+
+    def test_unknown_backend_fails_at_construction(self):
+        with pytest.raises(BackendUnavailableError):
+            EvalPool(4, backend="gpu")
+
+    def test_close_is_idempotent_and_refuses_parallel_batches(self):
+        pool = EvalPool(4, backend="thread")
+        pool.run_batch([lambda: 1, lambda: 2])
+        pool.close()
+        pool.close()  # atexit-safe
+        # Inline evaluation still works after close (a close racing a
+        # final below-threshold batch must not crash) ...
+        assert pool.run_batch([lambda: 3]) == [3]
+        # ... but new parallel batches refuse instead of respawning.
+        with pytest.raises(ReproError, match="closed"):
+            pool.run_batch([lambda: 1, lambda: 2])
+
+
+@needs_shm
+class TestProcessBackend:
+    def test_ships_jobs_through_shared_memory(
+        self, small_catalog, sim_config, ship_everything
+    ):
+        from repro.core import HeuristicParallelizer
+
+        # A partitioned plan frees several siblings per dispatch round,
+        # so batches clear MIN_PARALLEL_BATCH and actually ship.
+        def plan():
+            return HeuristicParallelizer(4).parallelize(
+                q1_style_plan(small_catalog)
+            )
+
+        baseline = execute(plan(), sim_config)
+        pool = EvalPool(2, backend="process")
+        try:
+            result = execute(plan(), sim_config, evalpool=pool)
+            stats = pool.stats()
+        finally:
+            pool.close()
+        assert result.response_time == baseline.response_time
+        assert intermediates_equal(result.outputs[0], baseline.outputs[0])
+        assert stats.backend_stats["shipped_jobs"] > 0
+        assert stats.backend_stats["published_columns"] > 0
+        # Everything observability exports must be numeric.
+        assert all(
+            float(v) == float(v) for v in stats.as_dict().values()
+        )
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_execution_identical_across_backends_and_workers(
+        self, small_catalog, sim_config, ship_everything, backend
+    ):
+        baseline = execute(q1_style_plan(small_catalog), sim_config)
+        for workers in WORKER_COUNTS[1:]:
+            result = execute(
+                q1_style_plan(small_catalog),
+                sim_config,
+                workers=workers,
+                backend=backend,
+            )
+            assert result.response_time == baseline.response_time
+            assert intermediates_equal(result.outputs[0], baseline.outputs[0])
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_adaptive_identical_across_backends(self, ship_everything, backend):
+        workload = JoinMicroWorkload(outer_mb=64, inner_mb=16)
+        config = workload.sim_config(seed=11)
+
+        def trace(workers, backend):
+            parallelizer = AdaptiveParallelizer(
+                config,
+                convergence=ConvergenceParams(number_of_cores=8, max_runs=6),
+                workers=workers,
+                backend=backend,
+            )
+            try:
+                result = parallelizer.optimize(workload.plan())
+                memo = (
+                    parallelizer.memo.stats()
+                    if parallelizer.memo is not None
+                    else None
+                )
+                return result, memo
+            finally:
+                parallelizer.close()
+
+        base, base_memo = trace(1, None)
+        result, memo = trace(2, backend)
+        assert result.exec_times() == base.exec_times()
+        assert (result.gme_run, result.gme_time) == (base.gme_run, base.gme_time)
+        assert result.total_runs == base.total_runs
+        assert memo == base_memo
+
+    def test_chaos_canonical_bytes_identical(self, ship_everything):
+        def canonical(workers, backend):
+            workload = JoinMicroWorkload(outer_mb=16, inner_mb=4)
+            observer = Observer()
+            service = ResilientWorkload(
+                workload.sim_config(),
+                [
+                    ClientSpec(f"c{i}", [workload.plan()], max_queries=3)
+                    for i in range(3)
+                ],
+                horizon=2.0,
+                faults=CHAOS_LIGHT,
+                resilience=ResilienceConfig(timeout=0.05),
+                workers=workers,
+                backend=backend,
+                observe=observer,
+            )
+            service.run()
+            observer.finish()
+            return observer.canonical_json()
+
+        baseline = canonical(1, None)
+        for backend in PARALLEL_BACKENDS:
+            assert canonical(2, backend) == baseline
+
+    def test_spawn_start_method(
+        self, small_catalog, sim_config, ship_everything, monkeypatch
+    ):
+        """Spawned (not forked) workers attach and evaluate correctly."""
+        import multiprocessing
+
+        if "spawn" not in multiprocessing.get_all_start_methods():
+            pytest.skip("spawn start method unavailable")
+        monkeypatch.setenv(backends.PROCESS_START_ENV, "spawn")
+        baseline = execute(q1_style_plan(small_catalog), sim_config)
+        result = execute(
+            q1_style_plan(small_catalog), sim_config, workers=2, backend="process"
+        )
+        assert result.response_time == baseline.response_time
+        assert intermediates_equal(result.outputs[0], baseline.outputs[0])
+
+    def test_unknown_start_method_rejected(self, monkeypatch):
+        monkeypatch.setenv(backends.PROCESS_START_ENV, "teleport")
+        with pytest.raises(BackendUnavailableError, match="teleport"):
+            ProcessBackend(2)
+
+    def test_thunk_only_batches_stay_on_main_thread(self):
+        with EvalPool(2, backend="process") as pool:
+            main = threading.get_ident()
+            seen = pool.run_batch([threading.get_ident for _ in range(8)])
+            assert set(seen) == {main}
+
+    def test_uncertified_op_refused_at_process_boundary(self, small_catalog):
+        # A locally-defined class is pure (thread-safe) but cannot be
+        # pickled across a process boundary: thread dispatch passes,
+        # process dispatch fails closed.
+        class LocalOp:
+            def evaluate(self, inputs):
+                return inputs[0]
+
+            def work_profile(self, inputs, output):
+                return None
+
+        op = LocalOp()
+        registry = CertificateRegistry()
+        cert = registry.check(op, "thread")
+        assert cert.pure and not cert.shared_memory_eligible
+        with pytest.raises(UncertifiedKernelError, match="process boundary"):
+            registry.check(op, "process")
+        with EvalPool(2, backend="process") as pool:
+            jobs = [lambda: 1, lambda: 2]
+            with pytest.raises(UncertifiedKernelError, match="process boundary"):
+                pool.run_batch(jobs, ops=[op, op], inputs=[[], []])
+
+
+class TestUnavailableSharedMemory:
+    def test_process_backend_fails_closed(self, monkeypatch):
+        monkeypatch.setattr(backends, "shared_memory_available", lambda: False)
+        with pytest.raises(BackendUnavailableError, match="shared_memory"):
+            ProcessBackend(2)
+        # Name resolution still works (the error surfaces when the pool
+        # first needs the backend, with an actionable message) ...
+        pool = EvalPool(2, backend="process")
+        with pytest.raises(BackendUnavailableError):
+            pool.run_batch([lambda: 1, lambda: 2], ops=None, inputs=None)
+        pool.close()
+        # ... and every other backend keeps working.
+        with EvalPool(2, backend="thread") as pool:
+            assert pool.run_batch([lambda: 1, lambda: 2]) == [1, 2]

@@ -1,0 +1,332 @@
+"""Shared-memory column publication, scratch arena, and codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.engine.shm as shm
+from repro.engine.shm import (
+    SCRATCH_MIN_BYTES,
+    ColumnAttachments,
+    ColumnRegistry,
+    HostCodec,
+    ScratchArena,
+    ScratchReader,
+    collect_column_uids,
+    intermediate_host_nbytes,
+    live_segment_names,
+    shared_memory_available,
+)
+from repro.errors import ReproError
+from repro.storage import LNG
+from repro.storage.column import BAT, Candidates, Column, ColumnSlice, Scalar
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="multiprocessing.shared_memory missing"
+)
+
+
+def lng_column(name: str, values) -> Column:
+    return Column(name, LNG, np.asarray(values, dtype=LNG.numpy_dtype))
+
+
+class TestColumnRegistry:
+    def test_publish_is_idempotent_per_uid(self):
+        registry = ColumnRegistry()
+        try:
+            col = lng_column("v", np.arange(100))
+            meta_a = registry.publish(col)
+            meta_b = registry.publish(col)
+            assert meta_a is meta_b
+            assert len(registry) == 1
+            assert registry.published_bytes == col.nbytes
+        finally:
+            registry.close()
+
+    def test_roundtrip_through_attachments(self):
+        registry = ColumnRegistry()
+        attachments = ColumnAttachments()
+        try:
+            col = lng_column("v", np.arange(1000) * 3)
+            meta = registry.publish(col)
+            attachments.learn([meta])
+            remote = attachments.column(col.uid)
+            assert remote.uid == col.uid
+            assert remote.name == col.name
+            np.testing.assert_array_equal(remote.values, col.values)
+            assert not remote.values.flags.writeable
+        finally:
+            attachments.close()
+            registry.close()
+
+    def test_unknown_uid_fails_loudly(self):
+        attachments = ColumnAttachments()
+        try:
+            with pytest.raises(ReproError, match="no attachment"):
+                attachments.column(10**9)
+        finally:
+            attachments.close()
+
+    def test_close_unlinks_and_is_idempotent(self):
+        registry = ColumnRegistry()
+        meta = registry.publish(lng_column("v", np.arange(10)))
+        assert meta.segment in live_segment_names()
+        registry.close()
+        registry.close()
+        assert meta.segment not in live_segment_names()
+        with pytest.raises(ReproError, match="closed"):
+            registry.publish(lng_column("w", np.arange(5)))
+
+
+class TestScratchArena:
+    def test_blocks_reused_across_generations(self):
+        arena = ScratchArena("test")
+        try:
+            arena.place(np.arange(1000, dtype=np.int64), generation=1)
+            arena.reclaim(1)
+            arena.place(np.arange(900, dtype=np.int64), generation=2)
+            assert arena.block_count == 1
+        finally:
+            arena.close()
+
+    def test_stale_descriptor_detected(self):
+        arena = ScratchArena("test")
+        reader = ScratchReader()
+        try:
+            desc = arena.place(np.arange(100, dtype=np.int64), generation=1)
+            arena.reclaim(1)
+            arena.place(np.arange(100, dtype=np.int64), generation=2)
+            with pytest.raises(ReproError, match="reclaimed"):
+                reader.read(desc, copy=True)
+        finally:
+            reader.close()
+            arena.close()
+
+    def test_reader_roundtrip_copy_and_view(self):
+        arena = ScratchArena("test")
+        reader = ScratchReader()
+        try:
+            data = np.arange(5000, dtype=np.float64) * 0.5
+            desc = arena.place(data, generation=3)
+            copied = reader.read(desc, copy=True)
+            np.testing.assert_array_equal(copied, data)
+            assert copied.flags.writeable
+            view = reader.read(desc, copy=False)
+            np.testing.assert_array_equal(view, data)
+            assert not view.flags.writeable
+        finally:
+            reader.close()
+            arena.close()
+
+    def test_close_unlinks_all_blocks(self):
+        arena = ScratchArena("test")
+        arena.place(np.arange(10, dtype=np.int64), generation=1)
+        assert live_segment_names()
+        before = live_segment_names()
+        arena.close()
+        assert live_segment_names() < before
+
+
+class TestHostCodec:
+    def test_column_slice_roundtrips_to_original_object(self):
+        codec = HostCodec()
+        try:
+            col = lng_column("v", np.arange(500))
+            value = ColumnSlice(col, 10, 200)
+            decoded = codec.decode_intermediate(codec.encode_intermediate(value))
+            assert isinstance(decoded, ColumnSlice)
+            assert decoded.column is col  # identity, not a copy
+            assert (decoded.lo, decoded.hi) == (10, 200)
+        finally:
+            codec.close()
+
+    def test_view_of_published_column_ships_as_descriptor(self):
+        codec = HostCodec()
+        try:
+            col = lng_column("v", np.arange(50_000))
+            codec.registry.publish(col)
+            view = col.values[1000:40_000]
+            kind, desc = codec.encode_array(view)
+            assert kind == "col"
+            assert desc == (col.uid, 1000 * 8, 39_000)
+            decoded = codec.decode_array((kind, desc))
+            assert decoded.base is not None
+            np.testing.assert_array_equal(decoded, view)
+        finally:
+            codec.close()
+
+    def test_large_foreign_array_spills_to_scratch(self):
+        codec = HostCodec()
+        try:
+            codec.begin_batch()
+            big = np.arange(SCRATCH_MIN_BYTES, dtype=np.int64)
+            kind, __ = codec.encode_array(big)
+            assert kind == "scr"
+            assert codec.shipped_bytes == big.nbytes
+        finally:
+            codec.close()
+
+    def test_small_foreign_array_rides_the_pipe(self):
+        codec = HostCodec()
+        try:
+            kind, payload = codec.encode_array(np.arange(16, dtype=np.int64))
+            assert kind == "raw"
+            np.testing.assert_array_equal(payload, np.arange(16))
+        finally:
+            codec.close()
+
+    def test_candidates_bat_scalar_roundtrip(self):
+        codec = HostCodec()
+        try:
+            codec.begin_batch()
+            for value in (
+                Candidates(np.arange(100, dtype=np.int64), unique=True),
+                BAT(
+                    np.arange(50, dtype=np.int64),
+                    np.arange(50, dtype=np.int64) * 2,
+                    LNG,
+                ),
+                Scalar(42.5, LNG),
+            ):
+                decoded = codec.decode_intermediate(
+                    codec.encode_intermediate(value)
+                )
+                assert type(decoded) is type(value)
+        finally:
+            codec.close()
+
+
+class TestWorkerCodec:
+    """The worker side of the transport, driven in-process (coverage of
+    the codec paths that normally only run inside pool workers)."""
+
+    def _pair(self):
+        from repro.engine.shm import WorkerCodec
+
+        host = HostCodec()
+        worker = WorkerCodec()
+        return host, worker
+
+    def test_decodes_column_payload_zero_copy(self):
+        host, worker = self._pair()
+        try:
+            col = lng_column("v", np.arange(20_000))
+            host.registry.publish(col)
+            worker.learn([host.registry.meta(col.uid)])
+            payload = host.encode_array(col.values[100:15_000])
+            decoded = worker.decode_array(payload)
+            np.testing.assert_array_equal(decoded, col.values[100:15_000])
+            assert not decoded.flags.writeable  # view of the shared pages
+        finally:
+            worker.close()
+            host.close()
+
+    def test_worker_slice_of_attached_column_roundtrips(self):
+        host, worker = self._pair()
+        try:
+            col = lng_column("v", np.arange(1000))
+            host.registry.publish(col)
+            worker.learn([host.registry.meta(col.uid)])
+            remote = worker.attachments.column(col.uid)
+            encoded = worker.encode_intermediate(ColumnSlice(remote, 5, 500))
+            assert encoded == ("slice", col.uid, 5, 500)
+            decoded = host.decode_intermediate(encoded)
+            assert decoded.column is col
+        finally:
+            worker.close()
+            host.close()
+
+    def test_worker_slice_of_unpublished_column_fails(self):
+        host, worker = self._pair()
+        try:
+            private = lng_column("local", np.arange(100))
+            with pytest.raises(ReproError, match="unpublished"):
+                worker.encode_intermediate(ColumnSlice(private, 0, 10))
+        finally:
+            worker.close()
+            host.close()
+
+    def test_worker_scratch_result_read_by_host(self):
+        host, worker = self._pair()
+        try:
+            worker.begin_job(1)
+            oids = np.arange(SCRATCH_MIN_BYTES, dtype=np.int64)
+            payload = worker.encode_intermediate(
+                Candidates(oids, check_sorted=False, unique=True)
+            )
+            assert payload[1][0] == "scr"
+            decoded = host.decode_intermediate(payload)
+            np.testing.assert_array_equal(decoded.oids, oids)
+            # The host copies scratch payloads out, so the worker arena
+            # can reuse the block next generation without corruption.
+            worker.begin_job(2)
+            worker.encode_intermediate(
+                Candidates(oids * 0, check_sorted=False, unique=True)
+            )
+            np.testing.assert_array_equal(decoded.oids, oids)
+        finally:
+            worker.close()
+            host.close()
+
+    def test_begin_job_reclaims_older_generations_only(self):
+        __, worker = self._pair()
+        try:
+            worker.begin_job(1)
+            worker._place_scratch(np.arange(100, dtype=np.int64))
+            worker.begin_job(1)  # same generation: nothing reclaimed
+            assert any(b.in_use for b in worker.arena._blocks)
+            worker.begin_job(2)  # next batch: older blocks reusable
+            assert not any(b.in_use for b in worker.arena._blocks)
+        finally:
+            worker.close()
+
+    def test_unknown_payload_kinds_rejected(self):
+        host, worker = self._pair()
+        try:
+            with pytest.raises(ReproError, match="unknown array payload"):
+                worker.decode_array(("bogus", None))
+            with pytest.raises(ReproError, match="unknown intermediate"):
+                host.decode_intermediate(("bogus",))
+            with pytest.raises(ReproError, match="cannot ship"):
+                host.encode_intermediate(object())
+        finally:
+            worker.close()
+            host.close()
+
+
+class TestPayloadHelpers:
+    def test_collect_column_uids(self):
+        codec = HostCodec()
+        try:
+            col = lng_column("v", np.arange(200))
+            payload = codec.encode_intermediate(ColumnSlice(col, 0, 100))
+            uids: set[int] = set()
+            collect_column_uids(payload, uids)
+            assert uids == {col.uid}
+            # A pickled candidates payload references no columns.
+            raw = codec.encode_intermediate(
+                Candidates(np.arange(8, dtype=np.int64), unique=True)
+            )
+            assert collect_column_uids(raw, set()) == set()
+        finally:
+            codec.close()
+
+    def test_intermediate_host_nbytes(self):
+        col = lng_column("v", np.arange(100))
+        assert intermediate_host_nbytes(ColumnSlice(col, 0, 50)) == 50 * 8
+        cand = Candidates(np.arange(10, dtype=np.int64), unique=True)
+        assert intermediate_host_nbytes(cand) == cand.nbytes
+
+
+class TestLeakRegistry:
+    def test_forget_inherited_segments_clears_only_registry(self):
+        registry = ColumnRegistry()
+        meta = registry.publish(lng_column("v", np.arange(10)))
+        assert meta.segment in live_segment_names()
+        shm.forget_inherited_segments()
+        # Registry forgot the name (a forked child must not unlink the
+        # parent's segments at exit) but the segment itself still exists
+        # for the owner to clean up.
+        assert meta.segment not in live_segment_names()
+        registry.close()  # still unlinks its own handle
