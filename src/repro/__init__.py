@@ -53,6 +53,15 @@ from .core import (
 )
 from .engine import ExecutionResult, Simulator, execute
 from .errors import ReproError
+from .learn import (
+    BanditAdvisor,
+    DopDecision,
+    ExperienceRecord,
+    ExperienceStore,
+    machine_signature,
+    plan_signature,
+    resolve_policy,
+)
 from .observe import Observer
 from .plan import Plan, PlanBuilder, format_plan, plan_stats, validate_plan
 from .sql import plan_sql
@@ -65,6 +74,7 @@ __all__ = [
     "AdaptiveParallelizer",
     "AdaptiveResult",
     "BAT",
+    "BanditAdvisor",
     "CHAOS_HEAVY",
     "CHAOS_LIGHT",
     "Candidates",
@@ -74,7 +84,10 @@ __all__ = [
     "ConcurrentWorkload",
     "ConvergenceParams",
     "ConvergenceTracker",
+    "DopDecision",
     "ExecutionResult",
+    "ExperienceRecord",
+    "ExperienceStore",
     "FaultInjector",
     "FaultKind",
     "FaultPlan",
@@ -103,8 +116,11 @@ __all__ = [
     "format_plan",
     "four_socket_machine",
     "laptop_machine",
+    "machine_signature",
+    "plan_signature",
     "plan_sql",
     "plan_stats",
+    "resolve_policy",
     "two_socket_machine",
     "validate_plan",
     "__version__",

@@ -46,8 +46,10 @@ from ..workloads import JoinMicroWorkload, TpchDataset
 #: Schema tag so downstream tooling can detect format changes.  v2
 #: added the evaluation-pool worker sweep and per-stage host timings;
 #: v3 adds the backend dimension (cold runs carry a ``backend``, the
-#: report carries ``backends_swept`` and per-backend ``worker_speedup``).
-SCHEMA = "repro/bench_wallclock/v3"
+#: report carries ``backends_swept`` and per-backend ``worker_speedup``);
+#: v4 adds the convergence-cost metrics ``runs_to_gme`` and
+#: ``total_work_ms`` per workload (shared with ``bench --convergence``).
+SCHEMA = "repro/bench_wallclock/v4"
 
 
 def q1_style_plan(dataset: TpchDataset) -> Plan:
@@ -181,6 +183,10 @@ class WorkloadOutcome:
     build_seconds: float
     cache: dict = field(default_factory=dict)
     identical: bool = False
+    #: Runs until execution first entered the GME band (learning cost).
+    runs_to_gme: int = 0
+    #: Total simulated milliseconds across every adaptive run.
+    total_work_ms: float = 0.0
 
     @property
     def cold_seconds(self) -> float:
@@ -216,6 +222,8 @@ class WorkloadOutcome:
             "serial_ms": round(self.serial_ms, 4),
             "gme_ms": round(self.gme_ms, 4),
             "gme_run": self.gme_run,
+            "runs_to_gme": self.runs_to_gme,
+            "total_work_ms": round(self.total_work_ms, 4),
             "sim_speedup": round(self.sim_speedup, 3),
             "stages": {
                 "build_seconds": round(self.build_seconds, 4),
@@ -360,6 +368,8 @@ def _measure(
         build_seconds=build_s,
         cache=warm_cache,
         identical=identical,
+        runs_to_gme=warm_res.runs_to_gme,
+        total_work_ms=warm_res.total_work * 1000,
     )
 
 
@@ -494,6 +504,28 @@ def format_report(report: dict) -> str:
             f"hit rate {w['cache']['hit_rate']:.1%}, "
             f"identical={'yes' if w['identical'] else 'NO'}"
         )
+        if "runs_to_gme" in w:
+            lines.append(
+                f"    convergence: GME band entered at run {w['runs_to_gme']}"
+                f"/{w['total_runs']}, total simulated work "
+                f"{w['total_work_ms']:.1f} ms"
+            )
+        # Batch-shape ratios of the first pooled cold run: how much of
+        # the dispatch stream actually fanned out versus staying inline.
+        pooled = next((run for run in w["cold"] if run.get("pool")), None)
+        if pooled is not None:
+            pool = pooled["pool"]
+            batches = pool.get("batches", 0)
+            jobs = pool.get("jobs", 0)
+            if batches:
+                parallel_pct = pool.get("parallel_batches", 0) / batches
+                inline_pct = pool.get("inline_jobs", 0) / jobs if jobs else 0.0
+                lines.append(
+                    f"    pool batches ({pooled['backend']}:w"
+                    f"{pooled['workers']}): {batches} total, "
+                    f"{parallel_pct:.1%} parallel; "
+                    f"{inline_pct:.1%} of jobs evaluated inline"
+                )
     s = report["summary"]
     lines.append(
         f"  summary: min memo speedup x{s['min_wallclock_speedup']:.2f}, "

@@ -122,6 +122,44 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print each mutation with its analyzer summary",
     )
+    adapt.add_argument(
+        "--policy",
+        default=None,
+        metavar="P",
+        help="convergence policy: credit_debit (default), "
+        "warmstart+credit_debit, or bandit",
+    )
+    adapt.add_argument(
+        "--experience",
+        default=None,
+        metavar="FILE",
+        help="persistent DOP experience store (created if missing); "
+        "warm-capable policies read it, every policy records into it",
+    )
+    adapt.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the per-run DOP decision provenance",
+    )
+
+    learn = sub.add_parser(
+        "learn", help="inspect a DOP experience store"
+    )
+    learn.add_argument(
+        "store", metavar="FILE", help="experience-store JSON file"
+    )
+    learn.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable store document",
+    )
+    learn.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show at most N records (most recently used last)",
+    )
 
     lint = sub.add_parser("lint", help="statically analyze a plan")
     source = lint.add_mutually_exclusive_group(required=True)
@@ -244,6 +282,34 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="X",
         help="wallclock: fail if the process backend's worker speedup is "
         "below X (skipped on single-cpu hosts or when process is not swept)",
+    )
+    bench.add_argument(
+        "--convergence",
+        action="store_true",
+        help="compare convergence policies (cold credit/debit vs "
+        "warm-start vs bandit) across the workload suite",
+    )
+    bench.add_argument(
+        "--max-warm-ratio",
+        type=float,
+        default=None,
+        metavar="X",
+        help="convergence: fail unless warm-started runs-to-GME is at "
+        "most X times the cold value on the repeated workload",
+    )
+    bench.add_argument(
+        "--min-bandit-win",
+        type=float,
+        default=None,
+        metavar="X",
+        help="convergence: fail unless the bandit's total simulated work "
+        "beats credit/debit on at least fraction X of the suite",
+    )
+    bench.add_argument(
+        "--figure",
+        metavar="FILE",
+        default=None,
+        help="convergence: also export the policy-comparison SVG here",
     )
 
     chaos = sub.add_parser(
@@ -452,17 +518,31 @@ def _cmd_adapt(args) -> int:
 
     workers = args.workers if args.workers is not None else default_workers()
     parallelizer = AdaptiveParallelizer(
-        config, workers=workers, backend=args.backend
+        config,
+        workers=workers,
+        backend=args.backend,
+        policy=args.policy,
+        experience=args.experience,
     )
     try:
         adaptive = parallelizer.optimize(plan)
+        explain_lines = parallelizer.explain(adaptive) if args.explain else []
     finally:
         parallelizer.close()
     print(f"{name}: serial {adaptive.serial_time * 1000:.2f} ms -> "
           f"GME {adaptive.gme_time * 1000:.2f} ms "
           f"(x{adaptive.speedup:.1f}) at run {adaptive.gme_run}; "
           f"converged after {adaptive.total_runs} runs")
+    if parallelizer.policy != "credit_debit" or args.experience:
+        warm = "warm-started" if adaptive.warm_start else "cold"
+        print(f"policy: {adaptive.policy} ({warm}), "
+              f"runs to GME band: {adaptive.runs_to_gme}, "
+              f"total simulated work {adaptive.total_work * 1000:.2f} ms")
     print(f"best plan: {plan_stats(adaptive.best_plan).format()}")
+    if explain_lines:
+        print("DOP decision provenance:")
+        for line in explain_lines:
+            print(f"  {line}")
     if args.verbose:
         for i, mutation in enumerate(adaptive.mutations):
             report = adaptive.reports[i] if i < len(adaptive.reports) else None
@@ -478,6 +558,45 @@ def _cmd_adapt(args) -> int:
     if args.trace:
         print(render_convergence_report(adaptive))
     return 0
+
+
+def _cmd_learn(args) -> int:
+    import json
+    import os
+
+    from .learn import ExperienceStore
+
+    if not os.path.exists(args.store):
+        raise ReproError(f"no experience store at {args.store}")
+    store = ExperienceStore(args.store)
+    try:
+        records = store.records()
+        stats = store.stats()
+        if args.limit is not None:
+            records = records[-args.limit:]
+        if args.json:
+            print(json.dumps(
+                {
+                    "store": args.store,
+                    "records": [r.as_dict() for r in records],
+                    "size_bytes": store.current_bytes,
+                    "capacity_bytes": store.capacity_bytes,
+                    "load_skipped": stats.load_skipped,
+                },
+                indent=2,
+            ))
+            return 0
+        print(f"{args.store}: {len(records)} record(s), "
+              f"{store.current_bytes}/{store.capacity_bytes} bytes used")
+        if stats.load_skipped:
+            print(f"  ({stats.load_skipped} malformed record(s) skipped on load)")
+        for rec in records:
+            print(f"  {rec.plan[:12]}.. on {rec.machine}: dop={rec.dop} "
+                  f"(x{rec.speedup:.1f} at run {rec.gme_run}/{rec.total_runs}, "
+                  f"policy {rec.policy}, {rec.updates} instance(s))")
+        return 0
+    finally:
+        store.close()
 
 
 def _cmd_lint(args) -> int:
@@ -573,10 +692,14 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    if args.convergence:
+        return _cmd_bench_convergence(args)
     if args.wallclock:
         return _cmd_bench_wallclock(args)
     if args.name is None:
-        raise ReproError("bench needs an experiment name (or --wallclock)")
+        raise ReproError(
+            "bench needs an experiment name (or --wallclock/--convergence)"
+        )
     if args.name == "list":
         for name, (module, __) in sorted(_EXPERIMENTS.items()):
             print(f"  {name}: repro.bench.experiments.{module}")
@@ -621,6 +744,39 @@ def _cmd_bench_wallclock(args) -> int:
         min_speedup=args.min_speedup,
         max_worker_slowdown=args.max_worker_slowdown,
         min_process_speedup=args.min_process_speedup,
+    )
+    return 0
+
+
+def _cmd_bench_convergence(args) -> int:
+    import json
+
+    from .bench.convergence import (
+        check_convergence_report,
+        format_convergence_report,
+        run_convergence,
+    )
+
+    report = run_convergence(quick=args.quick)
+    print(format_convergence_report(report))
+    output = args.output
+    if output == "BENCH_wallclock.json":  # the bench-wide default
+        output = "BENCH_convergence.json"
+    if output:
+        with open(output, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {output}")
+    if args.figure:
+        from .viz.policies import render_policy_figure
+
+        with open(args.figure, "w") as handle:
+            handle.write(render_policy_figure(report))
+        print(f"wrote {args.figure}")
+    check_convergence_report(
+        report,
+        max_warm_ratio=args.max_warm_ratio,
+        min_bandit_win=args.min_bandit_win,
     )
     return 0
 
@@ -763,6 +919,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "adapt":
             return _cmd_adapt(args)
+        if args.command == "learn":
+            return _cmd_learn(args)
         if args.command == "lint":
             return _cmd_lint(args)
         if args.command == "analyze":

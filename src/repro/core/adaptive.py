@@ -16,6 +16,8 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+import os
+
 from ..chaos.faults import FaultPlan
 from ..chaos.injector import FaultInjector
 from ..config import SimulationConfig
@@ -24,6 +26,20 @@ from ..engine.executor import execute
 from ..engine.memo import IntermediateCache
 from ..engine.scheduler import ExecutionResult
 from ..errors import ConvergenceError, InjectedFaultError
+from ..learn.bandit import (
+    DEFAULT_CONFIDENCE_PULLS,
+    BanditAdvisor,
+    default_dop_arms,
+)
+from ..learn.fingerprint import config_signature, plan_signature
+from ..learn.policy import (
+    POLICY_BANDIT,
+    POLICY_CREDIT_DEBIT,
+    POLICY_WARMSTART,
+    DopDecision,
+    resolve_policy,
+)
+from ..learn.store import ExperienceRecord, ExperienceStore
 from ..observe import Observer
 from ..plan.analysis import AnalysisReport
 from ..plan.graph import Plan
@@ -80,6 +96,40 @@ class AdaptiveResult:
     #: Runs re-executed after an injected operator exception (only
     #: nonzero when the instance runs under the chaos harness).
     fault_retries: int = 0
+    #: Which convergence policy produced this result.
+    policy: str = POLICY_CREDIT_DEBIT
+    #: Per-run DOP decision provenance (``adapt --explain``).
+    decisions: list[DopDecision] = field(default_factory=list)
+    #: True when an experience record seeded the search.
+    warm_start: bool = False
+    #: Per-arm pull/reward table when the bandit policy ran.
+    bandit_arms: list[dict] = field(default_factory=list)
+    #: GME tolerance band used by :attr:`runs_to_gme` (the tracker's
+    #: ``gme_threshold``: times within it count as "converged").
+    gme_threshold: float = 0.0
+
+    @property
+    def runs_to_gme(self) -> int:
+        """Runs spent until execution first entered the GME band.
+
+        The learning cost: how many runs the policy needed before it
+        produced a plan within ``gme_threshold`` of the eventual global
+        minimum.  ``gme_run`` itself is the *location* of the minimum on
+        the run axis -- under per-run noise a warm-started search sits
+        on the optimum plateau from run 1 yet can still log its literal
+        minimum hundreds of runs later, so the plateau-entry run is the
+        meaningful convergence metric.
+        """
+        target = self.gme_time * (1.0 + self.gme_threshold)
+        for record in self.history:
+            if record.index > 0 and record.exec_time <= target:
+                return record.index
+        return self.gme_run
+
+    @property
+    def total_work(self) -> float:
+        """Total simulated seconds across every adaptive run."""
+        return sum(self.exec_times())
 
     @property
     def speedup(self) -> float:
@@ -127,6 +177,9 @@ class AdaptiveParallelizer:
         faults: FaultInjector | FaultPlan | None = None,
         fault_retries: int = 5,
         observe: Observer | None = None,
+        policy: str | None = None,
+        experience: ExperienceStore | str | os.PathLike | None = None,
+        bandit_confidence: int = DEFAULT_CONFIDENCE_PULLS,
     ) -> None:
         if mutations_per_run < 1:
             raise ConvergenceError("mutations_per_run must be >= 1")
@@ -187,11 +240,51 @@ class AdaptiveParallelizer:
         # response time), ``mutation`` events between runs, and all the
         # engine-level spans/metrics the executor emits.
         self.observe = observe
+        # Learned DOP (see repro.learn): the convergence policy decides
+        # how the DOP search moves, and the experience store transfers
+        # converged DOPs between structurally identical plan templates.
+        # A store passed as a path is owned (and closed) by this
+        # instance; a store instance may be shared between parallelizers
+        # and is only flushed, never closed, by close().
+        self.policy = resolve_policy(policy)
+        self._owns_experience = experience is not None and not isinstance(
+            experience, ExperienceStore
+        )
+        self.experience: ExperienceStore | None = (
+            experience
+            if isinstance(experience, ExperienceStore) or experience is None
+            else ExperienceStore(experience)
+        )
+        if bandit_confidence < 1:
+            raise ConvergenceError("bandit_confidence must be >= 1")
+        self.bandit_confidence = bandit_confidence
+        self._decisions: list[DopDecision] = []
+
+    @property
+    def _learn_active(self) -> bool:
+        """True when the learned-DOP layer may change behaviour.
+
+        Gates the policy-decision observability events so the default
+        credit/debit trace stays byte-identical to the pre-learn engine
+        (the golden fixtures pin it).
+        """
+        return self.policy != POLICY_CREDIT_DEBIT or self.experience is not None
 
     def close(self) -> None:
-        """Release the host evaluation pool's workers (idempotent)."""
+        """Release pooled workers and persist experience (idempotent).
+
+        Mirrors the ``EvalPool.close()`` contract: safe to call any
+        number of times, safe from ``atexit``.  An owned experience
+        store (constructed from a path) is closed; a shared store
+        instance is flushed but left usable for its other owners.
+        """
         if self.evalpool is not None:
             self.evalpool.close()
+        if self.experience is not None and not self.experience.closed:
+            if self._owns_experience:
+                self.experience.close()
+            else:
+                self.experience.flush()
 
     def _default_runner(self, plan: Plan, run_index: int) -> ExecutionResult:
         # A distinct seed per run lets noise vary between runs while
@@ -265,6 +358,33 @@ class AdaptiveParallelizer:
             "repro_mutations_total", "plan mutations accepted"
         ).inc()
 
+    def _note_decision(self, decision: DopDecision) -> None:
+        """Record one run's DOP decision (and trace it when learning).
+
+        Decisions are always collected (``adapt --explain`` works for
+        the plain credit/debit policy too); the observability events are
+        only emitted when the learned-DOP layer is active, so the
+        default policy's canonical trace bytes stay identical to the
+        pre-learn engine.
+        """
+        self._decisions.append(decision)
+        obs = self.observe
+        if obs is None or not self._learn_active:
+            return
+        obs.tracer.event(
+            "dop_decision",
+            "policy",
+            0.0,
+            run=decision.run,
+            source=decision.source,
+            dop=decision.dop,
+        )
+        obs.metrics.counter(
+            "repro_dop_decisions_total",
+            "per-run DOP decisions by provenance",
+            source=decision.source,
+        ).inc()
+
     def optimize(self, plan: Plan) -> AdaptiveResult:
         """Adaptively parallelize ``plan``; the input plan is not touched."""
         obs = self.observe
@@ -296,8 +416,80 @@ class AdaptiveParallelizer:
         return result
 
     def _optimize(self, plan: Plan) -> AdaptiveResult:
-        working = plan.copy()
+        self._decisions = []
         self._fault_retries_used = 0
+        consult = self._consult(plan)
+        warm = consult.record if consult is not None else None
+        if self.policy == POLICY_BANDIT:
+            result = self._optimize_bandit(plan, warm)
+        else:
+            result = self._optimize_credit_debit(plan, warm, consult)
+        self._remember(consult, result)
+        return result
+
+    # -- experience store plumbing -------------------------------------
+    def _consult(self, plan: Plan) -> "_Consult | None":
+        """Compute template keys and look up past experience.
+
+        Returns ``None`` when no store is attached (the default path
+        must not even pay for signature hashing).  With a store, the
+        lookup itself only happens for the warm-capable policies --
+        plain credit/debit uses the store write-only, which is how a
+        first encounter seeds warm starts for everyone else.
+        """
+        if self.experience is None:
+            return None
+        plan_sig = plan_signature(plan)
+        machine_sig = config_signature(self.config)
+        record = None
+        reason = ""
+        if self.policy in (POLICY_WARMSTART, POLICY_BANDIT):
+            before = self.experience.stats()
+            record = self.experience.lookup(plan_sig, machine_sig)
+            if record is None:
+                after = self.experience.stats()
+                reason = (
+                    "machine-shape mismatch"
+                    if after.shape_mismatches > before.shape_mismatches
+                    else "no experience record"
+                )
+        return _Consult(plan_sig=plan_sig, machine_sig=machine_sig,
+                        record=record, miss_reason=reason)
+
+    def _remember(self, consult: "_Consult | None", result: AdaptiveResult) -> None:
+        """Fold this instance's outcome back into the experience store."""
+        if consult is None or self.experience is None or self.experience.closed:
+            return
+        # The transferable DOP: mutations accumulated by the time the
+        # search first entered the GME band (not the literal-minimum
+        # run, which drifts along the noise plateau and would make the
+        # stored DOP creep upward on every re-encounter).
+        cutoff = result.runs_to_gme
+        dop = 0
+        for decision in result.decisions:
+            if decision.run <= cutoff:
+                dop = max(dop, decision.dop)
+        self.experience.record(
+            ExperienceRecord(
+                plan=consult.plan_sig,
+                machine=consult.machine_sig,
+                dop=dop,
+                gme_run=result.gme_run,
+                total_runs=result.total_runs,
+                serial_ms=result.serial_time * 1000,
+                gme_ms=result.gme_time * 1000,
+                policy=self.policy,
+            )
+        )
+
+    # -- credit/debit (optionally warm-started) ------------------------
+    def _optimize_credit_debit(
+        self,
+        plan: Plan,
+        warm: ExperienceRecord | None,
+        consult: "_Consult | None",
+    ) -> AdaptiveResult:
+        working = plan.copy()
         mutator = PlanMutator(working, pack_fanin_limit=self.pack_fanin_limit)
         tracker = ConvergenceTracker(self.convergence)
         history = PlanHistory()
@@ -311,22 +503,66 @@ class AdaptiveParallelizer:
         history.snapshot_serial(working)
         last_profile = result.profile
         run = 0
+        applied = 0
+
+        # The warm start (policy warmstart+credit_debit with a usable
+        # record): replay the converged mutation count in as few runs as
+        # possible before handing over to the paper's algorithm.  Each
+        # warm round applies every mutation the current profile affords
+        # (the mutator targets operators from the *last executed* plan's
+        # profile, so a fresh run is needed between batches), which
+        # collapses ~dop single-mutation runs into a handful.  The
+        # credit/debit tracker still sees every run and keeps exploring
+        # afterwards, so a stale or collided transfer degrades into the
+        # cold walk, never a wrong answer.
+        warm_target = 0
+        if self.policy == POLICY_WARMSTART:
+            if warm is not None and warm.dop > 0:
+                warm_target = warm.dop
+            else:
+                detail = (
+                    consult.miss_reason
+                    if consult is not None and consult.miss_reason
+                    else "record has dop=0"
+                    if warm is not None
+                    else "no experience store"
+                )
+                self._note_decision(
+                    DopDecision(0, "cold_fallback", 0, detail=detail)
+                )
+        self._note_decision(DopDecision(0, "serial", 0))
 
         while tracker.should_continue():
+            remaining_warm = warm_target - applied
+            if remaining_warm > 0:
+                budget = max(remaining_warm, self.mutations_per_run)
+                source = "warm_start"
+                assert warm is not None
+                detail = (
+                    f"experience dop={warm.dop} from {warm.updates} "
+                    f"instance(s), recorded gme_run={warm.gme_run}"
+                )
+            else:
+                budget = self.mutations_per_run
+                source = "credit_debit"
+                detail = ""
             mutation = mutator.mutate(last_profile)
             if mutation is None:
                 break  # fully parallelized (or suppressed): nothing to morph
             mutations.append(mutation)
             reports.append(mutator.last_report)
             self._note_mutation(mutation, run + 1)
-            for __ in range(self.mutations_per_run - 1):
+            applied += 1
+            for __ in range(budget - 1):
                 extra = mutator.mutate(last_profile)
                 if extra is None:
                     break
                 mutations.append(extra)
                 reports.append(mutator.last_report)
                 self._note_mutation(extra, run + 1)
+                applied += 1
             run += 1
+            self._note_decision(DopDecision(run, source, applied, detail=detail))
             result = self._run_traced(working, run)
             if reference is not None:
                 self._check_outputs(reference, result.outputs, run)
@@ -355,7 +591,137 @@ class AdaptiveParallelizer:
             reports=reports,
             rejections=list(mutator.rejections),
             fault_retries=self._fault_retries_used,
+            policy=self.policy,
+            decisions=list(self._decisions),
+            warm_start=warm_target > 0,
+            gme_threshold=self.convergence.gme_threshold,
         )
+
+    # -- seeded UCB bandit over DOP levels -----------------------------
+    def _optimize_bandit(
+        self, plan: Plan, warm: ExperienceRecord | None
+    ) -> AdaptiveResult:
+        """Replace the credit/debit walk with a UCB sweep over DOP arms.
+
+        The mutation ladder is shared with the paper's machinery: arm
+        ``k`` executes a snapshot of the working plan after ``k``
+        accepted mutations, extended lazily with the most recent
+        deepest-run profile (the ``mutations_per_run`` batching
+        precedent).  All advisor randomness is seeded and drawn on the
+        main thread in run order, so traces are bit-reproducible.
+        """
+        working = plan.copy()
+        mutator = PlanMutator(working, pack_fanin_limit=self.pack_fanin_limit)
+        history = PlanHistory()
+        mutations: list[MutationResult] = []
+        reports: list[AnalysisReport | None] = []
+        ladder = _DopLadder(working, mutator, mutations, reports)
+
+        result = self._run_traced(working, 0)
+        reference = result.outputs if self.verify else None
+        serial_time = result.response_time
+        history.record(serial_time)
+        history.snapshot_serial(working)
+        last_profile = result.profile
+
+        arms = default_dop_arms(self.convergence.number_of_cores)
+        advisor = BanditAdvisor(
+            arms,
+            seed=self.config.derive_seed("learn.bandit"),
+            confidence_pulls=self.bandit_confidence,
+            warm_arm=warm.dop if warm is not None and warm.dop > 0 else None,
+        )
+        records: list[RunRecord] = [
+            RunRecord(0, serial_time, 0.0, 0.0, 0.0, False, 0, serial_time)
+        ]
+        # Run 0 is arm dop=0's first pull (reward: speedup 1.0).
+        advisor.observe(advisor.nearest_arm(0), 1.0)
+        self._note_decision(
+            DopDecision(
+                0,
+                "serial",
+                0,
+                detail=f"bandit arms {list(arms)}"
+                + (f", warm arm dop={warm.dop}" if warm is not None else ""),
+            )
+        )
+
+        gme_time: float | None = None
+        gme_run = 0
+        run = 0
+        max_rounds = min(
+            self.convergence.max_runs,
+            len(arms) * (self.bandit_confidence + 2),
+        )
+        while advisor.total_pulls < max_rounds and not advisor.converged():
+            index = advisor.select()
+            target = advisor.arms[index].dop
+            actual = ladder.ensure(target, last_profile, self._note_mutation, run + 1)
+            if ladder.exhausted_at == 0:
+                break  # nothing in this plan can be parallelized
+            run += 1
+            to_run = ladder.working if actual == ladder.depth else ladder.plan_at(actual)
+            self._note_decision(
+                DopDecision(
+                    run,
+                    "bandit_arm",
+                    actual,
+                    detail=f"arm dop={target}"
+                    + (f" capped at {actual}" if actual < target else "")
+                    + f", pull {advisor.arms[index].pulls + 1}",
+                )
+            )
+            result = self._run_traced(to_run, run)
+            if reference is not None:
+                self._check_outputs(reference, result.outputs, run)
+            exec_time = result.response_time
+            if actual == ladder.depth:
+                last_profile = result.profile
+            advisor.observe(index, serial_time / exec_time)
+            history.record(exec_time)
+            if gme_time is None or exec_time < gme_time:
+                gme_time = exec_time
+                gme_run = run
+                if exec_time < serial_time:
+                    history.snapshot_best(ladder.plan_at(actual), run)
+            prev = records[-1].exec_time
+            roi = (prev - exec_time) / max(exec_time, prev)
+            records.append(
+                RunRecord(run, exec_time, roi, 0.0, 0.0, False, gme_run, gme_time)
+            )
+
+        if gme_time is None or gme_time >= serial_time:
+            history.snapshot_best(history.serial_plan, 0)
+            gme_time = serial_time
+            gme_run = 0
+        return AdaptiveResult(
+            best_plan=history.choose(),
+            serial_time=serial_time,
+            gme_time=gme_time,
+            gme_run=gme_run,
+            total_runs=len(records),
+            history=records,
+            mutations=mutations,
+            final_plan=working,
+            reports=reports,
+            rejections=list(mutator.rejections),
+            fault_retries=self._fault_retries_used,
+            policy=self.policy,
+            decisions=list(self._decisions),
+            warm_start=warm is not None and warm.dop > 0,
+            bandit_arms=advisor.summary(),
+            gme_threshold=self.convergence.gme_threshold,
+        )
+
+    def explain(self, result: AdaptiveResult) -> list[str]:
+        """Human-readable DOP provenance lines for ``adapt --explain``."""
+        lines = [d.as_diagnostic().format() for d in result.decisions]
+        for arm in result.bandit_arms:
+            lines.append(
+                f"[info] dop.bandit_arm: arm dop={arm['dop']}: "
+                f"{arm['pulls']} pull(s), mean speedup {arm['mean_reward']:.4f}"
+            )
+        return lines
 
     def _check_outputs(
         self,
@@ -374,3 +740,72 @@ class AdaptiveParallelizer:
                     f"run {run}: output {i} differs from the serial plan -- "
                     "mutation broke the plan"
                 )
+
+
+@dataclass(frozen=True)
+class _Consult:
+    """One experience-store consultation: keys plus the lookup outcome."""
+
+    plan_sig: str
+    machine_sig: str
+    record: ExperienceRecord | None
+    miss_reason: str = ""
+
+
+class _DopLadder:
+    """Snapshots of the working plan at each accepted-mutation depth.
+
+    The bandit pulls arms out of DOP order, but the mutation machinery
+    only moves forward (each morph targets the most expensive operator
+    of the deepest profile so far).  The ladder therefore keeps one
+    frozen copy per depth: extending to a new deepest arm mutates the
+    live working plan (whose profile feeds the next extension), while
+    re-pulling a shallower arm executes that depth's snapshot.
+    Simulated run times depend only on plan structure, so a snapshot
+    and the working plan at the same depth time identically.
+    """
+
+    def __init__(
+        self,
+        working: Plan,
+        mutator: PlanMutator,
+        mutations: list[MutationResult],
+        reports: list[AnalysisReport | None],
+    ) -> None:
+        self.working = working
+        self.mutator = mutator
+        self.mutations = mutations
+        self.reports = reports
+        self.depth = 0
+        #: Depth at which the mutator ran dry, or None while extendable.
+        self.exhausted_at: int | None = None
+        self._snapshots: dict[int, Plan] = {0: working.copy()}
+
+    def plan_at(self, depth: int) -> Plan:
+        return self._snapshots[depth]
+
+    def ensure(
+        self,
+        target: int,
+        profile,
+        note: Callable[[MutationResult, int], None],
+        run: int,
+    ) -> int:
+        """Extend toward ``target`` mutations; return the depth reached.
+
+        ``profile`` must come from a run of the live working plan (the
+        mutator only accepts candidates whose nodes are in its plan).
+        A target beyond the exhaustion point is silently capped -- the
+        caller labels the decision accordingly.
+        """
+        while self.depth < target and self.exhausted_at is None:
+            mutation = self.mutator.mutate(profile)
+            if mutation is None:
+                self.exhausted_at = self.depth
+                break
+            self.mutations.append(mutation)
+            self.reports.append(self.mutator.last_report)
+            self.depth += 1
+            note(mutation, run)
+            self._snapshots[self.depth] = self.working.copy()
+        return min(target, self.depth)

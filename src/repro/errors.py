@@ -106,6 +106,17 @@ class SanitizerError(ReproError):
     """
 
 
+class LearnError(ReproError):
+    """Misuse of the learned-DOP layer (experience store, policies).
+
+    Unknown policy names, invalid store capacities, or malformed
+    records passed to :class:`repro.learn.ExperienceStore`.  A corrupt
+    experience *file* on disk is deliberately NOT an error: warm-start
+    is an optimization hint, so the store loads what it can, warns, and
+    the adaptive driver falls back to cold convergence.
+    """
+
+
 class InjectedFaultError(ReproError):
     """A deliberately injected operator failure (chaos testing).
 

@@ -1,0 +1,55 @@
+"""Learned DOP: cross-query transfer of converged parallelization.
+
+The subsystem the ROADMAP "Learned DOP" item names: a persistent
+:class:`ExperienceStore` of converged DOPs keyed by cross-process plan
+template signatures (:func:`plan_signature`) and machine shape
+(:func:`machine_signature`), a pluggable convergence policy layer
+(credit/debit, warm-start, seeded UCB bandit), and per-run
+:class:`DopDecision` provenance for ``repro adapt --explain``.
+"""
+
+from .bandit import (
+    DEFAULT_CONFIDENCE_PULLS,
+    DEFAULT_EXPLORATION,
+    ArmState,
+    BanditAdvisor,
+    default_dop_arms,
+)
+from .fingerprint import config_signature, machine_signature, plan_signature
+from .policy import (
+    POLICIES,
+    POLICY_BANDIT,
+    POLICY_CREDIT_DEBIT,
+    POLICY_WARMSTART,
+    DopDecision,
+    resolve_policy,
+)
+from .store import (
+    DEFAULT_CAPACITY_BYTES,
+    ExperienceRecord,
+    ExperienceStats,
+    ExperienceStore,
+    resolve_store,
+)
+
+__all__ = [
+    "ArmState",
+    "BanditAdvisor",
+    "DEFAULT_CAPACITY_BYTES",
+    "DEFAULT_CONFIDENCE_PULLS",
+    "DEFAULT_EXPLORATION",
+    "DopDecision",
+    "ExperienceRecord",
+    "ExperienceStats",
+    "ExperienceStore",
+    "POLICIES",
+    "POLICY_BANDIT",
+    "POLICY_CREDIT_DEBIT",
+    "POLICY_WARMSTART",
+    "config_signature",
+    "default_dop_arms",
+    "machine_signature",
+    "plan_signature",
+    "resolve_policy",
+    "resolve_store",
+]

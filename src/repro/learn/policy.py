@@ -1,0 +1,92 @@
+"""Convergence policies and per-run DOP decision provenance.
+
+Three policies drive :class:`~repro.core.AdaptiveParallelizer`:
+
+``credit_debit``
+    The paper's algorithm, unchanged (the default): one mutation per
+    run, credit/debit balance decides when to stop.
+``warmstart+credit_debit``
+    Credit/debit, but when the experience store holds a converged DOP
+    for this plan template on this machine shape, that many mutations
+    are replayed in one batch before the first parallel run -- the
+    search starts where a structurally identical query ended.
+``bandit``
+    A seeded UCB advisor over candidate DOP levels replaces the walk
+    entirely; see :mod:`repro.learn.bandit`.
+
+Every run's DOP choice is recorded as a :class:`DopDecision` so
+``repro adapt --explain`` can print the provenance (warm-start hit,
+bandit arm, credit/debit step) in the same diagnostics convention
+``repro lint`` and ``repro analyze`` use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.diagnostics import Diagnostic
+from ..errors import LearnError
+
+POLICY_CREDIT_DEBIT = "credit_debit"
+POLICY_WARMSTART = "warmstart+credit_debit"
+POLICY_BANDIT = "bandit"
+
+POLICIES = (POLICY_CREDIT_DEBIT, POLICY_WARMSTART, POLICY_BANDIT)
+
+_ALIASES = {
+    "warmstart": POLICY_WARMSTART,
+    "warm-start": POLICY_WARMSTART,
+    "cd": POLICY_CREDIT_DEBIT,
+}
+
+
+def resolve_policy(name: str | None) -> str:
+    """Canonical policy name (aliases accepted); raises on unknown."""
+    if name is None:
+        return POLICY_CREDIT_DEBIT
+    canonical = _ALIASES.get(name, name)
+    if canonical not in POLICIES:
+        raise LearnError(
+            f"unknown convergence policy {name!r}; known: {', '.join(POLICIES)}"
+        )
+    return canonical
+
+
+@dataclass(frozen=True)
+class DopDecision:
+    """Why one adaptive run ran at the DOP it did.
+
+    ``source`` is the decision provenance:
+
+    * ``serial`` -- run 0, the unparallelized baseline;
+    * ``credit_debit`` -- one more mutation, the paper's step;
+    * ``warm_start`` -- mutations replayed from an experience record;
+    * ``bandit_arm`` -- the UCB advisor picked this DOP level;
+    * ``cold_fallback`` -- the store was consulted but missed (no
+      record, or a machine-shape mismatch), so the run started cold.
+    """
+
+    run: int
+    source: str
+    #: Accepted mutations in the plan executed by this run.
+    dop: int
+    detail: str = ""
+
+    def as_diagnostic(self) -> Diagnostic:
+        """Render in the shared ``lint``/``analyze`` diagnostics shape."""
+        message = f"run {self.run}: dop={self.dop}"
+        if self.detail:
+            message += f" ({self.detail})"
+        return Diagnostic(
+            rule=f"dop.{self.source}",
+            severity="info",
+            message=message,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "run": self.run,
+            "source": self.source,
+            "dop": self.dop,
+            "detail": self.detail,
+        }

@@ -1,0 +1,382 @@
+"""The DOP experience store: converged parallelization, made persistent.
+
+Adaptive parallelization re-learns a degree of parallelism from scratch
+for every query template -- tens of exploratory runs whose outcome we
+have usually already discovered for a structurally identical plan.  The
+:class:`ExperienceStore` persists one :class:`ExperienceRecord` per
+(plan template signature, machine shape): the converged DOP (accepted
+mutations at the GME run), the observed serial/GME times, and how many
+runs convergence took.  :class:`~repro.core.AdaptiveParallelizer`
+consults it to warm-start mutation state and to seed the bandit
+advisor.
+
+Design rules, mirrored from :class:`repro.engine.memo.IntermediateCache`:
+
+* **Byte-bounded.**  Entries are charged their serialized JSON size and
+  evicted least-recently-used; the store can never grow without bound.
+* **Hint, not truth.**  A lookup under a different core/socket topology
+  is refused (counted as ``shape_mismatches``) and the caller falls
+  back to cold convergence; a template-signature collision merely seeds
+  a wrong-but-harmless starting DOP that credit/debit walks away from.
+* **Never crash on bad files.**  A corrupted or partially written
+  experience file loads as empty (with a warning) -- losing warm-start
+  hints must never take the engine down.
+
+File format (``repro/learn_experience/v1``)::
+
+    {"schema": "...", "entries": [{"plan": "<hex>", "machine": "2s8c2t",
+      "dop": 27, "gme_run": 27, "total_runs": 41, ...}, ...]}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import warnings
+from dataclasses import asdict, dataclass, replace
+
+from ..errors import LearnError
+
+SCHEMA = "repro/learn_experience/v1"
+
+#: Default byte budget: thousands of records -- an entire benchmark
+#: suite's worth of templates fits with room to spare, while a runaway
+#: workload generator cannot grow the file without bound.
+DEFAULT_CAPACITY_BYTES = 256 * 1024
+
+#: Fixed bookkeeping charge per record (dict slot, key interning).
+_ENTRY_OVERHEAD = 64
+
+
+@dataclass(frozen=True)
+class ExperienceRecord:
+    """One converged adaptive instance, keyed by template + machine."""
+
+    plan: str
+    machine: str
+    #: Accepted mutations at the GME run -- the converged DOP proxy the
+    #: warm start replays before its first parallel run.
+    dop: int
+    gme_run: int
+    total_runs: int
+    serial_ms: float
+    gme_ms: float
+    policy: str = "credit_debit"
+    #: How many times this record has been refreshed by a new instance.
+    updates: int = 1
+
+    def __post_init__(self) -> None:
+        if self.dop < 0:
+            raise LearnError(f"converged DOP must be >= 0, got {self.dop}")
+        if self.gme_run < 0 or self.total_runs < 0:
+            raise LearnError("run counts must be >= 0")
+        if self.serial_ms < 0 or self.gme_ms < 0:
+            raise LearnError("run times must be >= 0")
+
+    @property
+    def speedup(self) -> float:
+        """Serial over GME time as recorded (0 when degenerate)."""
+        return self.serial_ms / self.gme_ms if self.gme_ms else 0.0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class ExperienceStats:
+    """Immutable counter snapshot of one :class:`ExperienceStore`."""
+
+    hits: int = 0
+    misses: int = 0
+    #: Lookups refused because the record was learned under a different
+    #: core/socket topology (the machine-shape firewall).
+    shape_mismatches: int = 0
+    records: int = 0
+    updates: int = 0
+    evictions: int = 0
+    #: Records dropped while loading a corrupt or alien file.
+    load_skipped: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses + self.shape_mismatches
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "shape_mismatches": self.shape_mismatches,
+            "records": self.records,
+            "updates": self.updates,
+            "evictions": self.evictions,
+            "load_skipped": self.load_skipped,
+            "hit_rate": self.hit_rate,
+        }
+
+
+_REQUIRED_FIELDS = {
+    "plan": str,
+    "machine": str,
+    "dop": int,
+    "gme_run": int,
+    "total_runs": int,
+    "serial_ms": (int, float),
+    "gme_ms": (int, float),
+}
+
+
+def _record_from_dict(raw: object) -> ExperienceRecord | None:
+    """Validate one on-disk entry; ``None`` (skip) when malformed."""
+    if not isinstance(raw, dict):
+        return None
+    for name, types in _REQUIRED_FIELDS.items():
+        value = raw.get(name)
+        if not isinstance(value, types) or isinstance(value, bool):
+            return None
+    if raw["dop"] < 0 or raw["gme_run"] < 0 or raw["total_runs"] < 0:
+        return None
+    if raw["serial_ms"] < 0 or raw["gme_ms"] < 0:
+        return None
+    return ExperienceRecord(
+        plan=raw["plan"],
+        machine=raw["machine"],
+        dop=raw["dop"],
+        gme_run=raw["gme_run"],
+        total_runs=raw["total_runs"],
+        serial_ms=float(raw["serial_ms"]),
+        gme_ms=float(raw["gme_ms"]),
+        policy=str(raw.get("policy", "credit_debit")),
+        updates=int(raw.get("updates", 1)),
+    )
+
+
+def _record_bytes(record: ExperienceRecord) -> int:
+    return len(json.dumps(record.as_dict())) + _ENTRY_OVERHEAD
+
+
+class ExperienceStore:
+    """Byte-bounded, optionally persistent map of convergence outcomes.
+
+    With ``path=None`` the store lives in memory only (tests, one-shot
+    benchmarks); with a path it loads existing records on construction
+    and :meth:`flush`/:meth:`close` write them back atomically
+    (temp file + rename -- a crashed writer never truncates the store,
+    and a reader of the old file sees a complete document).
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike | None = None,
+        *,
+        capacity_bytes: int = DEFAULT_CAPACITY_BYTES,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise LearnError("experience capacity must be positive")
+        self.path = os.fspath(path) if path is not None else None
+        self.capacity_bytes = capacity_bytes
+        self.current_bytes = 0
+        self._closed = False
+        self._dirty = False
+        #: Insertion order is recency order: index 0 is the LRU victim.
+        self._entries: dict[tuple[str, str], ExperienceRecord] = {}
+        self._hits = 0
+        self._misses = 0
+        self._shape_mismatches = 0
+        self._updates = 0
+        self._evictions = 0
+        self._load_skipped = 0
+        if self.path is not None:
+            self._load()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> ExperienceStats:
+        return ExperienceStats(
+            hits=self._hits,
+            misses=self._misses,
+            shape_mismatches=self._shape_mismatches,
+            records=len(self._entries),
+            updates=self._updates,
+            evictions=self._evictions,
+            load_skipped=self._load_skipped,
+        )
+
+    def records(self) -> list[ExperienceRecord]:
+        """All records, least-recently-used first (for inspection)."""
+        return list(self._entries.values())
+
+    # ------------------------------------------------------------------
+    def lookup(self, plan: str, machine: str) -> ExperienceRecord | None:
+        """The record for ``plan`` on this machine shape, or ``None``.
+
+        A record stored under the same template but a *different*
+        machine shape is never returned: transferring a DOP across
+        core/socket topologies is how warm starts would go wrong, so
+        the mismatch is counted and the caller starts cold.
+        """
+        entry = self._entries.get((plan, machine))
+        if entry is not None:
+            # Refresh recency: move to the MRU end.
+            del self._entries[(plan, machine)]
+            self._entries[(plan, machine)] = entry
+            self._hits += 1
+            return entry
+        if any(key[0] == plan for key in self._entries):
+            self._shape_mismatches += 1
+        else:
+            self._misses += 1
+        return None
+
+    def record(self, record: ExperienceRecord) -> None:
+        """Upsert one convergence outcome, evicting LRU records to fit.
+
+        An update of an existing (plan, machine) key folds the previous
+        record's ``updates`` counter forward and keeps the *better* GME
+        outcome's DOP when the new instance converged worse (noise can
+        make a later instance unluckier; the store should remember the
+        best discovered configuration).
+        """
+        if self._closed:
+            raise LearnError("experience store is closed")
+        key = (record.plan, record.machine)
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.current_bytes -= _record_bytes(old)
+            self._updates += 1
+            if old.gme_ms and (not record.gme_ms or old.gme_ms < record.gme_ms):
+                record = replace(
+                    record,
+                    dop=old.dop,
+                    gme_run=old.gme_run,
+                    gme_ms=old.gme_ms,
+                    serial_ms=old.serial_ms,
+                )
+            record = replace(record, updates=old.updates + 1)
+        size = _record_bytes(record)
+        if size > self.capacity_bytes:
+            raise LearnError(
+                f"experience record ({size} B) exceeds the store capacity "
+                f"({self.capacity_bytes} B)"
+            )
+        while self.current_bytes + size > self.capacity_bytes and self._entries:
+            victim_key = next(iter(self._entries))
+            victim = self._entries.pop(victim_key)
+            self.current_bytes -= _record_bytes(victim)
+            self._evictions += 1
+        self._entries[key] = record
+        self.current_bytes += size
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        assert self.path is not None
+        if not os.path.exists(self.path):
+            return
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError) as exc:
+            warnings.warn(
+                f"experience store {self.path}: unreadable ({exc}); "
+                "starting empty -- warm starts will be cold",
+                stacklevel=3,
+            )
+            self._load_skipped += 1
+            return
+        if not isinstance(document, dict) or document.get("schema") != SCHEMA:
+            warnings.warn(
+                f"experience store {self.path}: unknown schema "
+                f"{document.get('schema') if isinstance(document, dict) else None!r};"
+                " starting empty",
+                stacklevel=3,
+            )
+            self._load_skipped += 1
+            return
+        entries = document.get("entries")
+        if not isinstance(entries, list):
+            warnings.warn(
+                f"experience store {self.path}: malformed entries; starting empty",
+                stacklevel=3,
+            )
+            self._load_skipped += 1
+            return
+        for raw in entries:
+            record = _record_from_dict(raw)
+            if record is None:
+                self._load_skipped += 1
+                warnings.warn(
+                    f"experience store {self.path}: skipped a malformed record",
+                    stacklevel=3,
+                )
+                continue
+            size = _record_bytes(record)
+            if self.current_bytes + size > self.capacity_bytes:
+                self._evictions += 1
+                continue
+            self._entries[(record.plan, record.machine)] = record
+            self.current_bytes += size
+
+    def to_document(self) -> dict:
+        """The JSON document this store serializes to."""
+        return {
+            "schema": SCHEMA,
+            "capacity_bytes": self.capacity_bytes,
+            "entries": [record.as_dict() for record in self._entries.values()],
+        }
+
+    def flush(self) -> None:
+        """Atomically persist to :attr:`path` (no-op when in-memory)."""
+        if self.path is None or not self._dirty:
+            return
+        directory = os.path.dirname(os.path.abspath(self.path)) or "."
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=".experience-", suffix=".json", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(self.to_document(), handle, indent=1)
+                handle.write("\n")
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self._dirty = False
+
+    def close(self) -> None:
+        """Flush and refuse further writes (idempotent, atexit-safe)."""
+        if self._closed:
+            return
+        self.flush()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        where = self.path if self.path is not None else "<memory>"
+        return (
+            f"ExperienceStore({where!r}, n={len(self._entries)}, "
+            f"bytes={self.current_bytes}/{self.capacity_bytes})"
+        )
+
+
+def resolve_store(
+    experience: "ExperienceStore | str | os.PathLike | None",
+) -> ExperienceStore | None:
+    """Accept a store instance, a path, or ``None`` (no experience)."""
+    if experience is None or isinstance(experience, ExperienceStore):
+        return experience
+    return ExperienceStore(experience)
+

@@ -128,6 +128,18 @@ class Operator(ABC):
         """
         return (type(self).__name__, self.kind, *self.params())
 
+    def template_params(self) -> tuple:
+        """Like :meth:`params`, but free of process-local identity.
+
+        Result memoization wants identity (two distinct columns must
+        never share a key); the cross-process experience store
+        (:mod:`repro.learn`) wants the opposite -- the *same query
+        template* must hash identically in every process, so operators
+        that embed :class:`~repro.storage.column.Column` identity
+        override this to describe the column structurally instead.
+        """
+        return self.params()
+
     def describe(self) -> str:
         """Short label for plan printing; subclasses add parameters."""
         return self.kind

@@ -56,5 +56,18 @@ class Scan(Operator):
         # are immutable, so (column, range) fully determines the slice.
         return (self.column.cache_key(), self.lo, self.hi)
 
+    def template_params(self) -> tuple:
+        # The cross-process template key describes the column
+        # structurally (name, dtype, length) instead of by process-local
+        # uid, so the same query template hashes identically in every
+        # process.  Distinct datasets with identical structure collide
+        # on purpose: the experience store's DOP transfer is a hint,
+        # never a correctness input.
+        return (
+            (self.column.name, self.column.dtype.name, len(self.column)),
+            self.lo,
+            self.hi,
+        )
+
     def describe(self) -> str:
         return f"scan({self.column.name}[{self.lo}:{self.hi}])"

@@ -1,0 +1,106 @@
+"""The seeded UCB advisor over DOP arms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LearnError
+from repro.learn import BanditAdvisor, default_dop_arms
+
+
+class TestArms:
+    def test_default_arms_geometric(self):
+        assert default_dop_arms(32) == (0, 1, 2, 4, 8, 16, 32)
+
+    def test_max_dop_always_included(self):
+        assert default_dop_arms(12) == (0, 1, 2, 4, 8, 12)
+
+    def test_degenerate_single_core(self):
+        assert default_dop_arms(1) == (0, 1)
+
+    def test_invalid_max(self):
+        with pytest.raises(LearnError):
+            default_dop_arms(0)
+
+
+class TestSelect:
+    def test_initial_sweep_covers_every_arm(self):
+        advisor = BanditAdvisor((0, 1, 2, 4), seed=1)
+        pulled = []
+        for __ in range(4):
+            index = advisor.select()
+            pulled.append(advisor.arms[index].dop)
+            advisor.observe(index, 1.0)
+        assert sorted(pulled) == [0, 1, 2, 4]
+
+    def test_warm_arm_pulled_first(self):
+        advisor = BanditAdvisor((0, 1, 2, 4, 8), seed=1, warm_arm=7)
+        index = advisor.select()
+        assert advisor.arms[index].dop == 8  # nearest arm to 7
+
+    def test_deterministic_pull_sequence(self):
+        def run():
+            advisor = BanditAdvisor((0, 2, 4, 8), seed=42)
+            rewards = {0: 1.0, 2: 1.5, 4: 2.5, 8: 2.4}
+            sequence = []
+            for __ in range(12):
+                index = advisor.select()
+                sequence.append(index)
+                advisor.observe(index, rewards[advisor.arms[index].dop])
+            return sequence
+
+        assert run() == run()
+
+    def test_exploitation_prefers_best_arm(self):
+        advisor = BanditAdvisor((0, 4), seed=3, confidence_pulls=5)
+        for __ in range(2):
+            index = advisor.select()
+            advisor.observe(index, 3.0 if advisor.arms[index].dop == 4 else 1.0)
+        wins = 0
+        for __ in range(10):
+            index = advisor.select()
+            good = advisor.arms[index].dop == 4
+            wins += good
+            advisor.observe(index, 3.0 if good else 1.0)
+        assert wins >= 8
+
+
+class TestConvergence:
+    def test_requires_full_sweep(self):
+        advisor = BanditAdvisor((0, 4), seed=1)
+        advisor.observe(0, 1.0)
+        assert not advisor.converged()
+
+    def test_confidence_pulls_of_incumbent(self):
+        advisor = BanditAdvisor((0, 4), seed=1, confidence_pulls=2)
+        advisor.observe(0, 1.0)
+        advisor.observe(1, 2.0)
+        assert not advisor.converged()
+        advisor.observe(1, 2.0)
+        assert advisor.converged()
+        assert advisor.arms[advisor.best_index()].dop == 4
+
+    def test_best_index_ties_prefer_lower_dop(self):
+        advisor = BanditAdvisor((0, 2, 4), seed=1)
+        for index in range(3):
+            advisor.observe(index, 2.0)
+        assert advisor.arms[advisor.best_index()].dop == 0
+
+    def test_summary_table(self):
+        advisor = BanditAdvisor((0, 4), seed=1)
+        advisor.observe(1, 2.0)
+        table = advisor.summary()
+        assert table[1] == {"dop": 4, "pulls": 1, "mean_reward": 2.0}
+
+
+class TestValidation:
+    def test_rejects_empty_and_duplicates(self):
+        with pytest.raises(LearnError):
+            BanditAdvisor((), seed=1)
+        with pytest.raises(LearnError):
+            BanditAdvisor((2, 2), seed=1)
+
+    def test_rejects_bad_observe_index(self):
+        advisor = BanditAdvisor((0, 2), seed=1)
+        with pytest.raises(LearnError):
+            advisor.observe(5, 1.0)

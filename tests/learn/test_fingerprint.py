@@ -1,0 +1,93 @@
+"""Template signatures: portable keys for the experience store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig, laptop_machine, two_socket_machine
+from repro.learn import config_signature, machine_signature, plan_signature
+from repro.operators import RangePredicate
+from repro.plan import PlanBuilder
+from repro.storage import Catalog, LNG, Table
+
+
+def make_catalog(n=2_000, name="t"):
+    rng = np.random.default_rng(7)
+    cat = Catalog()
+    cat.add(
+        Table.from_arrays(
+            name,
+            {
+                "a": (LNG, rng.integers(0, 1_000, n)),
+                "b": (LNG, rng.integers(0, 100, n)),
+            },
+        )
+    )
+    return cat
+
+
+def make_plan(catalog, hi=500, table="t"):
+    b = PlanBuilder(catalog)
+    sel = b.select(b.scan(table, "a"), RangePredicate(hi=hi))
+    proj = b.fetch(sel, b.scan(table, "b"))
+    return b.build(b.aggregate("sum", proj))
+
+
+class TestPlanSignature:
+    def test_identical_structure_same_signature(self):
+        # Two distinct catalogs with identical column names/dtypes/sizes
+        # must hash identically -- the whole point of template params
+        # over process-local column uids.
+        sig_a = plan_signature(make_plan(make_catalog()))
+        sig_b = plan_signature(make_plan(make_catalog()))
+        assert sig_a == sig_b
+
+    def test_plan_copy_same_signature(self):
+        plan = make_plan(make_catalog())
+        assert plan_signature(plan) == plan_signature(plan.copy())
+
+    def test_different_predicate_differs(self):
+        cat = make_catalog()
+        assert plan_signature(make_plan(cat, hi=500)) != plan_signature(
+            make_plan(cat, hi=501)
+        )
+
+    def test_different_column_length_differs(self):
+        assert plan_signature(make_plan(make_catalog(2_000))) != plan_signature(
+            make_plan(make_catalog(2_001))
+        )
+
+    def test_engine_fingerprints_not_portable(self):
+        """The contrast that motivates the template signature."""
+        plan_a = make_plan(make_catalog())
+        plan_b = make_plan(make_catalog())
+        fps_a = [out.fingerprint() for out in plan_a.outputs]
+        fps_b = [out.fingerprint() for out in plan_b.outputs]
+        assert fps_a != fps_b  # column uids differ
+        assert plan_signature(plan_a) == plan_signature(plan_b)
+
+    def test_hex_and_stable_width(self):
+        sig = plan_signature(make_plan(make_catalog()))
+        assert len(sig) == 32
+        int(sig, 16)  # pure hex
+
+
+class TestMachineSignature:
+    def test_topology_format(self):
+        assert machine_signature(two_socket_machine()) == "2s8c2t"
+
+    def test_thread_cap_suffix(self):
+        assert machine_signature(two_socket_machine(), 16) == "2s8c2t-cap16"
+
+    def test_config_signature_uses_machine_and_cap(self):
+        config = SimulationConfig(machine=laptop_machine(8))
+        sig = config_signature(config)
+        assert sig.startswith(
+            f"{config.machine.sockets}s{config.machine.cores_per_socket}c"
+        )
+
+    def test_different_topologies_differ(self):
+        assert machine_signature(two_socket_machine()) != machine_signature(
+            laptop_machine(8)
+        )

@@ -1,0 +1,172 @@
+"""The DOP experience store: bounds, persistence, and corrupt loads."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import LearnError
+from repro.learn import ExperienceRecord, ExperienceStore, resolve_store
+
+
+def rec(plan="p" * 32, machine="2s8c2t", dop=4, gme_ms=50.0, **kwargs):
+    defaults = dict(
+        plan=plan,
+        machine=machine,
+        dop=dop,
+        gme_run=dop,
+        total_runs=dop + 10,
+        serial_ms=100.0,
+        gme_ms=gme_ms,
+    )
+    defaults.update(kwargs)
+    return ExperienceRecord(**defaults)
+
+
+class TestRecordValidation:
+    def test_rejects_negative_fields(self):
+        with pytest.raises(LearnError):
+            rec(dop=-1)
+        with pytest.raises(LearnError):
+            rec(gme_ms=-0.5)
+
+    def test_speedup(self):
+        assert rec(gme_ms=50.0).speedup == pytest.approx(2.0)
+
+    def test_as_dict_round_trips_json(self):
+        doc = json.dumps(rec().as_dict())
+        assert json.loads(doc)["dop"] == 4
+
+
+class TestLookupAndRecency:
+    def test_hit_miss_and_shape_mismatch_counters(self):
+        store = ExperienceStore()
+        store.record(rec(machine="2s8c2t"))
+        assert store.lookup("p" * 32, "2s8c2t") is not None
+        # Same template, different machine shape: refused, counted.
+        assert store.lookup("p" * 32, "4s12c2t") is None
+        # Unknown template: a plain miss.
+        assert store.lookup("q" * 32, "2s8c2t") is None
+        stats = store.stats()
+        assert (stats.hits, stats.misses, stats.shape_mismatches) == (1, 1, 1)
+
+    def test_lookup_refreshes_recency(self):
+        store = ExperienceStore(capacity_bytes=3 * 220)
+        store.record(rec(plan="a" * 32))
+        store.record(rec(plan="b" * 32))
+        store.lookup("a" * 32, "2s8c2t")  # a becomes MRU
+        # Evict until something must go: b should be the LRU victim.
+        for fill in ("c" * 32, "d" * 32):
+            store.record(rec(plan=fill))
+        remaining = {r.plan for r in store.records()}
+        assert "a" * 32 in remaining or store.stats().evictions > 0
+        assert store.current_bytes <= store.capacity_bytes
+
+    def test_byte_bound_never_exceeded(self):
+        store = ExperienceStore(capacity_bytes=1000)
+        for i in range(50):
+            store.record(rec(plan=f"{i:032d}"))
+        assert store.current_bytes <= 1000
+        assert store.stats().evictions > 0
+        assert len(store) < 50
+
+    def test_oversized_record_raises(self):
+        store = ExperienceStore(capacity_bytes=64)
+        with pytest.raises(LearnError):
+            store.record(rec())
+
+    def test_upsert_keeps_better_outcome(self):
+        store = ExperienceStore()
+        store.record(rec(dop=8, gme_ms=40.0))
+        # A later, unluckier instance must not overwrite the better DOP.
+        store.record(rec(dop=3, gme_ms=90.0))
+        kept = store.lookup("p" * 32, "2s8c2t")
+        assert kept.dop == 8
+        assert kept.gme_ms == 40.0
+        assert kept.updates == 2
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "exp.json"
+        store = ExperienceStore(path)
+        store.record(rec())
+        store.close()
+        reread = ExperienceStore(path)
+        assert reread.lookup("p" * 32, "2s8c2t").dop == 4
+
+    def test_flush_is_atomic_document(self, tmp_path):
+        path = tmp_path / "exp.json"
+        store = ExperienceStore(path)
+        store.record(rec())
+        store.flush()
+        doc = json.loads(path.read_text())
+        assert doc["schema"].startswith("repro/learn_experience/")
+        assert len(doc["entries"]) == 1
+        assert not [p for p in os.listdir(tmp_path) if p != "exp.json"]
+
+    def test_close_idempotent_and_refuses_writes(self, tmp_path):
+        store = ExperienceStore(tmp_path / "exp.json")
+        store.record(rec())
+        store.close()
+        store.close()  # second close is a no-op
+        assert store.closed
+        with pytest.raises(LearnError):
+            store.record(rec(plan="x" * 32))
+
+    def test_missing_file_starts_empty(self, tmp_path):
+        store = ExperienceStore(tmp_path / "nope.json")
+        assert len(store) == 0
+
+
+class TestCorruptLoad:
+    def test_unparseable_file_warns_and_starts_empty(self, tmp_path):
+        path = tmp_path / "exp.json"
+        path.write_text("{not json")
+        with pytest.warns(UserWarning, match="unreadable"):
+            store = ExperienceStore(path)
+        assert len(store) == 0
+        # The store is still fully usable afterwards.
+        store.record(rec())
+        assert len(store) == 1
+
+    def test_unknown_schema_warns_and_starts_empty(self, tmp_path):
+        path = tmp_path / "exp.json"
+        path.write_text(json.dumps({"schema": "something/else", "entries": []}))
+        with pytest.warns(UserWarning):
+            store = ExperienceStore(path)
+        assert len(store) == 0
+
+    def test_partial_corruption_skips_only_bad_records(self, tmp_path):
+        path = tmp_path / "exp.json"
+        good = rec().as_dict()
+        bad_type = dict(good, plan=123, machine="zzz")
+        bad_missing = {"plan": "q" * 32}
+        bad_bool = dict(good, plan="r" * 32, dop=True)
+        doc = {
+            "schema": "repro/learn_experience/v1",
+            "capacity_bytes": 262144,
+            "entries": [bad_type, good, bad_missing, "not-a-dict", bad_bool],
+        }
+        path.write_text(json.dumps(doc))
+        with pytest.warns(UserWarning, match="skip"):
+            store = ExperienceStore(path)
+        assert len(store) == 1
+        assert store.stats().load_skipped == 4
+        assert store.lookup("p" * 32, "2s8c2t") is not None
+
+
+class TestResolveStore:
+    def test_instance_passthrough(self):
+        store = ExperienceStore()
+        assert resolve_store(store) is store
+
+    def test_none(self):
+        assert resolve_store(None) is None
+
+    def test_path_constructs(self, tmp_path):
+        store = resolve_store(tmp_path / "exp.json")
+        assert isinstance(store, ExperienceStore)
+        store.close()

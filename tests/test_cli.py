@@ -122,6 +122,57 @@ class TestAdapt:
         assert code == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_adapt_bandit_policy_with_explain(self, capsys):
+        code = main(
+            ["adapt", "--query", "q6", "--sf", "1", "--policy", "bandit", "--explain"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "policy: bandit" in out
+        assert "DOP decision provenance:" in out
+        assert "dop.bandit_arm" in out
+
+    def test_adapt_unknown_policy_fails(self, capsys):
+        code = main(["adapt", "--query", "q6", "--sf", "1", "--policy", "zen"])
+        assert code == 1
+        assert "unknown convergence policy" in capsys.readouterr().err
+
+    def test_adapt_warmstart_round_trip_and_learn(self, capsys, tmp_path):
+        store = tmp_path / "exp.json"
+        base = [
+            "adapt", "--query", "q6", "--sf", "1",
+            "--policy", "warmstart", "--experience", str(store),
+        ]
+        assert main(base + ["--explain"]) == 0
+        first = capsys.readouterr().out
+        assert "policy: warmstart+credit_debit (cold)" in first
+        assert "dop.cold_fallback" in first
+        assert store.exists()
+        assert main(base) == 0
+        second = capsys.readouterr().out
+        assert "(warm-started)" in second
+
+        # The learn command inspects what adapt recorded.
+        assert main(["learn", str(store)]) == 0
+        listing = capsys.readouterr().out
+        assert "1 record(s)" in listing
+        assert "dop=" in listing
+
+    def test_learn_json_output(self, capsys, tmp_path):
+        store = tmp_path / "exp.json"
+        assert main(
+            ["adapt", "--query", "q6", "--sf", "1", "--experience", str(store)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["learn", str(store), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["records"][0]["dop"] > 0
+        assert doc["capacity_bytes"] > doc["size_bytes"] > 0
+
+    def test_learn_missing_store_fails(self, capsys, tmp_path):
+        assert main(["learn", str(tmp_path / "nope.json")]) == 1
+        assert "no experience store" in capsys.readouterr().err
+
 
 class TestLint:
     def test_lint_clean_named_query(self, capsys):
