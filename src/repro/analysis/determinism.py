@@ -39,6 +39,10 @@ HOST_ONLY_PREFIXES = (
     # this a view of?) -- per-process lookup tables, never fingerprints.
     "repro.engine.backends",
     "repro.engine.shm",
+    # The live serving engine stamps host_batch_ms on responses -- a
+    # host-side observability field, stripped from every deterministic
+    # surface (canonical bytes, ServeReport goldens).
+    "repro.serve.engine",
     "repro.bench",
     "repro.analysis",
     "repro.cli",

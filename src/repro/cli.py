@@ -41,6 +41,24 @@ Commands
 ``metrics (--query NAME | --sql SQL)``
     Same execution, but print the metrics registry in Prometheus text
     exposition format.
+``serve``
+    Run the multi-tenant SQL service (see ``docs/serving.md``): an
+    asyncio TCP listener speaking newline-delimited JSON plus HTTP
+    (``GET /metrics`` Prometheus scrapes, ``GET /healthz``,
+    ``POST /query``), with per-tenant SLO classes and weighted-fair
+    admission control.  ``--loadgen PRESET`` instead drives a seeded,
+    deterministic load run (e.g. ``quick`` = 1000 clients across 3
+    tenants) against the same service core in simulated time -- the
+    per-tenant p50/p99 SLO report is byte-identical for a fixed seed
+    -- while the live ``/metrics`` endpoint stays scrapeable;
+    ``--chaos light`` adds fault injection, ``--max-p99-ms`` /
+    ``--max-abandoned`` turn the report into a CI gate.
+
+    Examples::
+
+        repro serve --port 7744
+        repro serve --loadgen quick --chaos light --report slo.json
+        echo '{"op":"hello","tenant":"gold"}' | nc 127.0.0.1 7744
 """
 
 from __future__ import annotations
@@ -384,6 +402,57 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="write here instead of stdout",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant SQL service (or a seeded loadgen run)",
+        description=(
+            "Serve SQL over TCP (NDJSON sessions + HTTP /metrics, /healthz, "
+            "POST /query) with per-tenant SLO classes and weighted-fair "
+            "admission; --loadgen runs a deterministic seeded load instead "
+            "and prints its per-tenant SLO report. See docs/serving.md."
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0: the kernel picks a free one)",
+    )
+    _dataset_args(serve)
+    _backend_arg(serve)
+    serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="host threads evaluating ready operators",
+    )
+    serve.add_argument(
+        "--tenants", metavar="FILE", default=None,
+        help="tenant directory JSON (default: gold/silver/bronze)",
+    )
+    serve.add_argument(
+        "--loadgen", metavar="PRESET", default=None,
+        help="run a seeded load instead of serving forever "
+        "(tiny, smoke, quick = 1000 clients / 3 tenants, full)",
+    )
+    serve.add_argument(
+        "--chaos", choices=("none", "light", "heavy"), default="none",
+        help="fault injection level for --loadgen (default: none)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=None,
+        help="loadgen seed (fixed seed => byte-identical SLO report)",
+    )
+    serve.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="write the loadgen SLO report JSON here",
+    )
+    serve.add_argument(
+        "--max-p99-ms", type=float, default=None,
+        help="gate: fail when the overall p99 exceeds this (ms, simulated)",
+    )
+    serve.add_argument(
+        "--max-abandoned", type=int, default=None,
+        help="gate: fail when more than this many queries were abandoned",
     )
     return parser
 
@@ -908,6 +977,129 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    try:
+        return asyncio.run(_serve_async(args))
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 0
+
+
+async def _http_get(host: str, port: int, path: str) -> str:
+    """One-shot HTTP GET against our own server (scrape liveness)."""
+    import asyncio
+
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(f"GET {path} HTTP/1.1\r\nHost: {host}\r\n\r\n".encode())
+    await writer.drain()
+    data = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    return data.partition(b"\r\n\r\n")[2].decode()
+
+
+async def _serve_async(args) -> int:
+    import asyncio
+    import functools
+    import json
+    import signal
+    from pathlib import Path
+
+    from .serve import ReproServer, build_service, parse_tenants, preset
+
+    if args.loadgen is not None and args.workload != "tpch":
+        print("error: --loadgen drives TPC-H statement mixes; use --workload tpch",
+              file=sys.stderr)
+        return 1
+    if args.workload == "tpch":
+        dataset = TpchDataset(scale_factor=args.sf if args.sf else 1)
+    else:
+        dataset = TpcdsDataset(scale_factor=args.sf if args.sf else 100)
+    config = _config(args, dataset)
+    if args.seed is not None:
+        config = config.with_seed(args.seed)
+    tenants = None
+    if args.tenants is not None:
+        tenants = parse_tenants(Path(args.tenants).read_text())
+    server = ReproServer(
+        config,
+        dataset.catalog,
+        tenants=tenants,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        backend=args.backend,
+    )
+    await server.start()
+    print(f"serving on {server.host}:{server.port} "
+          f"(tenants: {', '.join(s.name for s in server.directory)})")
+    print(f"  metrics: http://{server.host}:{server.port}/metrics")
+
+    if args.loadgen is None:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        await stop.wait()
+        print("shutting down...")
+        await server.stop()
+        return 0
+
+    # Loadgen mode: the deterministic service runs on a worker thread
+    # while this loop keeps answering /metrics scrapes -- live
+    # observability of a byte-reproducible run.
+    spec = preset(args.loadgen, chaos=args.chaos, seed=args.seed)
+    service = build_service(
+        spec,
+        config=config.with_seed(spec.seed),
+        catalog=dataset.catalog,
+        workers=args.workers,
+        backend=args.backend,
+        metrics=server.metrics,
+        metrics_lock=server.metrics_lock,
+    )
+    print(f"loadgen {spec.name}: {spec.total_clients} clients, "
+          f"{len(spec.mixes)} tenants, chaos {spec.chaos}, seed {spec.seed}")
+    loop = asyncio.get_running_loop()
+    run = loop.run_in_executor(
+        None, functools.partial(service.run, seed=spec.seed)
+    )
+    scrapes = 0
+    while not run.done():
+        await asyncio.sleep(0.05)
+        text = await _http_get(server.host, server.port, "/metrics")
+        if "repro_serve_" in text or text.startswith("#"):
+            scrapes += 1
+    report = await run
+    text = await _http_get(server.host, server.port, "/metrics")
+    if "repro_serve_" in text:
+        scrapes += 1
+    print(f"  /metrics answered {scrapes} scrape(s) during the run")
+    print(report.format())
+    doc = report.as_dict()
+    if args.report is not None:
+        Path(args.report).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"report written to {args.report}")
+    await server.stop()
+    failed = False
+    if args.max_p99_ms is not None and doc["totals"]["p99_ms"] > args.max_p99_ms:
+        print(f"gate FAIL: overall p99 {doc['totals']['p99_ms']:.1f} ms "
+              f"> {args.max_p99_ms:.1f} ms", file=sys.stderr)
+        failed = True
+    if (args.max_abandoned is not None
+            and doc["totals"]["abandoned"] > args.max_abandoned):
+        print(f"gate FAIL: {doc['totals']['abandoned']} abandoned "
+              f"> {args.max_abandoned}", file=sys.stderr)
+        failed = True
+    return 2 if failed else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
@@ -933,6 +1125,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_trace(args)
         if args.command == "metrics":
             return _cmd_metrics(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -86,6 +86,23 @@ class ResilienceConfig:
         """Delay before retry number ``retry_index`` (0-based)."""
         return self.backoff_base * self.backoff_factor**retry_index
 
+    def shed_threads(
+        self, current: int | None, effective: int
+    ) -> int | None:
+        """The halved thread cap of a retried submission, or ``None``.
+
+        ``None`` means no shedding happens: the policy is disabled or
+        the cap is already at the floor of one thread.  ``current`` is
+        the submission's present cap (``None`` = the machine default,
+        ``effective``).  Shared by :class:`ResilientWorkload` and the
+        multi-tenant serve layer so both degrade identically.
+        """
+        if not self.shed_dop:
+            return None
+        cap = current if current is not None else effective
+        shed = max(1, cap // 2)
+        return shed if shed < cap else None
+
 
 class _Query:
     """One client query's journey through the service, across retries."""
@@ -261,19 +278,17 @@ class ResilientWorkload:
             retry_index = query.tries
             query.tries += 1
             note("retry", client=query.state.spec.name, attempt=query.tries)
-            if res.shed_dop:
-                current = query.max_threads
-                if current is None:
-                    current = self.config.effective_threads
-                shed = max(1, current // 2)
-                if shed < current:
-                    query.max_threads = shed
-                    report.shed_dop += 1
-                    note(
-                        "shed_dop",
-                        client=query.state.spec.name,
-                        threads=shed,
-                    )
+            shed = res.shed_threads(
+                query.max_threads, self.config.effective_threads
+            )
+            if shed is not None:
+                query.max_threads = shed
+                report.shed_dop += 1
+                note(
+                    "shed_dop",
+                    client=query.state.spec.name,
+                    threads=shed,
+                )
             simulator.schedule_at(
                 simulator.now + res.backoff(retry_index),
                 lambda _q=query: admit(_q),

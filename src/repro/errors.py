@@ -117,6 +117,50 @@ class LearnError(ReproError):
     """
 
 
+class ServeError(ReproError):
+    """Misuse of the SQL service layer (tenants, scheduler, server).
+
+    Unknown tenants or SLO classes, invalid weights/caps, or server
+    lifecycle misuse (querying a stopped server).  Client-visible
+    failures (bad SQL, rejected admission) travel as protocol error
+    *responses*, not exceptions -- a misbehaving client must never take
+    the server down.
+    """
+
+
+class ProtocolError(ServeError):
+    """A malformed wire message (framing, JSON, or schema violation).
+
+    Raised by :mod:`repro.serve.protocol` decoders; the server answers
+    with an error response and, for framing violations that poison the
+    stream (oversized or non-JSON lines), closes the connection.
+    """
+
+
+class FramingError(ProtocolError):
+    """A wire violation that poisons the byte stream itself.
+
+    Oversized, empty, or non-JSON lines: after answering (when
+    possible) the server closes the connection, because resynchronizing
+    a newline-delimited stream after garbage is guesswork.  Schema
+    violations inside a well-framed JSON object raise plain
+    :class:`ProtocolError` and keep the connection alive.
+    """
+
+
+class AdmissionError(ServeError):
+    """A query was refused by admission control (tenant queue full).
+
+    Carries the tenant so callers can count the reject against the
+    right session; the load generator treats it as shed load, not as a
+    failure.
+    """
+
+    def __init__(self, message: str, *, tenant: str = "") -> None:
+        super().__init__(message)
+        self.tenant = tenant
+
+
 class InjectedFaultError(ReproError):
     """A deliberately injected operator failure (chaos testing).
 

@@ -40,7 +40,13 @@ from .canonical import (
     canonical_observation,
     canonical_trace,
 )
-from .exporters import to_chrome_trace, to_jsonl, to_prometheus
+from .exporters import (
+    PROMETHEUS_CONTENT_TYPE,
+    scrape,
+    to_chrome_trace,
+    to_jsonl,
+    to_prometheus,
+)
 from .metrics import (
     DURATION_BUCKETS,
     Counter,
@@ -117,6 +123,7 @@ class Observer:
 
 __all__ = [
     "DURATION_BUCKETS",
+    "PROMETHEUS_CONTENT_TYPE",
     "SCHEMA",
     "Counter",
     "Gauge",
@@ -129,6 +136,7 @@ __all__ = [
     "canonical_metrics",
     "canonical_observation",
     "canonical_trace",
+    "scrape",
     "to_chrome_trace",
     "to_jsonl",
     "to_prometheus",

@@ -32,6 +32,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: pid of the driver-level (non-task) span track in Chrome traces.
 DRIVER_PID = 0
 
+#: MIME type of the Prometheus text exposition format we emit; HTTP
+#: scrape endpoints (``repro serve``'s ``/metrics``) must answer with
+#: exactly this so Prometheus parses the payload as version 0.0.4.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def scrape(source: "Observer | MetricsRegistry", *, host: bool = True) -> tuple[str, str]:
+    """One Prometheus scrape: ``(content_type, exposition_text)``.
+
+    The single call an HTTP ``/metrics`` handler needs -- pairing the
+    text with the content type it must be served under.
+    """
+    return PROMETHEUS_CONTENT_TYPE, to_prometheus(source, host=host)
+
 
 def _tracer_of(source: "Observer | Tracer") -> Tracer:
     tracer = getattr(source, "tracer", source)

@@ -3,9 +3,10 @@
 from .ast import SelectStatement
 from .lexer import Token, tokenize
 from .parser import parse
-from .planner import SqlPlanner, plan_sql
+from .planner import PlanCache, SqlPlanner, plan_sql
 
 __all__ = [
+    "PlanCache",
     "SelectStatement",
     "SqlPlanner",
     "Token",

@@ -71,6 +71,71 @@ def plan_sql(text: str, catalog: Catalog) -> Plan:
     return SqlPlanner(catalog).plan(parse(text))
 
 
+class PlanCache:
+    """Statement-text plan cache for query-serving workloads.
+
+    A SQL service sees the same statement texts over and over (every
+    loadgen tenant hammers a small mix); parsing and planning them anew
+    per request is pure waste.  The cache memoizes the *serial plan
+    template* per normalized statement text and hands out a fresh
+    :meth:`~repro.plan.graph.Plan.copy` per request, so concurrent
+    submissions never share mutable node state -- exactly the template
+    discipline :class:`~repro.concurrency.client.ClientSpec` uses.
+
+    Planning errors are **not** cached: a typo'd statement costs its
+    author a re-parse, and a catalog fixed between requests is picked
+    up immediately.  Eviction is LRU by statement count.
+    """
+
+    def __init__(self, catalog: Catalog, *, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise SqlPlanError("plan cache capacity must be >= 1")
+        self.catalog = catalog
+        self.capacity = capacity
+        self._plans: dict[str, Plan] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _key(text: str) -> str:
+        # Whitespace-insensitive keying catches the common client-side
+        # variation (trailing newlines, indentation) without attempting
+        # real statement canonicalization.
+        return " ".join(text.split())
+
+    def plan(self, text: str) -> Plan:
+        """A fresh copy of the (possibly cached) plan for ``text``."""
+        return self.template(text).copy()
+
+    def template(self, text: str) -> Plan:
+        """The shared cached template itself (callers must not mutate)."""
+        key = self._key(text)
+        cached = self._plans.get(key)
+        if cached is not None:
+            self.hits += 1
+            # Refresh LRU position.
+            del self._plans[key]
+            self._plans[key] = cached
+            return cached
+        self.misses += 1
+        template = plan_sql(text, self.catalog)
+        while len(self._plans) >= self.capacity:
+            self._plans.pop(next(iter(self._plans)))
+        self._plans[key] = template
+        return template
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._plans),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
 @dataclass(frozen=True)
 class _JoinEdge:
     """A join-tree edge: ``parent.fk = child.pk``."""

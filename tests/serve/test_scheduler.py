@@ -1,0 +1,146 @@
+"""Unit behaviour of the weighted-fair admission scheduler.
+
+The scheduler is clock-free and pure, so every discipline -- fair
+ordering, caps, queue limits, idle-credit reset -- is pinned here with
+hand-built sequences; the hypothesis suite generalizes them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import FairScheduler, TenantDirectory, TenantSpec
+
+
+def _directory(**weights: int) -> TenantDirectory:
+    return TenantDirectory(
+        tuple(
+            TenantSpec(name, weight=w, queue_limit=1000)
+            for name, w in weights.items()
+        )
+    )
+
+
+def _drain_counts(sched: FairScheduler, n: int) -> dict[str, int]:
+    """Admit ``n`` items, releasing immediately (no cap pressure)."""
+    counts: dict[str, int] = {}
+    for _ in range(n):
+        spec, _item = sched.next_ready()
+        counts[spec.name] = counts.get(spec.name, 0) + 1
+        sched.release(spec.name)
+    return counts
+
+
+class TestFairOrdering:
+    def test_weighted_share_under_backlog(self):
+        sched = FairScheduler(_directory(a=3, b=2, c=1), max_in_flight=100)
+        for name in ("a", "b", "c"):
+            for i in range(120):
+                assert sched.offer(name, (name, i))
+        counts = _drain_counts(sched, 120)
+        assert counts == {"a": 60, "b": 40, "c": 20}
+
+    def test_fifo_within_tenant(self):
+        sched = FairScheduler(_directory(a=1), max_in_flight=10)
+        for i in range(5):
+            sched.offer("a", i)
+        admitted = [sched.next_ready()[1] for _ in range(5)]
+        assert admitted == [0, 1, 2, 3, 4]
+
+    def test_idle_tenant_earns_no_credit(self):
+        # b idles while a consumes service; when b wakes it must share
+        # fairly from *now*, not burst through its banked vtime.
+        sched = FairScheduler(_directory(a=1, b=1), max_in_flight=100)
+        for i in range(50):
+            sched.offer("a", i)
+        _drain_counts(sched, 20)
+        for i in range(50):
+            sched.offer("b", i)
+        counts = _drain_counts(sched, 20)
+        assert abs(counts["a"] - counts["b"]) <= 1
+
+    def test_ties_break_by_name(self):
+        sched = FairScheduler(_directory(b=1, a=1), max_in_flight=10)
+        sched.offer("b", "x")
+        sched.offer("a", "y")
+        spec, _ = sched.next_ready()
+        assert spec.name == "a"
+
+
+class TestCaps:
+    def test_queue_limit_rejects(self):
+        directory = TenantDirectory((TenantSpec("t", queue_limit=2),))
+        sched = FairScheduler(directory, max_in_flight=1)
+        assert sched.offer("t", 1) and sched.offer("t", 2)
+        assert not sched.offer("t", 3)
+        stats = sched.stats("t")
+        assert stats.offered == 3 and stats.rejected == 1
+
+    def test_tenant_in_flight_cap(self):
+        directory = TenantDirectory(
+            (TenantSpec("a", max_in_flight=1), TenantSpec("b"))
+        )
+        sched = FairScheduler(directory, max_in_flight=10)
+        sched.offer("a", 1)
+        sched.offer("a", 2)
+        sched.offer("b", 3)
+        names = [sched.next_ready()[0].name, sched.next_ready()[0].name]
+        assert names == ["a", "b"]  # a's second item blocked by its cap
+        assert sched.next_ready() is None
+        sched.release("a")
+        assert sched.next_ready()[0].name == "a"
+
+    def test_service_wide_cap(self):
+        sched = FairScheduler(_directory(a=1), max_in_flight=2)
+        for i in range(4):
+            sched.offer("a", i)
+        assert len(sched.pump()) == 2
+        assert sched.next_ready() is None
+        sched.release("a")
+        assert sched.next_ready() is not None
+
+    def test_invalid_cap(self):
+        with pytest.raises(ServeError):
+            FairScheduler(_directory(a=1), max_in_flight=0)
+
+
+class TestBookkeeping:
+    def test_release_without_admission_raises(self):
+        sched = FairScheduler(_directory(a=1), max_in_flight=2)
+        with pytest.raises(ServeError, match="without matching admission"):
+            sched.release("a")
+
+    def test_unknown_tenant_raises(self):
+        sched = FairScheduler(_directory(a=1), max_in_flight=2)
+        with pytest.raises(ServeError, match="unknown tenant"):
+            sched.offer("nope", 1)
+
+    def test_drain_and_idle(self):
+        sched = FairScheduler(_directory(a=1, b=2), max_in_flight=1)
+        assert sched.idle
+        sched.offer("a", 1)
+        sched.offer("b", 2)
+        sched.pump()
+        assert not sched.idle
+        leftovers = sched.drain()
+        assert len(leftovers) == 1
+        sched.release(
+            "b" if leftovers[0][0].name == "a" else "a", completed=False
+        )
+        assert sched.idle
+
+    def test_peaks_and_counters(self):
+        sched = FairScheduler(_directory(a=1), max_in_flight=4)
+        for i in range(3):
+            sched.offer("a", i)
+        sched.pump()
+        stats = sched.stats("a")
+        assert stats.peak_queue_depth == 3
+        assert stats.peak_in_flight == 3
+        assert stats.admitted == 3
+        assert sched.peak_in_flight == 3
+        for _ in range(3):
+            sched.release("a")
+        assert stats.completed == 3
+        assert stats.as_dict()["offered"] == 3

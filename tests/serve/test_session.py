@@ -1,0 +1,76 @@
+"""Session lifecycle: the NEW -> READY -> CLOSED state machine."""
+
+from __future__ import annotations
+
+from repro.serve import Request, Session, default_tenants
+
+
+def _session() -> Session:
+    return Session(default_tenants())
+
+
+class TestLifecycle:
+    def test_hello_binds_tenant(self):
+        session = _session()
+        response = session.handle(Request(op="hello", tenant="silver", id=1))
+        assert response.ok and response.type == "hello"
+        assert response.body["tenant"] == "silver"
+        assert response.body["slo_class"] == "standard"
+        assert session.tenant.name == "silver"
+
+    def test_hello_unknown_tenant(self):
+        session = _session()
+        response = session.handle(Request(op="hello", tenant="nope"))
+        assert not response.ok and response.kind == "session"
+        assert session.tenant is None
+
+    def test_no_rebinding(self):
+        session = _session()
+        session.handle(Request(op="hello", tenant="gold"))
+        response = session.handle(Request(op="hello", tenant="silver"))
+        assert not response.ok and "already bound" in response.error
+        assert session.tenant.name == "gold"
+
+    def test_query_before_hello_is_session_error(self):
+        session = _session()
+        response = session.handle(Request(op="query", sql="SELECT 1 FROM t"))
+        assert not response.ok and response.kind == "session"
+        assert session.stats.errors == 1
+
+    def test_admitted_query_returns_none(self):
+        session = _session()
+        session.handle(Request(op="hello", tenant="gold"))
+        assert session.handle(Request(op="query", sql="SELECT 1 FROM t")) is None
+        assert session.stats.queries == 1
+
+    def test_ping_any_time(self):
+        session = _session()
+        assert session.handle(Request(op="ping", id=5)).type == "pong"
+        session.handle(Request(op="hello", tenant="gold"))
+        assert session.handle(Request(op="ping")).type == "pong"
+
+    def test_goodbye_closes(self):
+        session = _session()
+        session.handle(Request(op="hello", tenant="gold"))
+        response = session.handle(Request(op="goodbye", id=9))
+        assert response.type == "goodbye" and session.closed
+        after = session.handle(Request(op="ping"))
+        assert not after.ok and after.kind == "session"
+
+    def test_session_ids_are_unique(self):
+        assert _session().session_id != _session().session_id
+
+
+class TestCounters:
+    def test_note_result(self):
+        session = _session()
+        session.handle(Request(op="hello", tenant="gold"))
+        for _ in range(3):
+            session.handle(Request(op="query", sql="SELECT 1 FROM t"))
+        session.note_result(ok=True)
+        session.note_result(ok=False)
+        session.note_result(ok=False, rejected=True)
+        assert session.stats.queries == 3
+        assert session.stats.completed == 1
+        assert session.stats.errors == 1
+        assert session.stats.rejected == 1

@@ -1,0 +1,119 @@
+"""Tenant and SLO-class configuration: validation and parsing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import (
+    BATCH,
+    BUILTIN_CLASSES,
+    INTERACTIVE,
+    STANDARD,
+    SloClass,
+    TenantDirectory,
+    TenantSpec,
+    default_tenants,
+    parse_tenants,
+)
+
+
+class TestSloClass:
+    def test_builtin_tiers(self):
+        assert set(BUILTIN_CLASSES) == {"interactive", "standard", "batch"}
+        assert INTERACTIVE.p99_target < STANDARD.p99_target < BATCH.p99_target
+        assert BATCH.timeout is None
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"name": ""},
+            {"p50_target": 0.0},
+            {"p50_target": 2.0, "p99_target": 1.0},
+            {"timeout": 0.0},
+            {"max_retries": -1},
+            {"default_weight": 0},
+        ],
+    )
+    def test_validation(self, kw):
+        base = {"name": "c", "p50_target": 0.1, "p99_target": 1.0}
+        with pytest.raises(ServeError):
+            SloClass(**{**base, **kw})
+
+
+class TestTenantSpec:
+    def test_effective_weight_falls_back_to_class(self):
+        assert TenantSpec("t", slo=INTERACTIVE).effective_weight == 4
+        assert TenantSpec("t", slo=INTERACTIVE, weight=9).effective_weight == 9
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"name": ""},
+            {"weight": -1},
+            {"max_in_flight": 0},
+            {"queue_limit": -1},
+            {"max_threads": 0},
+        ],
+    )
+    def test_validation(self, kw):
+        base = {"name": "t"}
+        with pytest.raises(ServeError):
+            TenantSpec(**{**base, **kw})
+
+
+class TestDirectory:
+    def test_lookup_and_default(self):
+        directory = default_tenants()
+        assert len(directory) == 3
+        assert directory.get("gold").slo is INTERACTIVE
+        assert directory.default.name == "gold"
+        assert [spec.name for spec in directory] == ["gold", "silver", "bronze"]
+
+    def test_unknown_tenant_lists_known(self):
+        with pytest.raises(ServeError, match="bronze, gold, silver"):
+            default_tenants().get("nope")
+
+    def test_rejects_duplicates_and_empty(self):
+        with pytest.raises(ServeError, match="duplicate"):
+            TenantDirectory((TenantSpec("a"), TenantSpec("a")))
+        with pytest.raises(ServeError, match="at least one"):
+            TenantDirectory(())
+
+
+class TestParseTenants:
+    def test_round_trip_with_custom_class(self):
+        doc = {
+            "classes": {"rt": {"p50_target": 0.1, "p99_target": 0.5, "timeout": 1.0}},
+            "tenants": [
+                {"name": "acme", "class": "rt", "weight": 3},
+                {"name": "bulk", "class": "batch", "queue_limit": 16},
+            ],
+        }
+        directory = parse_tenants(json.dumps(doc))
+        acme = directory.get("acme")
+        assert acme.slo.name == "rt" and acme.effective_weight == 3
+        assert directory.get("bulk").slo is BATCH
+        assert directory.get("bulk").queue_limit == 16
+
+    def test_defaults_to_standard_class(self):
+        directory = parse_tenants({"tenants": [{"name": "t"}]})
+        assert directory.get("t").slo is STANDARD
+
+    @pytest.mark.parametrize(
+        "doc,match",
+        [
+            ("not json", "malformed"),
+            (json.dumps([1]), "JSON object"),
+            ({"tenants": []}, "non-empty"),
+            ({"tenants": [{"name": "t", "class": "nope"}]}, "unknown SLO class"),
+            ({"tenants": [{"name": "t", "bogus": 1}]}, "tenant entry"),
+            ({"classes": {"c": {"p50_target": 1}}, "tenants": [{"name": "t"}]},
+             "SLO class"),
+        ],
+    )
+    def test_bad_documents(self, doc, match):
+        with pytest.raises(ServeError, match=match):
+            parse_tenants(doc)
