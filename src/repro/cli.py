@@ -324,10 +324,39 @@ def _build_parser() -> argparse.ArgumentParser:
         "beats credit/debit on at least fraction X of the suite",
     )
     bench.add_argument(
+        "--scaleout",
+        action="store_true",
+        help="shared-nothing scale-out: speedup vs nodes, skew straggler "
+        "gap before/after placement mutations, and a node-failure run",
+    )
+    bench.add_argument(
+        "--nodes",
+        default=None,
+        metavar="N[,M...]",
+        help="scaleout: comma-separated node counts to sweep "
+        "(default: 1,2,4)",
+    )
+    bench.add_argument(
+        "--min-scaleout-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="scaleout: fail if the largest swept node count's speedup "
+        "over one node is below X",
+    )
+    bench.add_argument(
+        "--max-skew-gap",
+        type=float,
+        default=None,
+        metavar="X",
+        help="scaleout: fail if the straggler gap after placement "
+        "mutations is above X (1.0 means fully closed)",
+    )
+    bench.add_argument(
         "--figure",
         metavar="FILE",
         default=None,
-        help="convergence: also export the policy-comparison SVG here",
+        help="convergence/scaleout: also export the comparison SVG here",
     )
 
     chaos = sub.add_parser(
@@ -761,13 +790,16 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    if args.scaleout:
+        return _cmd_bench_scaleout(args)
     if args.convergence:
         return _cmd_bench_convergence(args)
     if args.wallclock:
         return _cmd_bench_wallclock(args)
     if args.name is None:
         raise ReproError(
-            "bench needs an experiment name (or --wallclock/--convergence)"
+            "bench needs an experiment name (or "
+            "--wallclock/--convergence/--scaleout)"
         )
     if args.name == "list":
         for name, (module, __) in sorted(_EXPERIMENTS.items()):
@@ -846,6 +878,48 @@ def _cmd_bench_convergence(args) -> int:
         report,
         max_warm_ratio=args.max_warm_ratio,
         min_bandit_win=args.min_bandit_win,
+    )
+    return 0
+
+
+def _cmd_bench_scaleout(args) -> int:
+    import json
+
+    from .bench.scaleout import (
+        DEFAULT_NODES,
+        check_scaleout_report,
+        format_scaleout_report,
+        run_scaleout,
+    )
+
+    nodes = DEFAULT_NODES
+    if args.nodes is not None:
+        try:
+            nodes = tuple(int(part) for part in str(args.nodes).split(",") if part)
+        except ValueError:
+            raise ReproError(
+                f"--nodes wants comma-separated integers, got {args.nodes!r}"
+            ) from None
+    report = run_scaleout(quick=args.quick, nodes=nodes)
+    print(format_scaleout_report(report))
+    output = args.output
+    if output == "BENCH_wallclock.json":  # the bench-wide default
+        output = "BENCH_scaleout.json"
+    if output:
+        with open(output, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {output}")
+    if args.figure:
+        from .viz.scaleout import render_scaleout_figure
+
+        with open(args.figure, "w") as handle:
+            handle.write(render_scaleout_figure(report))
+        print(f"wrote {args.figure}")
+    check_scaleout_report(
+        report,
+        min_speedup=args.min_scaleout_speedup,
+        max_skew_gap=args.max_skew_gap,
     )
     return 0
 

@@ -1,0 +1,53 @@
+"""Shared-nothing multi-node simulation (the scale-out layer).
+
+The cluster layer generalizes the paper's single-machine adaptive
+engine to N simulated shared-nothing nodes joined by network links:
+
+* :mod:`~repro.cluster.spec` -- topology (:class:`ClusterSpec`,
+  :class:`LinkSpec`) flattened onto the existing machine model;
+* :mod:`~repro.cluster.plans` -- sharded plan builders, placement
+  resolution, and the ``move_shard`` rewrite;
+* :mod:`~repro.cluster.simulator` -- placement-constrained dispatch
+  plus the latency/bandwidth network model;
+* :mod:`~repro.cluster.executor` -- one-shot execution and
+  retry-on-replica failover;
+* :mod:`~repro.cluster.adaptive` -- placement mutations alongside the
+  paper's DOP mutations;
+* :mod:`~repro.cluster.workload` -- the seeded scaleout workload.
+
+See ``docs/scaleout.md`` for the model and its invariants.
+"""
+
+from .adaptive import ClusterAdaptiveParallelizer, ClusterMutator
+from .executor import FailoverResult, cluster_execute, execute_with_failover
+from .plans import (
+    NET_KINDS,
+    move_shard,
+    resolve_placements,
+    shard_label,
+    shard_scans,
+    sharded_aggregate_plan,
+    sharded_select_plan,
+)
+from .simulator import ClusterSimulator
+from .spec import ClusterSpec, LinkSpec
+from .workload import ScaleoutWorkload
+
+__all__ = [
+    "ClusterAdaptiveParallelizer",
+    "ClusterMutator",
+    "ClusterSimulator",
+    "ClusterSpec",
+    "FailoverResult",
+    "LinkSpec",
+    "NET_KINDS",
+    "ScaleoutWorkload",
+    "cluster_execute",
+    "execute_with_failover",
+    "move_shard",
+    "resolve_placements",
+    "shard_label",
+    "shard_scans",
+    "sharded_aggregate_plan",
+    "sharded_select_plan",
+]

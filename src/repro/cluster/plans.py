@@ -1,0 +1,206 @@
+"""Sharded plan construction and placement resolution.
+
+Placement lives on operator instances (``Operator.placement``) and is
+*sparse*: builders pin only the nodes that anchor data movement -- scans
+(wherever their shard's copy lives) and the exchange-family operators
+(wherever the data is headed).  Every other operator inherits the
+effective placement of its first input, so mutation-generated nodes
+(partition slices, clones, packs) land on the right node automatically
+and the adaptive layer can re-home a whole shard subplan by retargeting
+just its scans and exchanges.
+
+The canonical sharded shape built here is the scaleout workhorse::
+
+    shard k (on primary_k):  scan -> select -> fetch -> aggregate
+    coordinator:             gather(partials) -> aggregate(merge)
+
+Partial aggregates use integer columns in the bundled workloads so the
+merge is bit-exact regardless of shard count -- the property suite
+compares sharded results against single-node execution byte for byte.
+"""
+
+from __future__ import annotations
+
+from ..errors import ClusterError
+from ..operators import (
+    Aggregate,
+    Exchange,
+    Gather,
+    RangePredicate,
+    Scan,
+    Select,
+)
+from ..operators.project import Fetch
+from ..plan.graph import Plan, PlanNode
+from ..storage.sharded import Shard, ShardedTable
+
+#: Operator kinds allowed to carry data across a node boundary.
+NET_KINDS = ("exchange", "gather", "shuffle")
+
+
+def resolve_placements(plan: Plan, nodes: int) -> dict[int, int]:
+    """Effective node of every plan node (nid -> node id).
+
+    An operator with explicit ``placement`` runs there; one without
+    inherits its first input's effective placement; sourceless leaves
+    default to the coordinator (node 0).  Raises when a placement names
+    a node outside the cluster.
+    """
+    placements: dict[int, int] = {}
+    for node in plan.nodes():  # topological: inputs resolved first
+        where = node.op.placement
+        if where is None:
+            where = placements[node.inputs[0].nid] if node.inputs else 0
+        elif not 0 <= where < nodes:
+            raise ClusterError(
+                f"operator {node.describe()!r} placed on node {where}, but "
+                f"the cluster has {nodes} nodes"
+            )
+        placements[node.nid] = where
+    return placements
+
+
+def shard_label(index: int) -> str:
+    return f"shard{index}"
+
+
+def _shard_of_label(label: str | None) -> int | None:
+    if label and label.startswith("shard"):
+        try:
+            return int(label[5:])
+        except ValueError:
+            return None
+    return None
+
+
+def shard_scans(plan: Plan, shard_index: int) -> list[PlanNode]:
+    """The scan nodes anchoring shard ``shard_index`` in ``plan``."""
+    want = shard_label(shard_index)
+    return [
+        n for n in plan.nodes() if n.kind == "scan" and n.label == want
+    ]
+
+
+def sharded_aggregate_plan(
+    sharded: ShardedTable,
+    *,
+    value: str,
+    func: str = "sum",
+    filter_on: str | None = None,
+    lo: float | int | None = None,
+    hi: float | int | None = None,
+    coordinator: int = 0,
+) -> Plan:
+    """Shard-local select/fetch/aggregate with a coordinator-side merge."""
+    table = sharded.table
+    shard_map = sharded.shard_map
+    plan = Plan()
+    partials: list[PlanNode] = []
+    for shard in shard_map.shards:
+        label = shard_label(shard.index)
+        vscan_op = Scan(table.column(value), shard.lo, shard.hi)
+        vscan_op.placement = shard.primary
+        vscan = plan.add(vscan_op, label=label)
+        if filter_on is not None:
+            fscan_op = Scan(table.column(filter_on), shard.lo, shard.hi)
+            fscan_op.placement = shard.primary
+            fscan = plan.add(fscan_op, label=label)
+            sel = plan.add(
+                Select(RangePredicate(lo, hi)), [fscan], label=label
+            )
+            source = plan.add(Fetch(), [sel, vscan], label=label)
+        else:
+            source = vscan
+        partials.append(plan.add(Aggregate(func), [source], label=label))
+    merge = "sum" if func == "count" else func
+    gathered = plan.add(Gather(coordinator), partials)
+    total = plan.add(Aggregate(merge), [gathered])
+    plan.set_outputs([total])
+    return plan
+
+
+def sharded_select_plan(
+    sharded: ShardedTable,
+    *,
+    filter_on: str,
+    lo: float | int | None = None,
+    hi: float | int | None = None,
+    coordinator: int = 0,
+) -> Plan:
+    """Shard-local selections gathered into one candidate list.
+
+    Shards tile the oid space in ascending ranges and gather preserves
+    input order, so the packed candidates equal the single-node
+    selection byte for byte -- the exchange-union ordering invariant,
+    across nodes.
+    """
+    table = sharded.table
+    plan = Plan()
+    parts: list[PlanNode] = []
+    for shard in sharded.shard_map.shards:
+        label = shard_label(shard.index)
+        scan_op = Scan(table.column(filter_on), shard.lo, shard.hi)
+        scan_op.placement = shard.primary
+        scan = plan.add(scan_op, label=label)
+        parts.append(
+            plan.add(Select(RangePredicate(lo, hi)), [scan], label=label)
+        )
+    gathered = plan.add(Gather(coordinator), parts)
+    plan.set_outputs([gathered])
+    return plan
+
+
+def move_shard(plan: Plan, shard: Shard, dst: int) -> str:
+    """Re-home shard ``shard.index``'s subplan onto node ``dst`` in place.
+
+    Two regimes, chosen by where the data lives:
+
+    * ``dst`` holds a copy of the shard (primary or replica): the scans
+      themselves move -- shard-local work runs on ``dst`` with no wire
+      cost, the *replicate* placement mutation.
+    * ``dst`` holds no copy: scans stay with the data and an
+      :class:`~repro.operators.netexchange.Exchange` to ``dst`` is
+      spliced (or retargeted) after each scan, the *move* placement
+      mutation; the transfer is charged by the network model.
+
+    Everything downstream of the scans inherits the new placement, so
+    no other operator is touched.  Returns the scheme applied
+    (``"placement-replica"`` or ``"placement-move"``).
+    """
+    scans = shard_scans(plan, shard.index)
+    if not scans:
+        raise ClusterError(f"plan has no scans for shard {shard.index}")
+    local = dst in shard.holders()
+    for scan in scans:
+        exchange = _exchange_after(plan, scan)
+        if local:
+            scan.op.placement = dst
+            if exchange is not None:
+                exchange.op.placement = dst
+        else:
+            if exchange is None:
+                _splice_exchange(plan, scan, dst)
+            else:
+                exchange.op.placement = dst
+    return "placement-replica" if local else "placement-move"
+
+
+def _exchange_after(plan: Plan, scan: PlanNode) -> PlanNode | None:
+    for node in plan.nodes():
+        if node.kind == "exchange" and node.inputs and node.inputs[0] is scan:
+            return node
+    return None
+
+
+def _splice_exchange(plan: Plan, scan: PlanNode, dst: int) -> PlanNode:
+    exchange = plan.add(Exchange(dst), [scan], label=scan.label)
+    for node in plan.nodes():
+        if node is exchange:
+            continue
+        node.inputs = [
+            exchange if child is scan else child for child in node.inputs
+        ]
+    plan.outputs = [
+        exchange if out is scan else out for out in plan.outputs
+    ]
+    return exchange

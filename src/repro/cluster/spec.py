@@ -1,0 +1,102 @@
+"""Cluster topology: N simulated nodes plus the network between them.
+
+A :class:`ClusterSpec` is deliberately *not* a new machine model.  The
+existing :class:`~repro.config.MachineSpec` already models memory
+bandwidth per socket, so a homogeneous shared-nothing cluster of ``N``
+nodes maps exactly onto one flattened machine with ``N x sockets``
+sockets: socket group ``k`` *is* node ``k``, and no simulated resource
+is accidentally shared across nodes.  The scheduler's roofline model,
+hyperthread yield, and bandwidth sharing all apply unchanged inside
+each node; what the cluster layer adds on top is
+
+* a placement constraint (operators run only on their node's sockets),
+* network links -- per-node NIC ingress modeled as a processor-sharing
+  resource with latency plus bandwidth, charged to the exchange-family
+  operators that move data across nodes.
+
+With ``nodes == 1`` the flattened machine is the node spec itself and
+every cluster code path degenerates to the single-machine engine --
+that identity is what the nodes=1 byte-equality tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..config import MachineSpec, SimulationConfig, laptop_machine
+from ..errors import ClusterError
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One network link: latency plus shared ingress bandwidth.
+
+    ``bandwidth_gbps`` is bytes/second x 1e9 (same unit as
+    ``MachineSpec.mem_bandwidth_gbps``); a 10 GbE NIC is ~1.2.  Each
+    node's ingress is one processor-sharing resource: concurrent
+    transfers toward the same node split the bandwidth evenly, and each
+    transfer additionally pays ``latency_s`` once before its bytes flow.
+    """
+
+    latency_s: float = 50e-6
+    bandwidth_gbps: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ClusterError(f"link latency must be >= 0, got {self.latency_s}")
+        if self.bandwidth_gbps <= 0:
+            raise ClusterError(
+                f"link bandwidth must be > 0, got {self.bandwidth_gbps}"
+            )
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous shared-nothing cluster of ``nodes`` machines."""
+
+    node: MachineSpec = field(default_factory=lambda: laptop_machine(8))
+    nodes: int = 1
+    link: LinkSpec = field(default_factory=LinkSpec)
+    name: str = "cluster"
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ClusterError(f"cluster needs >= 1 node, got {self.nodes}")
+
+    @property
+    def total_threads(self) -> int:
+        return self.node.hardware_threads * self.nodes
+
+    def flatten(self) -> MachineSpec:
+        """The whole cluster as one machine with ``nodes x sockets`` sockets.
+
+        Valid because the machine model shares memory bandwidth *per
+        socket* and compute *per core*: disjoint socket groups never
+        contend, exactly like shared-nothing nodes.  ``nodes == 1``
+        returns the node spec unchanged, guaranteeing the degenerate
+        cluster is bit-identical to the single-machine engine.
+        """
+        if self.nodes == 1:
+            return self.node
+        return replace(
+            self.node,
+            name=f"{self.name}[{self.nodes}x {self.node.name}]",
+            sockets=self.node.sockets * self.nodes,
+            memory_gb=self.node.memory_gb * self.nodes,
+        )
+
+    def sockets_of(self, node_id: int) -> range:
+        """The flattened machine's socket ids belonging to ``node_id``."""
+        if not 0 <= node_id < self.nodes:
+            raise ClusterError(
+                f"node {node_id} outside cluster of {self.nodes} nodes"
+            )
+        per = self.node.sockets
+        return range(node_id * per, (node_id + 1) * per)
+
+    def node_of_socket(self, socket_id: int) -> int:
+        return socket_id // self.node.sockets
+
+    def sim_config(self, base: SimulationConfig) -> SimulationConfig:
+        """``base`` retargeted at the flattened cluster machine."""
+        return base.with_machine(self.flatten())

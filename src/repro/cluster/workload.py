@@ -1,0 +1,163 @@
+"""The scaleout workload: a shard-friendly filtered aggregation.
+
+One seeded table of integer columns (integer partials merge bit-exactly,
+so sharded results equal single-node results byte for byte), range-
+sharded across the cluster.  The canonical query is the select ->
+fetch -> sum shape from the paper's micro-benchmarks; per-shard work is
+proportional to shard rows, which makes the workload
+
+* *shard-friendly*: a uniform shard map scales near-linearly with
+  nodes (each node streams its own rows, only scalar partials cross
+  the wire), and
+* a *straggler factory*: a skewed shard map concentrates rows on one
+  node, whose finish time dominates -- the gap the placement mutations
+  of :class:`~repro.cluster.adaptive.ClusterAdaptiveParallelizer`
+  close by re-homing shards onto replica holders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import MachineSpec, SimulationConfig, laptop_machine
+from ..errors import WorkloadError
+from ..plan.graph import Plan
+from ..storage import LNG, Table
+from ..storage.sharded import Shard, ShardedTable, ShardMap
+from .plans import sharded_aggregate_plan
+from .spec import ClusterSpec
+
+#: Actual rows stand for 1000x logical rows, as in the micro workloads.
+SCALEOUT_SHRINK = 1000
+
+
+
+@dataclass
+class ScaleoutWorkload:
+    """Seeded sharded table plus the canonical scaleout query.
+
+    ``tuples_m`` is logical millions of rows; ``selectivity`` the
+    fraction the filter keeps.  ``sharded(nodes)`` places the table
+    uniformly; ``sharded(nodes, skewed=True)`` applies
+    :data:`SKEWED_WEIGHTS`-style weights so node 0's primary shard
+    holds several times its fair share.
+    """
+
+    tuples_m: int = 200
+    domain: int = 1_000_000
+    selectivity: float = 0.5
+    seed: int = 23
+    table: Table = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.selectivity <= 1.0:
+            raise WorkloadError(
+                f"selectivity must be in (0, 1], got {self.selectivity}"
+            )
+        n = self.tuples_m * 1_000_000 // SCALEOUT_SHRINK
+        if n < 100:
+            raise WorkloadError("table too small; increase tuples_m")
+        rng = np.random.default_rng(self.seed)
+        keys = rng.integers(0, self.domain, size=n, dtype=np.int64)
+        values = rng.integers(0, 10_000, size=n, dtype=np.int64)
+        self.table = Table.from_arrays(
+            "scaleout", {"k": (LNG, keys), "v": (LNG, values)}
+        )
+
+    def node_machine(self, threads: int = 8) -> MachineSpec:
+        return laptop_machine(threads)
+
+    def cluster(self, nodes: int, *, threads: int = 8) -> ClusterSpec:
+        return ClusterSpec(node=self.node_machine(threads), nodes=nodes)
+
+    def sim_config(self, cluster: ClusterSpec, **kwargs) -> SimulationConfig:
+        """A per-node config whose ``data_scale`` restores logical bytes."""
+        return SimulationConfig(
+            machine=cluster.node,
+            data_scale=float(SCALEOUT_SHRINK),
+            seed=self.seed,
+            **kwargs,
+        )
+
+    def skewed_map(
+        self, nodes: int, *, shards_per_node: int = 2
+    ) -> ShardMap:
+        """Equal-size shards with node 0 hoarding most of them.
+
+        Placement skew has to live in the shard *count*, not the shard
+        *size*: a node's finish time is bounded below by its longest
+        serial shard chain, so one oversized shard makes a straggler no
+        placement (or split) can fix.  Hoarded equal-size shards instead
+        queue in waves on the hot node's threads -- the gap the
+        placement mutations of :class:`~repro.cluster.adaptive.
+        ClusterMutator` close by peeling shards off one at a time.
+
+        Node 0 takes all but ``nodes - 1`` of the ``nodes *
+        shards_per_node`` shards; every other node gets exactly one.
+        Replicas spread round-robin over the *other* nodes (as a real
+        placement policy would, for rebuild bandwidth), which is what
+        lets the placement mutations rebalance with free replica moves
+        instead of paid exchanges.
+        """
+        if nodes < 2:
+            raise WorkloadError("a skewed map needs >= 2 nodes")
+        rows = len(self.table)
+        count = nodes * shards_per_node
+        hot = count - (nodes - 1)
+        bounds = [round(i * rows / count) for i in range(count + 1)]
+        shards = []
+        for k in range(count):
+            primary = 0 if k < hot else k - hot + 1
+            replica = (primary + 1 + k % (nodes - 1)) % nodes
+            shards.append(
+                Shard(
+                    index=k,
+                    lo=bounds[k],
+                    hi=bounds[k + 1],
+                    primary=primary,
+                    replica=replica,
+                )
+            )
+        return ShardMap(rows=rows, nodes=nodes, shards=tuple(shards))
+
+    def sharded(
+        self,
+        nodes: int,
+        *,
+        shards_per_node: int | None = None,
+        skewed: bool = False,
+    ) -> ShardedTable:
+        if shards_per_node is None:
+            shards_per_node = 2 if skewed else 1
+        if skewed:
+            return ShardedTable(
+                table=self.table,
+                shard_map=self.skewed_map(
+                    nodes, shards_per_node=shards_per_node
+                ),
+            )
+        return ShardedTable.create(
+            self.table, nodes, shards_per_node=shards_per_node
+        )
+
+    def plan(self, sharded: ShardedTable, *, coordinator: int = 0) -> Plan:
+        """Filtered sum over the sharded table (the canonical query)."""
+        hi = int(self.domain * self.selectivity)
+        return sharded_aggregate_plan(
+            sharded,
+            value="v",
+            func="sum",
+            filter_on="k",
+            lo=0,
+            hi=hi,
+            coordinator=coordinator,
+        )
+
+    def plan_for_map(self, shard_map: ShardMap, *, coordinator: int = 0) -> Plan:
+        """``plan`` keyed by a shard map -- the failover rebuild hook."""
+        return self.plan(
+            ShardedTable(table=self.table, shard_map=shard_map),
+            coordinator=coordinator,
+        )

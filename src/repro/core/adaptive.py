@@ -286,6 +286,16 @@ class AdaptiveParallelizer:
             else:
                 self.experience.flush()
 
+    def _make_mutator(self, working: Plan) -> PlanMutator:
+        """Mutator factory for one optimization walk.
+
+        Subclasses (the cluster layer) override this to return an
+        extended mutator that chooses between the paper's DOP mutations
+        and new dimensions (shard placement) while keeping the same
+        ``mutate``/``rejections``/``last_report`` surface.
+        """
+        return PlanMutator(working, pack_fanin_limit=self.pack_fanin_limit)
+
     def _default_runner(self, plan: Plan, run_index: int) -> ExecutionResult:
         # A distinct seed per run lets noise vary between runs while
         # keeping the whole adaptive instance reproducible.
@@ -490,7 +500,7 @@ class AdaptiveParallelizer:
         consult: "_Consult | None",
     ) -> AdaptiveResult:
         working = plan.copy()
-        mutator = PlanMutator(working, pack_fanin_limit=self.pack_fanin_limit)
+        mutator = self._make_mutator(working)
         tracker = ConvergenceTracker(self.convergence)
         history = PlanHistory()
         mutations: list[MutationResult] = []
@@ -611,7 +621,7 @@ class AdaptiveParallelizer:
         main thread in run order, so traces are bit-reproducible.
         """
         working = plan.copy()
-        mutator = PlanMutator(working, pack_fanin_limit=self.pack_fanin_limit)
+        mutator = self._make_mutator(working)
         history = PlanHistory()
         mutations: list[MutationResult] = []
         reports: list[AnalysisReport | None] = []

@@ -112,7 +112,10 @@ def _base_cycles(
         return n_in * p.aggregate_cycles
     if kind == "calc":
         return n_in * p.calc_cycles
-    if kind == "pack":
+    if kind in ("pack", "gather", "shuffle", "exchange"):
+        # Exchange-family operators are pure data movement: per-tuple
+        # copy cycles here; any *cross-node* wire time is charged
+        # separately by the cluster simulator's network model.
         return n_in * p.pack_cycles
     if kind == "sort":
         return n_in * p.sort_cycles * math.log2(max(n_in, 2.0))

@@ -33,6 +33,7 @@ batch) is never gated: single-threaded execution cannot race.
 
 from __future__ import annotations
 
+import functools
 import os
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -92,7 +93,18 @@ def default_workers(_cgroup_base: str = "/sys/fs/cgroup") -> int:
     ``os.sched_getaffinity``, and the container CPU *quota* via the
     cgroup filesystem -- a pod limited to 2 CPUs on a 64-core node gets
     2 workers, not 64 threads fighting over 2 cores.
+
+    Memoized per process (keyed on the cgroup base, so tests probing
+    synthetic cgroup trees stay independent): affinity and quota don't
+    change mid-run, and the cgroup filesystem reads were showing up in
+    ``repro bench --wallclock`` stage timings.  Use
+    ``default_workers.cache_clear()`` to force a re-probe.
     """
+    return _default_workers_uncached(_cgroup_base)
+
+
+@functools.lru_cache(maxsize=None)
+def _default_workers_uncached(_cgroup_base: str) -> int:
     count: int | None = None
     process_cpu_count = getattr(os, "process_cpu_count", None)
     if process_cpu_count is not None:
@@ -109,6 +121,10 @@ def default_workers(_cgroup_base: str = "/sys/fs/cgroup") -> int:
     if quota is not None and quota < count:
         count = quota
     return count
+
+
+default_workers.cache_clear = _default_workers_uncached.cache_clear  # type: ignore[attr-defined]
+default_workers.cache_info = _default_workers_uncached.cache_info  # type: ignore[attr-defined]
 
 
 class EvalFailure:

@@ -80,12 +80,19 @@ class MachineState:
         return self._busy_total
 
     # ------------------------------------------------------------------
-    def pick_thread(self) -> HardwareThread | None:
+    def pick_thread(
+        self, sockets: "range | frozenset[int] | None" = None
+    ) -> HardwareThread | None:
         """Choose the best idle thread, or None when fully loaded.
 
         Policy: prefer threads on fully idle physical cores (full compute
         rate), then spread across the least-loaded socket so concurrent
         memory-bound operators aggregate bandwidth across sockets.
+
+        ``sockets`` restricts the search to a socket subset -- the
+        cluster simulator maps each simulated node to a socket group and
+        places shard-local operators with this filter.  ``None`` (the
+        single-machine default) considers every socket.
         """
         if self._busy_total == len(self.threads):
             return None
@@ -95,6 +102,8 @@ class MachineState:
         best_score = (0, 0)
         for t in self.threads:
             if t.busy:
+                continue
+            if sockets is not None and t.socket_id not in sockets:
                 continue
             score = (core_busy[t.core_id], socket_busy[t.socket_id])
             if best is None or score < best_score:

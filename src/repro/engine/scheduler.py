@@ -179,6 +179,10 @@ class _Task:
         "remote",
         "index",
         "mem_active",
+        "net_rem",
+        "lat_rem",
+        "link",
+        "net_active",
     )
 
     def __init__(
@@ -205,6 +209,15 @@ class _Task:
         #: True while this task still counts toward its socket's
         #: memory-bandwidth demand.
         self.mem_active = mem_work > _EPS
+        #: Cross-node transfer state (cluster simulation only): bytes
+        #: left on the wire, latency left before the transfer starts,
+        #: the NIC (destination node id) being shared, and whether the
+        #: task still counts toward that NIC's processor-sharing
+        #: demand.  Single-machine tasks never activate these.
+        self.net_rem = 0.0
+        self.lat_rem = 0.0
+        self.link = -1
+        self.net_active = False
 
 
 class _PendingDispatch:
@@ -960,6 +973,7 @@ class Simulator:
                 mem_bytes=task.mem_work,
                 tuples_in=wp.tuples_in,
                 tuples_out=wp.tuples_out,
+                **self._task_span_attrs(task),
             )
             duration = self.now - task.start
             obs.metrics.counter(
@@ -992,6 +1006,15 @@ class Simulator:
                 ).inc()
             if sub.on_complete is not None:
                 sub.on_complete(sub)
+
+    def _task_span_attrs(self, task: _Task) -> dict:
+        """Extra attributes for a completed task's span.
+
+        The base simulator adds none, keeping single-machine traces
+        byte-stable; the cluster simulator overrides this to stamp the
+        node dimension on multi-node runs.
+        """
+        return {}
 
     def _consumers_of(self, sub: _Submission, node: PlanNode) -> Sequence[PlanNode]:
         return sub.consumers.get(node.nid, ())

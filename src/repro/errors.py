@@ -44,6 +44,10 @@ class ConvergenceError(ReproError):
     """The adaptive convergence driver was misused."""
 
 
+class ClusterError(ReproError):
+    """Invalid cluster topology, placement, or sharded-plan structure."""
+
+
 class SqlError(ReproError):
     """Base class for SQL front-end errors."""
 

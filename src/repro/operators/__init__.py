@@ -8,6 +8,7 @@ from .exchange import Pack
 from .groupby import AGG_FUNCS, AggrMerge, GroupAggregate, merge_func_for
 from .join import Join, SemiJoin, hash_join_pairs
 from .literal import Literal
+from .netexchange import Exchange, Gather, Shuffle
 from .project import Fetch, HeadsOf, Mirror
 from .scan import Scan
 from .select import (
@@ -37,7 +38,9 @@ __all__ = [
     "CandIntersect",
     "CandUnion",
     "EqualsPredicate",
+    "Exchange",
     "Fetch",
+    "Gather",
     "GroupAggregate",
     "HeadsOf",
     "InPredicate",
@@ -54,6 +57,7 @@ __all__ = [
     "Scan",
     "Select",
     "SemiJoin",
+    "Shuffle",
     "Sort",
     "TailFilter",
     "TopN",

@@ -85,6 +85,14 @@ class Operator(ABC):
     kind: str = "op"
     partitionable: bool = False
     blocking: bool = False
+    #: Cluster placement: the simulated node this operator runs on, or
+    #: None for "inherit from the producer" (leaves default to the
+    #: coordinator).  Placement is *where* a computation runs, never
+    #: *what* it computes, so it is deliberately excluded from
+    #: :meth:`params`/:meth:`cache_key` -- memoized values stay shareable
+    #: across nodes.  Set as an instance attribute; ``clone`` (a shallow
+    #: copy) carries it along with the other instance state.
+    placement: int | None = None
 
     def __init__(self) -> None:
         self.uid = next(_op_counter)

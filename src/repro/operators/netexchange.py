@@ -1,0 +1,144 @@
+"""Cross-node exchange operators for the shared-nothing cluster model.
+
+Three data-movement operators extend the single-machine exchange union
+(:class:`~repro.operators.exchange.Pack`) across simulated nodes:
+
+``Exchange(dst)``
+    Move one intermediate to node ``dst`` unchanged.  Value-wise it is
+    the identity; its *cost* is the copy (pack-like cycles) plus, when
+    the producer lives on another node, the wire time the cluster
+    simulator charges through its NIC processor-sharing model.
+
+``Gather(dst)``
+    The cross-node exchange union: concatenate per-shard partials on the
+    coordinating node.  Evaluation is exactly ``Pack`` (same ordering
+    invariant -- inputs arrive in shard order); only the kind and the
+    placement differ, so the network model can tell local packs from
+    cross-node gathers.
+
+``Shuffle(lo, hi, dst)``
+    Range repartition: keep the rows whose *oid* falls in ``[lo, hi)``
+    and move them to ``dst``.  ``N`` shuffles with tiling ranges wired to
+    one producer implement an all-to-all redistribution by range.
+
+Placement is carried on the operator instance (``Operator.placement``)
+and deliberately excluded from ``params()``/``cache_key()``: *where* a
+value is computed never changes *what* is computed, so memoized results
+stay shareable across nodes.  The destination of a :class:`Shuffle` is
+likewise placement-only; its value-determining parameters are the oid
+bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import OperatorError
+from ..storage.column import BAT, Candidates, ColumnSlice, Intermediate
+from .base import Operator, WorkProfile
+from .exchange import Pack
+
+
+class Exchange(Operator):
+    """Move one intermediate to another node (value identity)."""
+
+    kind = "exchange"
+
+    def __init__(self, dst: int = 0) -> None:
+        super().__init__()
+        if dst < 0:
+            raise OperatorError(f"exchange destination must be >= 0, got {dst}")
+        self.placement = int(dst)
+
+    def evaluate(self, inputs: Sequence[Intermediate]) -> Intermediate:
+        if len(inputs) != 1:
+            raise OperatorError(f"exchange takes 1 input, got {len(inputs)}")
+        return inputs[0]
+
+    def work_profile(
+        self, inputs: Sequence[Intermediate], output: Intermediate
+    ) -> WorkProfile:
+        moved = inputs[0].nbytes
+        return WorkProfile(
+            tuples_in=len(inputs[0]),
+            tuples_out=len(output),
+            bytes_read=moved,
+            bytes_written=moved,
+        )
+
+    def describe(self) -> str:
+        return f"exchange->n{self.placement}"
+
+
+class Gather(Pack):
+    """Cross-node exchange union: pack shard partials on one node."""
+
+    kind = "gather"
+
+    def __init__(self, dst: int = 0) -> None:
+        super().__init__()
+        if dst < 0:
+            raise OperatorError(f"gather destination must be >= 0, got {dst}")
+        self.placement = int(dst)
+
+    def describe(self) -> str:
+        return f"gather@n{self.placement}"
+
+
+class Shuffle(Operator):
+    """Keep rows with oid in ``[lo, hi)`` and move them to ``dst``."""
+
+    kind = "shuffle"
+
+    def __init__(self, lo: int, hi: int, dst: int = 0) -> None:
+        super().__init__()
+        if not 0 <= lo <= hi:
+            raise OperatorError(f"shuffle range [{lo}, {hi}) is invalid")
+        if dst < 0:
+            raise OperatorError(f"shuffle destination must be >= 0, got {dst}")
+        self.lo = int(lo)
+        self.hi = int(hi)
+        self.placement = int(dst)
+
+    def evaluate(self, inputs: Sequence[Intermediate]) -> Intermediate:
+        if len(inputs) != 1:
+            raise OperatorError(f"shuffle takes 1 input, got {len(inputs)}")
+        value = inputs[0]
+        if isinstance(value, Candidates):
+            # Sorted oids: the kept run is a contiguous sub-range.
+            start, stop = np.searchsorted(value.oids, [self.lo, self.hi])
+            return Candidates(
+                value.oids[start:stop], check_sorted=False, unique=value.unique
+            )
+        if isinstance(value, ColumnSlice):
+            lo = max(value.lo, self.lo)
+            hi = min(value.hi, self.hi)
+            if lo > hi:
+                lo = hi = value.lo
+            return value.column.slice(lo, hi)
+        if isinstance(value, BAT):
+            mask = (value.head >= self.lo) & (value.head < self.hi)
+            return BAT(
+                value.head[mask], value.tail[mask], value.dtype, value.dictionary
+            )
+        raise OperatorError(
+            f"shuffle input must be candidates/slice/BAT, got {type(value).__name__}"
+        )
+
+    def work_profile(
+        self, inputs: Sequence[Intermediate], output: Intermediate
+    ) -> WorkProfile:
+        return WorkProfile(
+            tuples_in=len(inputs[0]),
+            tuples_out=len(output),
+            bytes_read=inputs[0].nbytes,
+            bytes_written=output.nbytes,
+        )
+
+    def params(self) -> tuple:
+        return (self.lo, self.hi)
+
+    def describe(self) -> str:
+        return f"shuffle[{self.lo},{self.hi})->n{self.placement}"

@@ -15,6 +15,9 @@ structured diagnostics (rule id, severity, node ids, message, fix hint):
    partial-aggregate combiners.
 4. :class:`~repro.plan.analysis.lints.LintPass` -- fan-in limits, dead
    slices, splits that cannot pay off.
+5. :class:`~repro.plan.analysis.cluster.ShardLineagePass` -- placed
+   (cluster) plans only: cross-node edges without an exchange, gather
+   unions that double-count or drop shard rows.
 
 Consumers: ``PlanMutator`` rejects mutation candidates that introduce
 ``error`` diagnostics, ``execute(..., analyze=True)`` refuses to run
@@ -30,6 +33,7 @@ from .framework import (
     analyze_plan,
     default_passes,
 )
+from .cluster import ShardLineagePass
 from .determinism import DeterminismPass
 from .lineage import LineagePass, Shape
 from .lints import LintPass
@@ -41,6 +45,7 @@ __all__ = [
     "AnalysisReport",
     "DEFAULT_PACK_FANIN_LIMIT",
     "DeterminismPass",
+    "ShardLineagePass",
     "Diagnostic",
     "LineagePass",
     "LintPass",

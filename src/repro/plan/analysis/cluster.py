@@ -1,0 +1,147 @@
+"""Shard-lineage rules for placed (cluster) plans.
+
+Placement is a *where*, never a *what*: a plan must compute the same
+bytes wherever its operators run.  The structural side of that claim is
+what this pass proves:
+
+* data may only cross a node boundary through an exchange-family
+  operator (``exchange``/``gather``/``shuffle``) -- any other consumer
+  reading a remote input would silently assume shared memory that the
+  shared-nothing model does not provide;
+* a gather that unions shard partials must union a *partition*: scans
+  of the same column feeding different gather inputs may not overlap
+  (rows double-counted) and should not leave gaps (rows dropped).
+
+The pass is inert on placement-free plans -- no operator carries an
+explicit ``placement``, nothing is emitted -- so it can sit in the
+default pipeline without taxing single-machine users.
+"""
+
+from __future__ import annotations
+
+from .framework import AnalysisContext, AnalysisPass
+
+#: Kinds allowed to carry data across nodes (mirrors repro.cluster).
+NET_KINDS = ("exchange", "gather", "shuffle")
+
+
+class ShardLineagePass(AnalysisPass):
+    """Cross-node edges and gather-union coverage."""
+
+    name = "cluster"
+
+    def run(self, ctx: AnalysisContext) -> None:
+        # getattr: exotic operators outside the Operator hierarchy have
+        # no placement attribute and simply count as unplaced.
+        if all(
+            getattr(node.op, "placement", None) is None
+            for node in ctx.nodes
+        ):
+            return
+        placements = self._placements(ctx)
+        self._check_edges(ctx, placements)
+        self._check_gathers(ctx)
+
+    # ------------------------------------------------------------------
+    def _placements(self, ctx: AnalysisContext) -> dict[int, int]:
+        """Effective placements, mirroring the cluster executor's rule.
+
+        Bounds against a concrete cluster size are the executor's job
+        (the pass has no cluster in scope); structure is ours.
+        """
+        placements: dict[int, int] = {}
+        for node in ctx.nodes:  # topological
+            where = getattr(node.op, "placement", None)
+            if where is None:
+                where = placements[node.inputs[0].nid] if node.inputs else 0
+            placements[node.nid] = where
+        return placements
+
+    def _check_edges(
+        self, ctx: AnalysisContext, placements: dict[int, int]
+    ) -> None:
+        for node in ctx.nodes:
+            if node.kind in NET_KINDS:
+                continue
+            here = placements[node.nid]
+            for child in node.inputs:
+                there = placements[child.nid]
+                if there != here:
+                    ctx.emit(
+                        "cluster.cross-node-edge",
+                        "error",
+                        f"{node.describe()} on node {here} reads "
+                        f"{child.describe()} on node {there} without an "
+                        "exchange",
+                        node,
+                        child,
+                        hint=(
+                            "splice an Exchange/Gather/Shuffle on the "
+                            "edge, or move one side's placement"
+                        ),
+                    )
+
+    def _check_gathers(self, ctx: AnalysisContext) -> None:
+        for node in ctx.nodes:
+            if node.kind != "gather":
+                continue
+            # Scan ranges per column feeding each gather input, found by
+            # walking every operator upstream of that input.
+            by_column: dict[object, list[tuple[int, int]]] = {}
+            lengths: dict[object, int] = {}
+            for branch in node.inputs:
+                for scan in self._scans_under(ctx, branch):
+                    key = scan.op.column.cache_key()
+                    by_column.setdefault(key, []).append(
+                        (scan.op.lo, scan.op.hi)
+                    )
+                    lengths[key] = len(scan.op.column)
+            for key, ranges in by_column.items():
+                ranges.sort()
+                prev_hi = None
+                gap = False
+                for lo, hi in ranges:
+                    if prev_hi is not None and lo < prev_hi:
+                        ctx.emit(
+                            "cluster.gather-overlap",
+                            "error",
+                            f"{node.describe()} unions scans whose ranges "
+                            f"overlap at [{lo}, {min(hi, prev_hi)}); rows "
+                            "would be double-counted",
+                            node,
+                            hint="shard bounds must tile the column",
+                        )
+                        break
+                    if prev_hi is not None and lo > prev_hi:
+                        gap = True
+                    prev_hi = max(hi, prev_hi) if prev_hi is not None else hi
+                else:
+                    if gap or (ranges and ranges[0][0] > 0) or (
+                        prev_hi is not None and prev_hi < lengths[key]
+                    ):
+                        ctx.emit(
+                            "cluster.gather-gap",
+                            "warn",
+                            f"{node.describe()} unions scans that leave "
+                            "rows of a column uncovered",
+                            node,
+                            hint=(
+                                "fine for intentional sub-range queries; "
+                                "a bug if the gather stands for the whole "
+                                "table"
+                            ),
+                        )
+
+    def _scans_under(self, ctx: AnalysisContext, root):
+        seen: set[int] = set()
+        stack = [root]
+        found = []
+        while stack:
+            node = stack.pop()
+            if node.nid in seen:
+                continue
+            seen.add(node.nid)
+            if node.kind == "scan":
+                found.append(node)
+            stack.extend(node.inputs)
+        return found

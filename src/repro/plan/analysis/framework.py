@@ -77,12 +77,19 @@ class AnalysisPass(ABC):
 
 def default_passes() -> tuple[AnalysisPass, ...]:
     """The standard pass pipeline, in dependency order."""
+    from .cluster import ShardLineagePass
     from .determinism import DeterminismPass
     from .lineage import LineagePass
     from .lints import LintPass
     from .partition import PartitionSafetyPass
 
-    return (LineagePass(), PartitionSafetyPass(), DeterminismPass(), LintPass())
+    return (
+        LineagePass(),
+        PartitionSafetyPass(),
+        DeterminismPass(),
+        LintPass(),
+        ShardLineagePass(),
+    )
 
 
 def analyze_plan(

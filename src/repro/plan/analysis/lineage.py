@@ -400,6 +400,28 @@ class LineagePass(AnalysisPass):
             return _UNKNOWN
         return Shape(family, dtype if family == BAT else OID, 0, _hi(*ins), columns)
 
+    def _shape_gather(self, ctx, node: PlanNode, ins) -> Shape:
+        # A gather is a pack whose inputs arrive over the wire; bytes
+        # and ordering rules are identical.
+        return self._shape_pack(ctx, node, ins)
+
+    def _shape_exchange(self, ctx, node: PlanNode, ins) -> Shape:
+        # Pure transport: the intermediate is unchanged, only its node
+        # changes (which lineage does not track).
+        return ins[0]
+
+    def _shape_shuffle(self, ctx, node: PlanNode, ins) -> Shape:
+        src = ins[0]
+        if src.family == UNKNOWN:
+            return _UNKNOWN
+        if src.family == SCALAR:
+            return self._bad_input(
+                ctx, node, 0, "a slice, BAT, or candidate list", src,
+                hint="a scalar has no oid range to shuffle on",
+            )
+        # Keeps the rows inside its oid range: somewhere in [0, all].
+        return Shape(src.family, src.dtype, 0, src.rows_hi, src.columns)
+
     # -- fallback ------------------------------------------------------
     def _shape_default(self, ctx, node: PlanNode, ins) -> Shape:
         # Known arity but no specific shape rule: propagate conservatively.

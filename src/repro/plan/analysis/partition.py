@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from fractions import Fraction
 
+from ...operators.exchange import Pack
 from ...operators.slice import FRACTION_UNITS, PartitionSlice, ValuePartition
 from ..graph import PlanNode
 from .framework import AnalysisContext, AnalysisPass
@@ -54,7 +55,9 @@ class PartitionSafetyPass(AnalysisPass):
         for node in ctx.nodes:  # topological
             ctx.intervals[node.nid] = self._intervals(ctx, node)
         for node in ctx.nodes:
-            if node.kind == "pack":
+            # Type, not kind: Gather (kind "gather") is a Pack subclass
+            # and its cross-node union needs the same tiling proof.
+            if isinstance(node.op, Pack):
                 self._check_pack(ctx, node)
                 self._check_value_partitions(ctx, node)
         self._check_output_coverage(ctx)
@@ -78,11 +81,14 @@ class PartitionSafetyPass(AnalysisPass):
             return {}
         if node.kind in _INTERVAL_BARRIERS:
             return {}
-        if node.kind == "pack":
+        if isinstance(node.op, Pack):
             return self._pack_intervals(ctx, node)
         merged: IntervalMap = {}
+        conflicted: set[object] = set()
         for child in node.inputs:
             for base, interval in ctx.intervals.get(child.nid, {}).items():
+                if base in conflicted:
+                    continue
                 previous = merged.get(base)
                 if previous is None:
                     merged[base] = interval
@@ -98,9 +104,12 @@ class PartitionSafetyPass(AnalysisPass):
                             "the same partition range",
                         )
                     # Conflicting lineages: nothing downstream can be proven
-                    # about this base through this node.
-                    merged[base] = None  # type: ignore[assignment]
-        return {base: iv for base, iv in merged.items() if iv is not None}
+                    # about this base through this node.  A dedicated set,
+                    # not a None marker -- a later branch must not be able
+                    # to "resolve" the conflict by overwriting it.
+                    conflicted.add(base)
+                    del merged[base]
+        return merged
 
     def _slice_intervals(self, ctx: AnalysisContext, node: PlanNode) -> IntervalMap:
         op: PartitionSlice = node.op

@@ -18,6 +18,7 @@ from ..operators.exchange import Pack
 from ..operators.groupby import AggrMerge, GroupAggregate
 from ..operators.join import Join, SemiJoin
 from ..operators.literal import Literal
+from ..operators.netexchange import Exchange, Shuffle
 from ..operators.project import Fetch, HeadsOf, Mirror
 from ..operators.scan import Scan
 from ..operators.select import CandIntersect, CandUnion, Select
@@ -47,6 +48,9 @@ ARITY: dict[type, tuple[int, int | None]] = {
     CandUnion: (1, None),
     CandIntersect: (1, None),
     Pack: (1, None),
+    # Cluster exchange family (Gather is a Pack subclass, found via MRO).
+    Exchange: (1, 1),
+    Shuffle: (1, 1),
 }
 
 

@@ -25,6 +25,7 @@ from .dtypes import (
 )
 from .partition import PartitionRange, PartitionSet
 from .persist import load_catalog, save_catalog
+from .sharded import Shard, ShardMap, ShardedTable, range_shard
 from .table import Table
 
 __all__ = [
@@ -44,12 +45,16 @@ __all__ = [
     "PartitionSet",
     "STR",
     "Scalar",
+    "Shard",
+    "ShardMap",
+    "ShardedTable",
     "Table",
     "add_months",
     "align_candidates",
     "date_value",
     "intermediate_nbytes",
     "load_catalog",
+    "range_shard",
     "save_catalog",
     "type_by_name",
 ]

@@ -1,0 +1,225 @@
+"""Range-sharded table placement for the shared-nothing cluster model.
+
+A :class:`ShardMap` assigns half-open oid ranges of one table to
+simulated nodes: shard ``k`` covers ``bounds[k], bounds[k+1])`` and has
+a *primary* node plus one *replica* (the next node, round-robin), the
+minimal redundancy the resilience layer needs for retry-on-replica.
+
+The assignment reuses the partition-cover invariant from
+:class:`~repro.storage.partition.PartitionSet`: shard ranges are
+disjoint, sorted, and tile ``[0, rows)`` exactly -- no repetition, no
+omission.  ``range_shard`` builds the common cases (uniform and
+deliberately skewed splits); :meth:`ShardMap.failover` reassigns a dead
+node's shards to their replicas without moving any boundaries, which is
+what keeps post-failure plans byte-comparable to healthy ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import StorageError
+from .partition import PartitionRange, PartitionSet
+from .table import Table
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One oid range ``[lo, hi)`` with its primary and replica nodes."""
+
+    index: int
+    lo: int
+    hi: int
+    primary: int
+    replica: int
+
+    def __len__(self) -> int:
+        return self.hi - self.lo
+
+    def holders(self) -> tuple[int, ...]:
+        """Nodes holding a copy of this shard (primary first)."""
+        if self.replica == self.primary:
+            return (self.primary,)
+        return (self.primary, self.replica)
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """Placement of one table's oid space across ``nodes`` cluster nodes."""
+
+    rows: int
+    nodes: int
+    shards: tuple[Shard, ...]
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise StorageError(f"shard map needs >= 1 node, got {self.nodes}")
+        # Reuse the partition invariant: disjoint, sorted, full cover.
+        PartitionSet(
+            total=self.rows,
+            ranges=[PartitionRange(s.lo, s.hi) for s in self.shards],
+        )
+        for shard in self.shards:
+            for node in (shard.primary, shard.replica):
+                if not 0 <= node < self.nodes:
+                    raise StorageError(
+                        f"shard {shard.index} placed on node {node}, but the "
+                        f"map has {self.nodes} nodes"
+                    )
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def node_of(self, oid: int) -> int:
+        """Primary node holding ``oid``."""
+        for shard in self.shards:
+            if shard.lo <= oid < shard.hi:
+                return shard.primary
+        raise StorageError(f"oid {oid} outside [0, {self.rows})")
+
+    def shards_on(self, node: int) -> tuple[Shard, ...]:
+        """Shards whose primary is ``node``."""
+        return tuple(s for s in self.shards if s.primary == node)
+
+    def bounds(self) -> list[tuple[int, int]]:
+        return [(s.lo, s.hi) for s in self.shards]
+
+    def skew(self) -> float:
+        """Largest primary-node row share over the uniform share.
+
+        1.0 means perfectly balanced placement; 2.0 means the hottest
+        node holds twice its fair share -- the straggler predictor for
+        shard-local work.
+        """
+        if self.rows == 0:
+            return 1.0
+        per_node = [0] * self.nodes
+        for shard in self.shards:
+            per_node[shard.primary] += len(shard)
+        return max(per_node) / (self.rows / self.nodes)
+
+    def failover(self, dead_node: int) -> "ShardMap":
+        """A new map with ``dead_node``'s shards promoted to their replicas.
+
+        The dead node is also stripped from every *replica* slot (a
+        shard whose replica died keeps only its primary copy), so after
+        repeated failovers no shard can ever be promoted onto a node
+        that died earlier.  Raises when a shard has no live copy left
+        -- its replica is the dead node itself, or was lost to a prior
+        failure.
+        """
+        moved = []
+        for shard in self.shards:
+            if shard.primary != dead_node:
+                replica = (
+                    shard.primary
+                    if shard.replica == dead_node
+                    else shard.replica
+                )
+                if replica != shard.replica:
+                    shard = Shard(
+                        index=shard.index,
+                        lo=shard.lo,
+                        hi=shard.hi,
+                        primary=shard.primary,
+                        replica=replica,
+                    )
+                moved.append(shard)
+                continue
+            if shard.replica == dead_node:
+                raise StorageError(
+                    f"shard {shard.index} has no replica outside dead node "
+                    f"{dead_node}"
+                )
+            moved.append(
+                Shard(
+                    index=shard.index,
+                    lo=shard.lo,
+                    hi=shard.hi,
+                    primary=shard.replica,
+                    replica=shard.replica,
+                )
+            )
+        return ShardMap(rows=self.rows, nodes=self.nodes, shards=tuple(moved))
+
+
+def range_shard(
+    rows: int,
+    nodes: int,
+    *,
+    shards_per_node: int = 1,
+    weights: "tuple[float, ...] | None" = None,
+) -> ShardMap:
+    """Range-shard ``[0, rows)`` across ``nodes`` nodes.
+
+    Shard ``k``'s primary is ``k % nodes`` and its replica the next node
+    round-robin, so consecutive ranges interleave across the cluster.
+    ``weights`` (one per shard, need not be normalized) skews the range
+    *sizes* while keeping the same placement -- the knob the scaleout
+    bench uses to manufacture a straggler node.
+    """
+    if rows < 0:
+        raise StorageError("rows must be non-negative")
+    if nodes < 1:
+        raise StorageError(f"need >= 1 node, got {nodes}")
+    if shards_per_node < 1:
+        raise StorageError(f"need >= 1 shard per node, got {shards_per_node}")
+    count = nodes * shards_per_node
+    if weights is None:
+        bounds = [round(i * rows / count) for i in range(count + 1)]
+    else:
+        if len(weights) != count:
+            raise StorageError(
+                f"got {len(weights)} weights for {count} shards"
+            )
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise StorageError("shard weights must be non-negative, sum > 0")
+        total = sum(weights)
+        acc = 0.0
+        bounds = [0]
+        for w in weights:
+            acc += w
+            bounds.append(round(rows * acc / total))
+        bounds[-1] = rows
+    shards = []
+    for k in range(count):
+        primary = k % nodes
+        replica = (primary + 1) % nodes if nodes > 1 else primary
+        shards.append(
+            Shard(index=k, lo=bounds[k], hi=bounds[k + 1], primary=primary, replica=replica)
+        )
+    return ShardMap(rows=rows, nodes=nodes, shards=tuple(shards))
+
+
+@dataclass(frozen=True)
+class ShardedTable:
+    """A table plus its cluster placement."""
+
+    table: Table
+    shard_map: ShardMap
+
+    def __post_init__(self) -> None:
+        if len(self.table) != self.shard_map.rows:
+            raise StorageError(
+                f"shard map covers {self.shard_map.rows} rows but table "
+                f"{self.table.name!r} has {len(self.table)}"
+            )
+
+    @classmethod
+    def create(
+        cls,
+        table: Table,
+        nodes: int,
+        *,
+        shards_per_node: int = 1,
+        weights: "tuple[float, ...] | None" = None,
+    ) -> "ShardedTable":
+        return cls(
+            table=table,
+            shard_map=range_shard(
+                len(table),
+                nodes,
+                shards_per_node=shards_per_node,
+                weights=weights,
+            ),
+        )

@@ -3,6 +3,7 @@
 from .ascii_plot import bar_chart, line_plot
 from .convergence import render_convergence_report
 from .policies import render_policy_figure
+from .scaleout import render_scaleout_figure
 from .tomograph import (
     render_tomograph,
     render_trace_tomograph,
@@ -15,6 +16,7 @@ __all__ = [
     "line_plot",
     "render_convergence_report",
     "render_policy_figure",
+    "render_scaleout_figure",
     "render_tomograph",
     "render_trace_tomograph",
     "to_chrome_trace",

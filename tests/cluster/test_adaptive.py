@@ -1,0 +1,166 @@
+"""Placement mutations: the skew straggler gap and how the loop closes it.
+
+The scenario is the documented one from ``docs/scaleout.md``: placement
+skew as shard *count* (node 0 hoards equal-size shards; with two
+threads per node the hoarded serial chains queue in waves), because a
+node's finish time is lower-bounded by its longest serial chain --
+oversized shards would make a straggler no placement move can fix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ClusterAdaptiveParallelizer,
+    ClusterMutator,
+    ScaleoutWorkload,
+    cluster_execute,
+)
+from repro.config import SimulationConfig, laptop_machine
+from repro.core.mutation import PlanMutator
+from repro.errors import ClusterError
+
+NODES = 4
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return ScaleoutWorkload(tuples_m=10)
+
+
+@pytest.fixture(scope="module")
+def cluster(workload):
+    return workload.cluster(NODES, threads=2)
+
+
+@pytest.fixture(scope="module")
+def skew_outcome(workload, cluster):
+    """One adaptive optimization of the skewed map, shared by tests."""
+    config = workload.sim_config(cluster)
+    skewed = workload.sharded(NODES, skewed=True)
+    skewed_run = cluster_execute(workload.plan(skewed), cluster, config)
+    adaptive = ClusterAdaptiveParallelizer(
+        cluster, skewed.shard_map, config
+    )
+    outcome = adaptive.optimize(workload.plan(skewed))
+    adapted_run = cluster_execute(outcome.best_plan, cluster, config)
+    balanced = workload.sharded(NODES, shards_per_node=2)
+    balanced_run = cluster_execute(
+        workload.plan(balanced), cluster, config
+    )
+    return {
+        "outcome": outcome,
+        "skewed": skewed_run,
+        "adapted": adapted_run,
+        "balanced": balanced_run,
+        "map": skewed.shard_map,
+    }
+
+
+class TestSkewScenario:
+    def test_skewed_map_manufactures_a_straggler(self, skew_outcome):
+        gap = (
+            skew_outcome["skewed"].response_time
+            / skew_outcome["balanced"].response_time
+        )
+        assert skew_outcome["map"].skew() > 2.0
+        assert gap > 1.8
+
+    def test_placement_mutations_close_the_gap(self, skew_outcome):
+        gap_after = (
+            skew_outcome["adapted"].response_time
+            / skew_outcome["balanced"].response_time
+        )
+        assert gap_after < 1.1
+
+    def test_moves_are_free_replica_rehomes(self, skew_outcome):
+        moves = [
+            m
+            for m in skew_outcome["outcome"].mutations
+            if m.scheme.startswith("placement")
+        ]
+        assert moves, "no placement mutation was accepted"
+        # The skewed map spreads replicas across the cool nodes, so the
+        # whole rebalance proceeds without paying the wire.
+        assert all(m.scheme == "placement-replica" for m in moves)
+
+    def test_each_shard_moved_at_most_once(self, skew_outcome):
+        described = [
+            m.description
+            for m in skew_outcome["outcome"].mutations
+            if m.scheme.startswith("placement")
+        ]
+        shards = [d.split(" ")[0] for d in described]
+        assert len(shards) == len(set(shards))
+
+    def test_value_bit_identical_through_adaptation(self, skew_outcome):
+        assert int(skew_outcome["adapted"].outputs[0].value) == int(
+            skew_outcome["skewed"].outputs[0].value
+        )
+
+
+class TestBalancedStaysPut:
+    def test_no_placement_moves_below_threshold(self, workload, cluster):
+        config = workload.sim_config(cluster)
+        balanced = workload.sharded(NODES, shards_per_node=2)
+        adaptive = ClusterAdaptiveParallelizer(
+            cluster, balanced.shard_map, config
+        )
+        outcome = adaptive.optimize(workload.plan(balanced))
+        assert not [
+            m
+            for m in outcome.mutations
+            if m.scheme.startswith("placement")
+        ]
+
+
+class TestMutatorUnits:
+    def test_threshold_validation(self, workload, cluster):
+        sharded = workload.sharded(NODES)
+        plan = workload.plan(sharded)
+        with pytest.raises(ClusterError, match="threshold"):
+            ClusterMutator(
+                plan,
+                PlanMutator(plan),
+                cluster,
+                sharded.shard_map,
+                imbalance_threshold=1.0,
+            )
+
+    def test_node_busy_sums_per_node(self, workload, cluster):
+        config = workload.sim_config(cluster)
+        sharded = workload.sharded(NODES)
+        plan = workload.plan(sharded)
+        profile = cluster_execute(plan, cluster, config).profile
+        mutator = ClusterMutator(
+            plan, PlanMutator(plan), cluster, sharded.shard_map
+        )
+        busy = mutator.node_busy(profile)
+        assert len(busy) == NODES
+        assert all(b > 0 for b in busy)
+        assert sum(busy) == pytest.approx(
+            sum(r.end - r.start for r in profile.records)
+        )
+
+
+class TestDriverValidation:
+    def test_config_machine_must_match_node(self, workload, cluster):
+        sharded = workload.sharded(NODES)
+        with pytest.raises(ClusterError, match="cluster.node"):
+            ClusterAdaptiveParallelizer(
+                cluster,
+                sharded.shard_map,
+                SimulationConfig(machine=laptop_machine(16)),
+            )
+
+    def test_convergence_budget_defaults_to_cluster_threads(
+        self, workload, cluster
+    ):
+        sharded = workload.sharded(NODES)
+        adaptive = ClusterAdaptiveParallelizer(
+            cluster, sharded.shard_map, workload.sim_config(cluster)
+        )
+        assert (
+            adaptive.convergence.number_of_cores == cluster.total_threads
+        )

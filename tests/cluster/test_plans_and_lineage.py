@@ -1,0 +1,201 @@
+"""Sharded plan construction, placement moves, and the shard lineage pass.
+
+Everything the adaptive layer relies on structurally: sparse placements
+resolve by first-input inheritance, ``move_shard`` picks the free
+(replica) regime exactly when the destination holds a copy, and the
+``ShardLineagePass`` analyzer stays inert on placement-free plans while
+catching cross-node edges and gather unions that double-count rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    NET_KINDS,
+    move_shard,
+    resolve_placements,
+    shard_label,
+    shard_scans,
+    sharded_aggregate_plan,
+    sharded_select_plan,
+)
+from repro.errors import ClusterError
+from repro.operators import Aggregate, Gather, RangePredicate, Scan, Select
+from repro.plan.analysis import ShardLineagePass, analyze_plan
+from repro.plan.graph import Plan
+from repro.storage import LNG, Table
+from repro.storage.sharded import ShardedTable
+
+
+@pytest.fixture()
+def table():
+    rng = np.random.default_rng(7)
+    return Table.from_arrays(
+        "t",
+        {
+            "k": (LNG, rng.integers(0, 1000, 600)),
+            "v": (LNG, rng.integers(0, 100, 600)),
+        },
+    )
+
+
+@pytest.fixture()
+def sharded(table):
+    return ShardedTable.create(table, 3)
+
+
+def agg_plan(sharded):
+    return sharded_aggregate_plan(
+        sharded, value="v", func="sum", filter_on="k", lo=0, hi=500
+    )
+
+
+class TestShardedPlans:
+    def test_aggregate_plan_analyzes_clean(self, sharded):
+        report = analyze_plan(agg_plan(sharded))
+        assert not report.has_errors, report.format()
+
+    def test_select_plan_analyzes_clean(self, sharded):
+        plan = sharded_select_plan(sharded, filter_on="k", lo=0, hi=500)
+        report = analyze_plan(plan)
+        assert not report.has_errors, report.format()
+
+    def test_scans_pinned_to_primaries(self, sharded):
+        plan = agg_plan(sharded)
+        for shard in sharded.shard_map.shards:
+            for scan in shard_scans(plan, shard.index):
+                assert scan.op.placement == shard.primary
+                assert (scan.op.lo, scan.op.hi) == (shard.lo, shard.hi)
+
+    def test_placements_resolve_by_inheritance(self, sharded):
+        plan = agg_plan(sharded)
+        placements = resolve_placements(plan, sharded.shard_map.nodes)
+        for shard in sharded.shard_map.shards:
+            label = shard_label(shard.index)
+            for node in plan.nodes():
+                if node.label == label and node.kind != "exchange":
+                    assert placements[node.nid] == shard.primary
+        # The gather and the final merge land on the coordinator.
+        for out in plan.outputs:
+            assert placements[out.nid] == 0
+
+    def test_out_of_range_placement_rejected(self, sharded):
+        plan = agg_plan(sharded)
+        shard_scans(plan, 0)[0].op.placement = 9
+        with pytest.raises(ClusterError, match="9"):
+            resolve_placements(plan, sharded.shard_map.nodes)
+
+
+class TestMoveShard:
+    def test_replica_move_is_free(self, sharded):
+        plan = agg_plan(sharded)
+        shard = sharded.shard_map.shards[0]
+        scheme = move_shard(plan, shard, shard.replica)
+        assert scheme == "placement-replica"
+        # No exchange spliced; the scans simply re-homed.
+        assert all(n.kind != "exchange" for n in plan.nodes())
+        for scan in shard_scans(plan, shard.index):
+            assert scan.op.placement == shard.replica
+        assert not analyze_plan(plan).has_errors
+
+    def test_non_holder_move_splices_exchange(self, sharded):
+        plan = agg_plan(sharded)
+        shard = sharded.shard_map.shards[0]
+        dst = next(
+            n for n in range(sharded.shard_map.nodes)
+            if n not in shard.holders()
+        )
+        scheme = move_shard(plan, shard, dst)
+        assert scheme == "placement-move"
+        exchanges = [n for n in plan.nodes() if n.kind == "exchange"]
+        # One exchange per scan of the shard, targeted at dst, and the
+        # data stays where it lives.
+        assert len(exchanges) == len(shard_scans(plan, shard.index))
+        for exchange in exchanges:
+            assert exchange.op.placement == dst
+            assert exchange.inputs[0].op.placement == shard.primary
+        assert not analyze_plan(plan).has_errors, analyze_plan(plan).format()
+
+    def test_second_move_retargets_existing_exchange(self, sharded):
+        plan = agg_plan(sharded)
+        shard = sharded.shard_map.shards[0]
+        holders = shard.holders()
+        outside = [
+            n for n in range(sharded.shard_map.nodes) if n not in holders
+        ]
+        move_shard(plan, shard, outside[0])
+        before = len([n for n in plan.nodes() if n.kind == "exchange"])
+        move_shard(plan, shard, holders[-1])
+        after = [n for n in plan.nodes() if n.kind == "exchange"]
+        # Back onto a holder: the exchanges retarget, none are added.
+        assert len(after) == before
+        for exchange in after:
+            assert exchange.op.placement == holders[-1]
+
+    def test_unknown_shard_rejected(self, sharded):
+        plan = agg_plan(sharded)
+        ghost = sharded.shard_map.shards[0]
+        object.__setattr__(ghost, "index", 99)
+        with pytest.raises(ClusterError, match="no scans"):
+            move_shard(plan, ghost, 1)
+
+
+class TestShardLineagePass:
+    def test_inert_on_placement_free_plans(self, table):
+        plan = Plan()
+        scan = plan.add(Scan(table.column("v"), 0, len(table)))
+        plan.set_outputs([plan.add(Aggregate("sum"), [scan])])
+        report = analyze_plan(plan, passes=[ShardLineagePass()])
+        assert not report.diagnostics
+
+    def test_cross_node_edge_flagged(self, sharded):
+        plan = agg_plan(sharded)
+        # The coordinator-side merge suddenly claims to run on node 2
+        # while its gather input stays on node 0: a network edge with no
+        # exchange-family operator to carry it.
+        plan.outputs[0].op.placement = 2
+        report = analyze_plan(plan)
+        assert any(
+            d.rule == "cluster.cross-node-edge" and d.severity == "error"
+            for d in report.diagnostics
+        )
+
+    def test_gather_overlap_flagged(self, sharded):
+        plan = sharded_select_plan(sharded, filter_on="k", lo=0, hi=500)
+        gather = plan.outputs[0]
+        scan = gather.inputs[0].inputs[0]
+        # Stretch shard 0's scan into shard 1's range: the gathered
+        # union now double-counts the overlapped rows.
+        scan.op.hi = scan.op.hi + 50
+        report = analyze_plan(plan)
+        assert any(
+            d.rule == "cluster.gather-overlap" and d.severity == "error"
+            for d in report.diagnostics
+        )
+
+    def test_gather_gap_warned(self, sharded):
+        plan = sharded_select_plan(sharded, filter_on="k", lo=0, hi=500)
+        gather = plan.outputs[0]
+        scan = gather.inputs[0].inputs[0]
+        scan.op.hi = scan.op.hi - 50  # drop the tail of shard 0
+        report = analyze_plan(plan)
+        assert any(
+            d.rule == "cluster.gather-gap" and d.severity == "warn"
+            for d in report.diagnostics
+        )
+
+    def test_net_kinds_cover_the_exchange_family(self, sharded):
+        plan = agg_plan(sharded)
+        move_shard(
+            plan,
+            sharded.shard_map.shards[0],
+            next(
+                n for n in range(3)
+                if n not in sharded.shard_map.shards[0].holders()
+            ),
+        )
+        kinds = {n.kind for n in plan.nodes()}
+        assert "exchange" in kinds and "gather" in kinds
+        assert kinds & set(NET_KINDS) == {"exchange", "gather"}

@@ -1,0 +1,164 @@
+"""Cluster topology and shard-placement units.
+
+The spec side pins the flattening identity (nodes == 1 *is* the node
+machine; N nodes are N disjoint socket groups); the storage side pins
+the partition-cover invariant of shard maps and the failover rules the
+resilience layer leans on -- most importantly that a dead node is
+stripped from every replica slot, so repeated failovers can never
+promote a shard onto a node that died earlier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, LinkSpec
+from repro.config import laptop_machine
+from repro.errors import ClusterError, StorageError
+from repro.storage import LNG, Table
+from repro.storage.sharded import Shard, ShardMap, ShardedTable, range_shard
+
+
+class TestClusterSpec:
+    def test_single_node_flattens_to_the_node_itself(self):
+        node = laptop_machine(8)
+        assert ClusterSpec(node=node, nodes=1).flatten() is node
+
+    def test_flatten_multiplies_sockets_and_memory(self):
+        node = laptop_machine(8)
+        flat = ClusterSpec(node=node, nodes=4).flatten()
+        assert flat.sockets == node.sockets * 4
+        assert flat.memory_gb == node.memory_gb * 4
+        # Per-core compute and per-socket bandwidth are unchanged: a
+        # node inside the cluster is exactly the standalone machine.
+        assert flat.hardware_threads == node.hardware_threads * 4
+        assert flat.mem_bandwidth_gbps == node.mem_bandwidth_gbps
+
+    def test_socket_groups_partition_the_cluster(self):
+        cluster = ClusterSpec(node=laptop_machine(8), nodes=3)
+        seen = []
+        for node_id in range(3):
+            for socket_id in cluster.sockets_of(node_id):
+                assert cluster.node_of_socket(socket_id) == node_id
+                seen.append(socket_id)
+        assert seen == list(range(cluster.flatten().sockets))
+
+    def test_total_threads(self):
+        cluster = ClusterSpec(node=laptop_machine(4), nodes=3)
+        assert cluster.total_threads == 12
+
+    def test_validation(self):
+        with pytest.raises(ClusterError, match=">= 1 node"):
+            ClusterSpec(nodes=0)
+        with pytest.raises(ClusterError, match="node 5"):
+            ClusterSpec(nodes=2).sockets_of(5)
+        with pytest.raises(ClusterError, match="latency"):
+            LinkSpec(latency_s=-1.0)
+        with pytest.raises(ClusterError, match="bandwidth"):
+            LinkSpec(bandwidth_gbps=0.0)
+
+
+class TestRangeShard:
+    def test_uniform_tiles_exactly(self):
+        shard_map = range_shard(1000, 4, shards_per_node=2)
+        bounds = shard_map.bounds()
+        assert bounds[0][0] == 0 and bounds[-1][1] == 1000
+        for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+            assert hi == lo
+        assert shard_map.skew() == pytest.approx(1.0)
+
+    def test_round_robin_placement_with_replicas(self):
+        shard_map = range_shard(100, 3)
+        assert [s.primary for s in shard_map.shards] == [0, 1, 2]
+        assert [s.replica for s in shard_map.shards] == [1, 2, 0]
+        for shard in shard_map.shards:
+            assert shard.holders() == (shard.primary, shard.replica)
+
+    def test_single_node_has_no_replica(self):
+        (shard,) = range_shard(100, 1).shards
+        assert shard.holders() == (0,)
+
+    def test_weights_skew_sizes_not_placement(self):
+        shard_map = range_shard(1000, 2, weights=(3.0, 1.0))
+        assert len(shard_map.shards[0]) == 750
+        assert len(shard_map.shards[1]) == 250
+        assert shard_map.skew() == pytest.approx(1.5)
+
+    def test_weight_validation(self):
+        with pytest.raises(StorageError, match="weights"):
+            range_shard(100, 2, weights=(1.0,))
+        with pytest.raises(StorageError, match="non-negative"):
+            range_shard(100, 2, weights=(1.0, -1.0))
+
+    def test_node_of(self):
+        shard_map = range_shard(100, 2)
+        assert shard_map.node_of(0) == 0
+        assert shard_map.node_of(99) == 1
+        with pytest.raises(StorageError, match="outside"):
+            shard_map.node_of(100)
+
+    def test_map_rejects_gap_and_bad_node(self):
+        with pytest.raises(StorageError):
+            ShardMap(
+                rows=10,
+                nodes=2,
+                shards=(
+                    Shard(0, 0, 4, 0, 1),
+                    Shard(1, 5, 10, 1, 0),  # gap at [4, 5)
+                ),
+            )
+        with pytest.raises(StorageError, match="node 7"):
+            ShardMap(
+                rows=10, nodes=2, shards=(Shard(0, 0, 10, 0, 7),)
+            )
+
+
+class TestFailover:
+    def test_promotes_dead_nodes_shards(self):
+        shard_map = range_shard(90, 3)
+        survived = shard_map.failover(0)
+        promoted = survived.shards[0]
+        assert promoted.primary == 1  # was 0, replica was 1
+        assert promoted.replica == 1  # no second copy anymore
+        # Boundaries never move on failover.
+        assert survived.bounds() == shard_map.bounds()
+
+    def test_strips_dead_node_from_replica_slots(self):
+        shard_map = range_shard(90, 3)
+        survived = shard_map.failover(0)
+        for shard in survived.shards:
+            assert 0 not in shard.holders()
+
+    def test_repeated_failovers_never_use_dead_nodes(self):
+        # Kill 3 then 1: every shard still has a copy on 0 or 2, and no
+        # holder may name a dead node (3's replica slot on shard 2 was
+        # stripped in the first failover, 1's in the second).
+        shard_map = range_shard(120, 4)
+        survived = shard_map.failover(3).failover(1)
+        for shard in survived.shards:
+            for node in shard.holders():
+                assert node in (0, 2)
+
+    def test_orphaned_shard_raises(self):
+        # Shard 0 lives on nodes {0, 1}; kill both and the second
+        # failover must refuse rather than invent a copy.
+        shard_map = range_shard(90, 3).failover(1)
+        with pytest.raises(StorageError, match="no replica outside"):
+            shard_map.failover(0)
+
+
+class TestShardedTable:
+    def _table(self, n=100):
+        return Table.from_arrays(
+            "t", {"v": (LNG, np.arange(n, dtype=np.int64))}
+        )
+
+    def test_create_matches_table_rows(self):
+        sharded = ShardedTable.create(self._table(100), 4)
+        assert sharded.shard_map.rows == 100
+        assert len(sharded.shard_map) == 4
+
+    def test_rejects_mismatched_map(self):
+        with pytest.raises(StorageError, match="covers 90"):
+            ShardedTable(self._table(100), range_shard(90, 2))

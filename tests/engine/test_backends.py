@@ -1,11 +1,10 @@
-"""Pluggable evaluation backends: selection, the process pool, and the
-backend x workers determinism matrix.
+"""Pluggable evaluation backends: selection, worker sizing, and the
+process pool's shipping mechanics.
 
-The matrix mirrors the thread-pool determinism suite
-(``test_evalpool.py``): whatever backend evaluates the kernels, every
-simulated observable -- response times, adaptive traces, memo counters,
-canonical observe bytes under chaos -- must be bit-identical to the
-inline reference.
+The backend x workers determinism sweeps that used to live here were
+consolidated into ``tests/integration/test_determinism_matrix.py``;
+this module keeps the backend-registry, ``default_workers``, and
+process-boundary (shared memory, certification, spawn) unit tests.
 """
 
 from __future__ import annotations
@@ -16,9 +15,6 @@ import pytest
 
 import repro.engine.backends as backends
 from repro.analysis.certificates import CertificateRegistry
-from repro.chaos import CHAOS_LIGHT
-from repro.concurrency import ClientSpec, ResilienceConfig, ResilientWorkload
-from repro.core import AdaptiveParallelizer, ConvergenceParams
 from repro.core.adaptive import intermediates_equal
 from repro.engine import EvalPool, execute
 from repro.engine.backends import (
@@ -30,17 +26,12 @@ from repro.engine.backends import (
 from repro.engine.evalpool import _cgroup_cpu_limit, default_workers
 from repro.engine.shm import shared_memory_available
 from repro.errors import BackendUnavailableError, ReproError, UncertifiedKernelError
-from repro.observe import Observer
 from repro.operators import RangePredicate
 from repro.plan import PlanBuilder
-from repro.workloads import JoinMicroWorkload
 
 needs_shm = pytest.mark.skipif(
     not shared_memory_available(), reason="multiprocessing.shared_memory missing"
 )
-
-WORKER_COUNTS = (1, 2, 8)
-PARALLEL_BACKENDS = ("thread", "process")
 
 
 def q1_style_plan(catalog):
@@ -129,6 +120,32 @@ class TestDefaultWorkers:
         (tmp_path / "cpu.max").write_text("100000 100000\n")
         assert default_workers(_cgroup_base=str(tmp_path)) == 1
 
+    def test_memoized_per_process(self, tmp_path, monkeypatch):
+        """Repeated calls probe the cgroup filesystem exactly once.
+
+        The probe showed up in wallclock-bench stage timings, so
+        ``default_workers`` memoizes per (process, cgroup base);
+        ``cache_clear()`` forces a re-probe.
+        """
+        import repro.engine.evalpool as evalpool
+
+        probes = []
+        real = evalpool._cgroup_cpu_limit
+        monkeypatch.setattr(
+            evalpool,
+            "_cgroup_cpu_limit",
+            lambda base: probes.append(base) or real(base),
+        )
+        (tmp_path / "cpu.max").write_text("200000 100000\n")
+        default_workers.cache_clear()
+        first = default_workers(_cgroup_base=str(tmp_path))
+        for _ in range(5):
+            assert default_workers(_cgroup_base=str(tmp_path)) == first
+        assert probes == [str(tmp_path)]
+        default_workers.cache_clear()
+        assert default_workers(_cgroup_base=str(tmp_path)) == first
+        assert len(probes) == 2
+
 
 class TestEvalPoolBackendSelection:
     def test_inline_backend_never_leaves_main_thread(self):
@@ -191,75 +208,10 @@ class TestProcessBackend:
             float(v) == float(v) for v in stats.as_dict().values()
         )
 
-    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
-    def test_execution_identical_across_backends_and_workers(
-        self, small_catalog, sim_config, ship_everything, backend
-    ):
-        baseline = execute(q1_style_plan(small_catalog), sim_config)
-        for workers in WORKER_COUNTS[1:]:
-            result = execute(
-                q1_style_plan(small_catalog),
-                sim_config,
-                workers=workers,
-                backend=backend,
-            )
-            assert result.response_time == baseline.response_time
-            assert intermediates_equal(result.outputs[0], baseline.outputs[0])
-
-    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
-    def test_adaptive_identical_across_backends(self, ship_everything, backend):
-        workload = JoinMicroWorkload(outer_mb=64, inner_mb=16)
-        config = workload.sim_config(seed=11)
-
-        def trace(workers, backend):
-            parallelizer = AdaptiveParallelizer(
-                config,
-                convergence=ConvergenceParams(number_of_cores=8, max_runs=6),
-                workers=workers,
-                backend=backend,
-            )
-            try:
-                result = parallelizer.optimize(workload.plan())
-                memo = (
-                    parallelizer.memo.stats()
-                    if parallelizer.memo is not None
-                    else None
-                )
-                return result, memo
-            finally:
-                parallelizer.close()
-
-        base, base_memo = trace(1, None)
-        result, memo = trace(2, backend)
-        assert result.exec_times() == base.exec_times()
-        assert (result.gme_run, result.gme_time) == (base.gme_run, base.gme_time)
-        assert result.total_runs == base.total_runs
-        assert memo == base_memo
-
-    def test_chaos_canonical_bytes_identical(self, ship_everything):
-        def canonical(workers, backend):
-            workload = JoinMicroWorkload(outer_mb=16, inner_mb=4)
-            observer = Observer()
-            service = ResilientWorkload(
-                workload.sim_config(),
-                [
-                    ClientSpec(f"c{i}", [workload.plan()], max_queries=3)
-                    for i in range(3)
-                ],
-                horizon=2.0,
-                faults=CHAOS_LIGHT,
-                resilience=ResilienceConfig(timeout=0.05),
-                workers=workers,
-                backend=backend,
-                observe=observer,
-            )
-            service.run()
-            observer.finish()
-            return observer.canonical_json()
-
-        baseline = canonical(1, None)
-        for backend in PARALLEL_BACKENDS:
-            assert canonical(2, backend) == baseline
+    # The backend x workers determinism sweeps (plain execution, the
+    # adaptive trace + memo counters, chaos canonical bytes) moved to
+    # the consolidated matrix in
+    # tests/integration/test_determinism_matrix.py.
 
     def test_spawn_start_method(
         self, small_catalog, sim_config, ship_everything, monkeypatch

@@ -1,0 +1,184 @@
+"""Property-based tests on the cluster layer (hypothesis).
+
+Two families:
+
+* the shard-map partition invariant -- for any rows / nodes /
+  shards-per-node / weights, ``range_shard`` tiles ``[0, rows)``
+  exactly (no gap, no overlap, sorted), places every copy on a live
+  node, and survives failover without moving a boundary;
+* distributed-equals-serial -- the sharded aggregate executed on a
+  simulated cluster returns the *same integer* as the plain
+  single-machine engine aggregating the same rows, for any seed,
+  node count, and filter range (integer columns make the partial-sum
+  merge bit-exact).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    ClusterSpec,
+    cluster_execute,
+    sharded_aggregate_plan,
+    sharded_select_plan,
+)
+from repro.config import SimulationConfig, laptop_machine
+from repro.engine import execute
+from repro.operators import Aggregate, Fetch, RangePredicate, Scan, Select
+from repro.plan.graph import Plan
+from repro.storage import LNG, Table
+from repro.storage.sharded import ShardedTable, range_shard
+
+
+class TestRangeShardInvariant:
+    @given(
+        rows=st.integers(0, 5000),
+        nodes=st.integers(1, 8),
+        per_node=st.integers(1, 4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_uniform_tiles_exactly(self, rows, nodes, per_node):
+        shard_map = range_shard(rows, nodes, shards_per_node=per_node)
+        self._assert_tiling(shard_map, rows, nodes)
+
+    @given(
+        rows=st.integers(1, 5000),
+        nodes=st.integers(1, 6),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_weighted_tiles_exactly(self, rows, nodes, data):
+        weights = tuple(
+            data.draw(
+                st.lists(
+                    st.floats(
+                        0.0, 10.0, allow_nan=False, allow_infinity=False
+                    ),
+                    min_size=nodes,
+                    max_size=nodes,
+                ).filter(lambda ws: sum(ws) > 0)
+            )
+        )
+        shard_map = range_shard(rows, nodes, weights=weights)
+        self._assert_tiling(shard_map, rows, nodes)
+
+    @given(
+        rows=st.integers(1, 2000),
+        nodes=st.integers(2, 6),
+        dead=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_failover_keeps_tiling_and_avoids_the_dead(
+        self, rows, nodes, dead
+    ):
+        shard_map = range_shard(rows, nodes, shards_per_node=2)
+        victim = dead.draw(st.integers(0, nodes - 1))
+        survived = shard_map.failover(victim)
+        self._assert_tiling(survived, rows, nodes)
+        assert survived.bounds() == shard_map.bounds()
+        for shard in survived.shards:
+            assert victim not in shard.holders()
+
+    @staticmethod
+    def _assert_tiling(shard_map, rows, nodes):
+        bounds = shard_map.bounds()
+        if rows == 0:
+            assert all(lo == hi == 0 for lo, hi in bounds)
+        else:
+            assert bounds[0][0] == 0
+            assert bounds[-1][1] == rows
+        for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+            assert hi == lo  # contiguous: no gap, no overlap
+        for shard in shard_map.shards:
+            for node in shard.holders():
+                assert 0 <= node < nodes
+
+
+@st.composite
+def cluster_case(draw):
+    rows = draw(st.integers(10, 400))
+    nodes = draw(st.integers(1, 4))
+    per_node = draw(st.integers(1, 2))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    table = Table.from_arrays(
+        "t",
+        {
+            "k": (LNG, rng.integers(0, 1000, rows)),
+            "v": (LNG, rng.integers(-500, 500, rows)),
+        },
+    )
+    lo = draw(st.integers(0, 900))
+    hi = draw(st.integers(lo, 1000))
+    return table, nodes, per_node, lo, hi
+
+
+def _cluster_for(nodes: int) -> ClusterSpec:
+    return ClusterSpec(node=laptop_machine(2), nodes=nodes)
+
+
+class TestDistributedEqualsSerial:
+    @given(cluster_case())
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_sharded_aggregate_matches_single_node(self, case):
+        table, nodes, per_node, lo, hi = case
+        sharded = ShardedTable.create(
+            table, nodes, shards_per_node=per_node
+        )
+        cluster = _cluster_for(nodes)
+        plan = sharded_aggregate_plan(
+            sharded, value="v", func="sum", filter_on="k", lo=lo, hi=hi
+        )
+        result = cluster_execute(
+            plan, cluster, SimulationConfig(machine=cluster.node)
+        )
+
+        serial = Plan()
+        fscan = serial.add(Scan(table.column("k"), 0, len(table)))
+        sel = serial.add(Select(RangePredicate(lo, hi)), [fscan])
+        vscan = serial.add(Scan(table.column("v"), 0, len(table)))
+        fetched = serial.add(Fetch(), [sel, vscan])
+        serial.set_outputs([serial.add(Aggregate("sum"), [fetched])])
+        expected = execute(
+            serial, SimulationConfig(machine=laptop_machine(2))
+        )
+        assert int(result.outputs[0].value) == int(
+            expected.outputs[0].value
+        )
+
+    @given(cluster_case())
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_sharded_select_bytes_equal_single_node(self, case):
+        table, nodes, per_node, lo, hi = case
+        sharded = ShardedTable.create(
+            table, nodes, shards_per_node=per_node
+        )
+        cluster = _cluster_for(nodes)
+        plan = sharded_select_plan(sharded, filter_on="k", lo=lo, hi=hi)
+        gathered = cluster_execute(
+            plan, cluster, SimulationConfig(machine=cluster.node)
+        )
+
+        serial = Plan()
+        scan = serial.add(Scan(table.column("k"), 0, len(table)))
+        serial.set_outputs(
+            [serial.add(Select(RangePredicate(lo, hi)), [scan])]
+        )
+        expected = execute(
+            serial, SimulationConfig(machine=laptop_machine(2))
+        )
+        got = np.asarray(gathered.outputs[0].oids)
+        want = np.asarray(expected.outputs[0].oids)
+        assert got.dtype == want.dtype
+        assert got.tobytes() == want.tobytes()

@@ -75,13 +75,9 @@ class TestDeterminism:
         again = run_loadgen(preset("tiny"))
         assert _report_json(again) == _report_json(tiny_clean_report)
 
-    def test_worker_count_invariant(self, tiny_clean_report):
-        pooled = run_loadgen(preset("tiny"), workers=4, backend="thread")
-        assert _report_json(pooled) == _report_json(tiny_clean_report)
-
-    def test_process_backend_invariant(self, tiny_clean_report):
-        pooled = run_loadgen(preset("tiny"), workers=2, backend="process")
-        assert _report_json(pooled) == _report_json(tiny_clean_report)
+    # Worker-count and process-backend invariance moved to the
+    # consolidated sweep in tests/integration/test_determinism_matrix.py
+    # (scenario "serve").
 
     def test_chaos_light_repeatable(self):
         spec = preset("tiny", chaos="light")
